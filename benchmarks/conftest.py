@@ -1,0 +1,44 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one paper table/figure, prints its rows/series,
+saves them under ``results/``, and asserts the paper's qualitative *shape*
+(who wins, by roughly what factor, where crossovers fall).  Absolute numbers
+differ from the paper — our substrate is a simulator, not the authors'
+256-node testbed — but the shapes must hold.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+tables inline.  Rendered tables are always written to ``results/<id>.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_and_print(figure_id: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{figure_id}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to results/{figure_id}.txt]")
+
+
+def nanmean(values) -> float:
+    clean = [v for v in values if not math.isnan(v)]
+    return sum(clean) / len(clean) if clean else math.nan
+
+
+@pytest.fixture(scope="session")
+def figure_cache():
+    """Cache figure results across benchmark rounds within a session."""
+    cache: dict = {}
+
+    def get(figure_id: str, fn):
+        if figure_id not in cache:
+            cache[figure_id] = fn()
+        return cache[figure_id]
+
+    return get

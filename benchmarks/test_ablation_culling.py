@@ -1,0 +1,60 @@
+"""Ablation: deadline culling of STRL expression growth (Sec. 3.2.1, 7.3).
+
+"The STRL Generator performs many possible optimizations, such as culling
+the expression growth when the job's estimated runtime is expected to
+exceed its deadline."
+
+Compares generated STRL size and compiled MILP size for a deadline-bound
+job batch with culling on vs off.
+"""
+
+from conftest import save_and_print
+
+from repro.cluster import Cluster, ClusterState
+from repro.core import StrlCompiler
+from repro.experiments import format_table
+from repro.strl import SpaceOption, generate_job_strl
+from repro.valuefn import StepValue
+
+
+def build_exprs(cull: bool):
+    cluster = Cluster.build(racks=2, nodes_per_rack=4, gpu_racks=1)
+    gpu = cluster.nodes_with_attr("gpu")
+    exprs = []
+    for i in range(6):
+        deadline = 60.0 + 10 * i  # staggered, all well inside the window
+        expr = generate_job_strl(
+            [SpaceOption(gpu, k=2, duration_s=20, label="gpu"),
+             SpaceOption(cluster.node_names, k=2, duration_s=30,
+                         label="any")],
+            StepValue(1000.0, deadline), now=0.0, quantum_s=10,
+            plan_ahead_quanta=14, deadline=deadline, cull=cull)
+        exprs.append((f"j{i}", expr))
+    return cluster, exprs
+
+
+def compile_size(cull: bool):
+    cluster, exprs = build_exprs(cull)
+    state = ClusterState(cluster.node_names)
+    compiled = StrlCompiler(state, 10.0).compile(exprs)
+    leaves = sum(e.size for _, e in exprs)
+    return leaves, compiled.stats
+
+
+def test_culling_shrinks_expressions(benchmark):
+    culled_size, culled_stats = benchmark.pedantic(
+        lambda: compile_size(True), rounds=3, iterations=1)
+    full_size, full_stats = compile_size(False)
+
+    rows = [["culled", culled_size, culled_stats["variables"],
+             culled_stats["constraints"]],
+            ["unculled", full_size, full_stats["variables"],
+             full_stats["constraints"]]]
+    text = ("Ablation: deadline culling of STRL/ MILP growth\n"
+            + format_table(["mode", "AST nodes", "variables", "constraints"],
+                           rows))
+    save_and_print("ablation_culling", text)
+
+    assert culled_size < full_size
+    assert culled_stats["variables"] < full_stats["variables"]
+    assert culled_stats["constraints"] < full_stats["constraints"]

@@ -1,0 +1,81 @@
+"""Ablation: dynamic minimal partitioning (TR Appendix A, Sec. 7.3).
+
+The paper's most important MILP-size optimization replaces per-node
+variables with per-partition integer variables.  This bench compiles the
+same heterogeneous batch both ways and compares MILP sizes and solve times;
+schedules (objective values) must be identical.
+"""
+
+import pytest
+from conftest import save_and_print
+
+from repro.cluster import Cluster, ClusterState
+from repro.core import StrlCompiler
+from repro.experiments import format_table
+from repro.solver import make_backend
+from repro.strl import Max, NCk
+
+
+def make_batch(cluster, jobs=8, starts=6):
+    gpu = cluster.nodes_with_attr("gpu")
+    everything = cluster.node_names
+    batch = []
+    for j in range(jobs):
+        leaves = []
+        for s in range(starts):
+            leaves.append(NCk(gpu, 2, s, 2, 4.0))
+            leaves.append(NCk(everything, 2, s, 3, 3.0))
+        batch.append((f"job{j}", Max(*leaves)))
+    return batch
+
+
+@pytest.fixture(scope="module")
+def setting():
+    cluster = Cluster.build(racks=4, nodes_per_rack=8, gpu_racks=2)
+    state = ClusterState(cluster.node_names)
+    return cluster, state
+
+
+def compile_and_solve(state, minimal):
+    compiler = StrlCompiler(state, quantum_s=10,
+                            minimal_partitioning=minimal)
+    compiled = compiler.compile(make_batch_cached)
+    res = make_backend("auto").solve(compiled.model)
+    return compiled, res
+
+
+make_batch_cached = None
+
+
+def test_partitioning_shrinks_milp(benchmark, setting):
+    global make_batch_cached
+    cluster, state = setting
+    make_batch_cached = make_batch(cluster)
+
+    compiled_min, res_min = compile_and_solve(state, minimal=True)
+
+    def run_minimal():
+        return compile_and_solve(state, minimal=True)
+
+    benchmark.pedantic(run_minimal, rounds=3, iterations=1)
+    compiled_naive, res_naive = compile_and_solve(state, minimal=False)
+
+    rows = [
+        ["minimal", compiled_min.stats["variables"],
+         compiled_min.stats["constraints"],
+         compiled_min.partitioning.num_partitions],
+        ["per-node", compiled_naive.stats["variables"],
+         compiled_naive.stats["constraints"],
+         compiled_naive.partitioning.num_partitions],
+    ]
+    text = ("Ablation: dynamic minimal partitioning (same batch, both "
+            "formulations)\n"
+            + format_table(["partitioning", "variables", "constraints",
+                            "partitions"], rows))
+    save_and_print("ablation_partitions", text)
+
+    # The optimization must shrink the MILP dramatically...
+    assert compiled_min.stats["variables"] * 4 < compiled_naive.stats["variables"]
+    assert compiled_min.partitioning.num_partitions < 4
+    # ...without changing the schedule quality.
+    assert res_min.objective == pytest.approx(res_naive.objective, rel=1e-6)

@@ -1,0 +1,61 @@
+"""Extension benchmark: an EDF baseline decomposes TetriSched's advantage.
+
+EDF is deadline-aware but heterogeneity-blind and myopic.  Comparing the
+three stacks on the heterogeneous workload isolates where the value comes
+from:
+
+* EDF >> Rayon/CS         — most of CS's losses come from deadline
+                             blindness in its best-effort queue;
+* TetriSched vs EDF       — the remaining gap is soft constraints +
+                             plan-ahead + global packing, visible mainly in
+                             best-effort latency and preferred placements.
+"""
+
+from conftest import nanmean, save_and_print
+
+from repro.experiments import RC80_SCALED, RunSpec, format_table, run_experiment
+from repro.workloads import GS_HET
+
+ERRORS = [-50, 0, 50]
+
+
+def run_all():
+    out = {}
+    for sched in ("Rayon/CS", "EDF", "TetriSched"):
+        for err in ERRORS:
+            spec = RunSpec(scheduler=sched, composition=GS_HET,
+                           cluster=RC80_SCALED, num_jobs=48,
+                           target_utilization=1.3,
+                           estimate_error=err / 100.0)
+            out[(sched, err)] = run_experiment(spec)
+    return out
+
+
+def test_edf_decomposition(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for sched in ("Rayon/CS", "EDF", "TetriSched"):
+        for err in ERRORS:
+            m = results[(sched, err)].metrics
+            rows.append([sched, err, m.slo_total_pct, m.mean_be_latency_s,
+                         m.preferred_placements_pct])
+    text = ("Extension: EDF baseline decomposition (GS HET, scaled RC80)\n"
+            + format_table(["scheduler", "error %", "SLO total %",
+                            "BE latency (s)", "preferred placement %"],
+                           rows))
+    save_and_print("ext_edf", text)
+
+    def series(sched, metric):
+        return [getattr(results[(sched, e)].metrics, metric) for e in ERRORS]
+
+    # Deadline awareness buys EDF a large win over Rayon/CS.
+    assert nanmean(series("EDF", "slo_total_pct")) > \
+        nanmean(series("Rayon/CS", "slo_total_pct")) + 10
+    # Heterogeneity awareness: TetriSched places far more jobs on their
+    # preferred resources than the placement-blind EDF.
+    assert nanmean(series("TetriSched", "preferred_placements_pct")) > \
+        nanmean(series("EDF", "preferred_placements_pct")) + 15
+    # ...which shows up as lower best-effort latency.
+    assert nanmean(series("TetriSched", "mean_be_latency_s")) < \
+        nanmean(series("EDF", "mean_be_latency_s"))

@@ -1,0 +1,63 @@
+"""Extension benchmark: MILP-native preemption (paper future work, Sec. 7.2).
+
+The paper attributes part of Rayon/CS's robustness for accepted SLO jobs to
+preemption, and lists preemption in a TetriSched-like scheduler as future
+work.  Our extension adds kill-decisions to the cycle MILP.  This bench runs
+an adversarial scenario — long best-effort jobs flood the cluster just
+before urgent SLO jobs arrive — and asserts preemption rescues the SLOs
+without starving best-effort work.
+"""
+
+from conftest import save_and_print
+
+from repro.cluster import Cluster
+from repro.core import TetriSchedConfig
+from repro.experiments import format_table
+from repro.sim import Job, Simulation, TetriSchedAdapter, UnconstrainedType
+
+UN = UnconstrainedType()
+
+
+def adversarial_workload():
+    jobs = []
+    # Wave 1: best-effort jobs that grab the whole cluster for a long time.
+    # They all arrive before the first cycle, so the scheduler launches
+    # them with no SLO pressure in sight.
+    for i in range(4):
+        jobs.append(Job(f"be{i}", UN, k=4, base_runtime_s=120,
+                        submit_time=0.0))
+    # Wave 2: urgent SLO jobs with deadlines inside the BE occupancy.
+    for i in range(4):
+        t = 10.0 + 10 * i
+        jobs.append(Job(f"slo{i}", UN, k=4, base_runtime_s=15,
+                        submit_time=t, deadline=t + 40.0))
+    return jobs
+
+
+def run(enable_preemption: bool):
+    cluster = Cluster.build(racks=2, nodes_per_rack=8)
+    adapter = TetriSchedAdapter(cluster, TetriSchedConfig(
+        quantum_s=10, cycle_s=10, plan_ahead_s=60,
+        enable_preemption=enable_preemption))
+    return Simulation(cluster, adapter, adversarial_workload()).run()
+
+
+def test_preemption_rescues_urgent_slos(benchmark):
+    with_p = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    without_p = run(False)
+
+    rows = []
+    for label, r in (("preemption on", with_p), ("preemption off", without_p)):
+        m = r.metrics
+        rows.append([label, m.slo_total_pct, m.mean_be_latency_s,
+                     m.preemptions, m.be_completed])
+    text = ("Extension: MILP-native preemption under a best-effort flood\n"
+            + format_table(["config", "SLO total %", "BE latency (s)",
+                            "preemptions", "BE completed"], rows))
+    save_and_print("ext_preemption", text)
+
+    # Preemption must rescue SLOs that are otherwise lost...
+    assert with_p.metrics.slo_total_pct > without_p.metrics.slo_total_pct
+    assert with_p.metrics.preemptions > 0
+    # ...without starving best-effort work (all BE jobs still finish).
+    assert with_p.metrics.be_completed == 4

@@ -1,0 +1,55 @@
+"""Extension benchmark: heterogeneity-intensity (slowdown) sweep.
+
+The companion TR sweeps the sub-optimal-placement slowdown factor.  At
+slowdown 1.0 the cluster is effectively homogeneous and soft-constraint
+awareness cannot help; as the penalty for bad placement grows, the gap
+between TetriSched and TetriSched-NH must widen — this is the cleanest
+possible demonstration that the Fig. 9 benefit really is heterogeneity
+awareness and not a side effect.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import RC80_SCALED, RunSpec, format_table, run_experiment
+from repro.workloads import GS_HET
+
+SLOWDOWNS = [1.0, 1.5, 2.0, 3.0]
+
+
+def run_all():
+    out = {}
+    for sched in ("TetriSched", "TetriSched-NH"):
+        for sd in SLOWDOWNS:
+            out[(sched, sd)] = run_experiment(RunSpec(
+                scheduler=sched, composition=GS_HET, cluster=RC80_SCALED,
+                num_jobs=48, target_utilization=1.3, slowdown=sd))
+    return out
+
+
+def test_slowdown_sweep(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for sched in ("TetriSched", "TetriSched-NH"):
+        row = [sched]
+        for sd in SLOWDOWNS:
+            row.append(results[(sched, sd)].metrics.slo_total_pct)
+        rows.append(row)
+    text = ("Extension: SLO attainment vs heterogeneity slowdown "
+            "(GS HET, scaled RC80)\n"
+            + format_table(["scheduler"] + [f"x{s}" for s in SLOWDOWNS],
+                           rows))
+    save_and_print("ext_slowdown", text)
+
+    gaps = [results[("TetriSched", sd)].metrics.slo_total_pct
+            - results[("TetriSched-NH", sd)].metrics.slo_total_pct
+            for sd in SLOWDOWNS]
+    # Homogeneous cluster: soft constraints are worthless (gap ~0).
+    assert abs(gaps[0]) <= 6.0
+    # The gap grows with heterogeneity intensity and ends up large.
+    assert gaps[-1] > gaps[0] + 20.0
+    assert gaps[-1] >= max(gaps) - 1e-9
+    # TetriSched itself stays robust across the sweep.
+    ts = [results[("TetriSched", sd)].metrics.slo_total_pct
+          for sd in SLOWDOWNS]
+    assert min(ts) >= 90.0

@@ -1,0 +1,31 @@
+"""Fig. 7: SLO-only production-derived workload (GR SLO, scaled RC256).
+
+Paper shapes asserted:
+
+* Rayon/TetriSched achieves higher overall SLO attainment than Rayon/CS
+  across the +/-20 % estimate-error range;
+* accepted-SLO attainment stays ~100 % for TetriSched (paper: "maintaining
+  ~100% SLO attainment for accepted SLO jobs").
+"""
+
+from conftest import nanmean, save_and_print
+
+from repro.experiments import fig7
+
+TOL = 6.0
+
+
+def test_fig7(benchmark, figure_cache):
+    result = benchmark.pedantic(
+        lambda: figure_cache("fig7", fig7), rounds=1, iterations=1)
+    save_and_print("fig7", result.text)
+    sweep = result.sweep
+
+    ts_total = sweep.get("TetriSched", "slo_total_pct")
+    cs_total = sweep.get("Rayon/CS", "slo_total_pct")
+    for x, ts, cs in zip(sweep.x_values, ts_total, cs_total):
+        assert ts >= cs - TOL, f"TetriSched below CS at err={x}%"
+    assert nanmean(ts_total) > nanmean(cs_total)
+
+    ts_accepted = sweep.get("TetriSched", "slo_accepted_pct")
+    assert min(ts_accepted) >= 90.0

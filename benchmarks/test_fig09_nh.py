@@ -1,0 +1,37 @@
+"""Fig. 9: soft-constraint awareness ablation on GS HET (scaled RC80).
+
+Paper shapes asserted:
+
+* the gap between TetriSched and TetriSched-NH is the soft-constraint
+  benefit: TetriSched wins on mean SLO attainment;
+* both TetriSched variants beat Rayon/CS on attainment on average, and
+  TetriSched's BE latency is the lowest.
+"""
+
+from conftest import nanmean, save_and_print
+
+from repro.experiments import fig9
+
+TOL = 6.0
+
+
+def test_fig9(benchmark, figure_cache):
+    result = benchmark.pedantic(
+        lambda: figure_cache("fig9", fig9), rounds=1, iterations=1)
+    save_and_print("fig9", result.text)
+    sweep = result.sweep
+
+    ts = sweep.get("TetriSched", "slo_total_pct")
+    nh = sweep.get("TetriSched-NH", "slo_total_pct")
+    cs = sweep.get("Rayon/CS", "slo_total_pct")
+
+    # Soft constraints pay off on average across the error sweep.
+    assert nanmean(ts) > nanmean(nh), "no soft-constraint benefit"
+    # Full TetriSched comfortably beats Rayon/CS.
+    assert nanmean(ts) > nanmean(cs) + 10.0
+
+    ts_lat = sweep.get("TetriSched", "mean_be_latency_s")
+    nh_lat = sweep.get("TetriSched-NH", "mean_be_latency_s")
+    cs_lat = sweep.get("Rayon/CS", "mean_be_latency_s")
+    assert nanmean(ts_lat) < nanmean(cs_lat)
+    assert nanmean(ts_lat) <= nanmean(nh_lat) + 5.0

@@ -1,0 +1,38 @@
+"""Fig. 10: global-scheduling ablation on GS HET (scaled RC80).
+
+Paper shapes asserted:
+
+* global scheduling beats greedy one-at-a-time on mean SLO attainment
+  (the paper reports gaps up to 36 %, largest under over-estimation);
+* even TetriSched-NG outperforms Rayon/CS in both SLO attainment and BE
+  latency ("greedy policies using TetriSched's other features are viable").
+"""
+
+from conftest import nanmean, save_and_print
+
+from repro.experiments import fig10
+
+TOL = 6.0
+
+
+def test_fig10(benchmark, figure_cache):
+    result = benchmark.pedantic(
+        lambda: figure_cache("fig10", fig10), rounds=1, iterations=1)
+    save_and_print("fig10", result.text)
+    sweep = result.sweep
+
+    ts = sweep.get("TetriSched", "slo_total_pct")
+    ng = sweep.get("TetriSched-NG", "slo_total_pct")
+    cs = sweep.get("Rayon/CS", "slo_total_pct")
+
+    assert nanmean(ts) >= nanmean(ng) - 1.0, "global scheduling should win"
+    # Over-estimation half of the sweep shows the clearest global benefit.
+    over = [v for x, v in zip(sweep.x_values, ts) if x >= 0]
+    over_ng = [v for x, v in zip(sweep.x_values, ng) if x >= 0]
+    assert nanmean(over) >= nanmean(over_ng)
+
+    # Even greedy TetriSched beats Rayon/CS on both metrics.
+    assert nanmean(ng) > nanmean(cs)
+    ng_lat = sweep.get("TetriSched-NG", "mean_be_latency_s")
+    cs_lat = sweep.get("Rayon/CS", "mean_be_latency_s")
+    assert nanmean(ng_lat) < nanmean(cs_lat)

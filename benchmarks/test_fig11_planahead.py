@@ -1,0 +1,35 @@
+"""Fig. 11: plan-ahead sweep on GS HET (scaled RC80).
+
+Paper shapes asserted:
+
+* with plan-ahead disabled (0 s, i.e. TetriSched-NP / alsched), global
+  TetriSched performs no better than it does with a generous window —
+  attainment grows with plan-ahead and then saturates (paper: until ~100 s);
+* TetriSched with plan-ahead beats Rayon/CS at every window size.
+"""
+
+from conftest import nanmean, save_and_print
+
+from repro.experiments import fig11
+
+TOL = 6.0
+
+
+def test_fig11(benchmark, figure_cache):
+    result = benchmark.pedantic(
+        lambda: figure_cache("fig11", fig11), rounds=1, iterations=1)
+    save_and_print("fig11", result.text)
+    sweep = result.sweep
+
+    ts = sweep.get("TetriSched", "slo_total_pct")
+    cs = sweep.get("Rayon/CS", "slo_total_pct")
+
+    # Attainment with a saturated window beats no plan-ahead.
+    best_window = max(ts[1:])
+    assert best_window >= ts[0], "plan-ahead should not hurt attainment"
+    # Saturation: the last two windows perform comparably.
+    assert abs(ts[-1] - ts[-2]) <= 2 * TOL
+
+    # TetriSched beats Rayon/CS at every plan-ahead point.
+    for x, t, c in zip(sweep.x_values, ts, cs):
+        assert t >= c - TOL, f"TetriSched below CS at plan-ahead={x}s"

@@ -1,0 +1,46 @@
+"""Full-size RC256 run: the paper's actual 256-node topology, end to end.
+
+The sweep benchmarks use scaled testbeds for speed; this bench runs one
+complete GR MIX experiment on the real RC256 shape (8 racks x 32 nodes =
+256 slaves, Sec. 6.1) under -50 % estimate error — the paper's hardest
+regime — and asserts the headline result survives at full size:
+TetriSched meets (almost) all accepted SLOs and stays within the paper's
+4 s cycle budget.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import ClusterSpec, RunSpec, format_table, run_experiment
+from repro.workloads import GR_MIX
+
+RC256_FULL = ClusterSpec(racks=8, nodes_per_rack=32)
+
+
+def run(scheduler: str):
+    return run_experiment(RunSpec(
+        scheduler=scheduler, composition=GR_MIX, cluster=RC256_FULL,
+        num_jobs=96, target_utilization=1.3, estimate_error=-0.5))
+
+
+def test_full_rc256(benchmark):
+    ts = benchmark.pedantic(lambda: run("TetriSched"), rounds=1,
+                            iterations=1)
+    cs = run("Rayon/CS")
+
+    rows = []
+    for r in (ts, cs):
+        m = r.metrics
+        lat = r.latency.summary()
+        rows.append([r.scheduler_name, m.slo_total_pct,
+                     m.slo_accepted_pct, m.mean_be_latency_s,
+                     1000 * lat["cycle_mean"] if lat["cycle_mean"] == lat[
+                         "cycle_mean"] else 0.0])
+    text = ("Full-size RC256 (8x32 = 256 nodes), GR MIX, -50% estimates\n"
+            + format_table(["stack", "SLO total %", "accepted %",
+                            "BE latency (s)", "mean cycle (ms)"], rows))
+    save_and_print("full_rc256", text)
+
+    assert ts.metrics.slo_accepted_pct >= 95.0
+    assert ts.metrics.slo_total_pct >= cs.metrics.slo_total_pct
+    # Paper budget: decisions each 4 s cycle; we must stay well inside.
+    assert ts.latency.summary()["cycle_mean"] < 4.0

@@ -1,0 +1,18 @@
+"""Table 1: workload compositions used in the results section."""
+
+from conftest import save_and_print
+
+from repro.experiments import table1
+from repro.workloads import TABLE1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    save_and_print("table1", result.text)
+    rows = {c.name: c.table_row() for c in TABLE1}
+    # Exact paper values (Table 1).
+    assert (rows["GR SLO"]["SLO"], rows["GR SLO"]["BE"]) == (100, 0)
+    assert (rows["GR MIX"]["SLO"], rows["GR MIX"]["BE"]) == (52, 48)
+    assert (rows["GS MIX"]["SLO"], rows["GS MIX"]["BE"]) == (70, 30)
+    assert (rows["GS HET"]["SLO"], rows["GS HET"]["BE"]) == (75, 25)
+    assert (rows["GS HET"]["GPU"], rows["GS HET"]["MPI"]) == (50, 50)

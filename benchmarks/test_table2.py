@@ -1,0 +1,20 @@
+"""Table 2: TetriSched configurations with individual features disabled."""
+
+from conftest import save_and_print
+
+from repro.baselines import TABLE2_CONFIGS
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    save_and_print("table2", result.text)
+    full = TABLE2_CONFIGS["TetriSched"]()
+    nh = TABLE2_CONFIGS["TetriSched-NH"]()
+    ng = TABLE2_CONFIGS["TetriSched-NG"]()
+    np_ = TABLE2_CONFIGS["TetriSched-NP"]()
+    assert full.heterogeneity_aware and full.global_scheduling
+    assert full.plan_ahead_s > 0
+    assert not nh.heterogeneity_aware and nh.global_scheduling
+    assert not ng.global_scheduling and ng.heterogeneity_aware
+    assert np_.plan_ahead_s == 0 and np_.heterogeneity_aware

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Adaptive re-planning under runtime mis-estimation (Sec. 2.3.3, 7.1).
+
+The same two-job scenario runs three times on a 4-node cluster with the
+first job's runtime estimate at -50 %, exact, and +100 %.  The punchline is
+that all three Gantt charts are *identical*: because TetriSched re-plans
+every cycle from the latest observed state, the successor starts exactly
+when the mis-estimated job truly finishes —
+
+* under-estimation cannot double-book its nodes (the overdue job keeps
+  occupying them one quantum at a time in the scheduler's view), and
+* over-estimation cannot strand capacity (the completion event frees the
+  nodes and the next cycle launches the successor immediately, instead of
+  waiting for the believed 80 s finish a static plan would enforce).
+
+A static reservation-shaped plan would diverge in both directions; adaptive
+re-planning makes the outcome insensitive to the estimate.
+
+Run:  python examples/adaptive_replanning.py
+"""
+
+from repro import Cluster, TetriSchedConfig
+from repro.sim import (ExecutionTrace, Job, Simulation, TetriSchedAdapter,
+                       UnconstrainedType)
+
+UN = UnconstrainedType()
+
+
+def scenario(title: str, estimate_error: float) -> None:
+    cluster = Cluster.build(racks=1, nodes_per_rack=4)
+    adapter = TetriSchedAdapter(cluster, TetriSchedConfig(
+        quantum_s=10, cycle_s=10, plan_ahead_s=80))
+    trace = ExecutionTrace()
+    jobs = [
+        Job("mis", UN, k=4, base_runtime_s=40, submit_time=0.0,
+            deadline=300.0, estimate_error=estimate_error),
+        Job("next", UN, k=4, base_runtime_s=20, submit_time=5.0,
+            deadline=300.0),
+    ]
+    result = Simulation(cluster, adapter, jobs, trace=trace).run()
+    believed = 40 * (1 + estimate_error)
+    print(f"{title}")
+    print(f"  job 'mis': believed {believed:.0f}s, actually 40s")
+    for job_id in ("mis", "next"):
+        o = result.outcomes[job_id]
+        print(f"  {job_id:<5s} start={o.start_time:>5.0f}s "
+              f"finish={o.finish_time:>5.0f}s")
+    print(trace.gantt(sorted(cluster.node_names), quantum_s=10.0))
+    print()
+
+
+def main() -> None:
+    scenario("Under-estimation (-50%)", estimate_error=-0.5)
+    scenario("Accurate estimates (baseline)", estimate_error=0.0)
+    scenario("Over-estimation (+100%)", estimate_error=1.0)
+    print("All three schedules are identical: adaptive re-planning makes "
+          "the outcome\ninsensitive to the runtime estimate.")
+
+
+if __name__ == "__main__":
+    main()

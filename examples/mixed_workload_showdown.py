@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Full-system showdown: Rayon/TetriSched vs Rayon/CapacityScheduler.
+
+Simulates the paper's GR MIX workload (52 % SLO jobs from the Facebook
+trace-derived class, 48 % best-effort from the Yahoo class; Table 1) on a
+scaled RC256 testbed with runtime estimates that are 50 % *under*-estimated
+— the regime where the paper shows the biggest TetriSched advantage
+(Sec. 7.1): Rayon/CS demotes overrunning SLO jobs to the best-effort queue
+and churns on preemption, while TetriSched simply re-plans every cycle.
+
+Run:  python examples/mixed_workload_showdown.py
+"""
+
+from repro import RayonReservationSystem, Simulation, TetriSchedAdapter
+from repro.baselines import CapacityScheduler
+from repro.core import TetriSchedConfig
+from repro.experiments import RC256_SCALED
+from repro.workloads import GR_MIX, GridmixConfig, generate_workload
+
+
+def simulate(scheduler_name: str, estimate_error: float):
+    cluster = RC256_SCALED.build()
+    workload = generate_workload(GR_MIX, cluster, GridmixConfig(
+        num_jobs=48, target_utilization=1.3, estimate_error=estimate_error,
+        seed=0))
+    rayon = RayonReservationSystem(capacity=len(cluster), step_s=10.0)
+    if scheduler_name == "TetriSched":
+        scheduler = TetriSchedAdapter(cluster, TetriSchedConfig(
+            quantum_s=10, cycle_s=10, plan_ahead_s=96, backend="auto"))
+    else:
+        scheduler = CapacityScheduler(cluster, rayon, cycle_s=10.0)
+    return Simulation(cluster, scheduler, workload, rayon=rayon).run()
+
+
+def main() -> None:
+    error = -0.5
+    print(f"GR MIX on scaled RC256 (64 nodes), estimate error "
+          f"{error:+.0%}, load ~130% of capacity\n")
+    header = (f"{'stack':<16s} {'SLO total':>10s} {'accepted':>9s} "
+              f"{'BE latency':>11s} {'preemptions':>12s}")
+    print(header)
+    print("-" * len(header))
+    for name in ("TetriSched", "Rayon/CS"):
+        r = simulate(name, error)
+        m = r.metrics
+        print(f"{name:<16s} {m.slo_total_pct:>9.1f}% "
+              f"{m.slo_accepted_pct:>8.1f}% "
+              f"{m.mean_be_latency_s:>10.1f}s {m.preemptions:>12d}")
+    print("\nTetriSched meets more deadlines with lower best-effort latency "
+          "and zero preemption —\nadaptive re-planning absorbs the bad "
+          "estimates that send Rayon/CS into preemption churn.")
+
+
+if __name__ == "__main__":
+    main()

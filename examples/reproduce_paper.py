@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the complete reproduction harness (Tables 1-2, Figures 6-12) at bench
+scale and writes the rendered tables to ``results/``.  Pass ``--full`` for
+larger workloads and seed averaging (slower), or a list of experiment ids
+to run a subset.
+
+Run:  python examples/reproduce_paper.py [--full] [fig6 fig9 ...]
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import ALL_FIGURES
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", default=[],
+                        help="experiment ids (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="larger workloads + seed averaging")
+    args = parser.parse_args(argv)
+
+    ids = args.ids or list(ALL_FIGURES)
+    unknown = [i for i in ids if i not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}; "
+                     f"choose from {sorted(ALL_FIGURES)}")
+
+    RESULTS.mkdir(exist_ok=True)
+    scale = "full" if args.full else "bench"
+    for figure_id in ids:
+        fn = ALL_FIGURES[figure_id]
+        t0 = time.monotonic()
+        # Tables take no scale argument.
+        result = fn(scale) if figure_id.startswith("fig") else fn()
+        elapsed = time.monotonic() - t0
+        out = RESULTS / f"{figure_id}.txt"
+        out.write_text(result.text + "\n")
+        print(result.text)
+        print(f"[{figure_id}: {elapsed:.1f}s -> {out}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

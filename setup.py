@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Thin shim so `pip install -e .` works offline without the wheel package
+# (legacy editable install path). All metadata lives in pyproject.toml.
+setup()

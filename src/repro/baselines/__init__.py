@@ -1,0 +1,12 @@
+"""Baseline schedulers and ablation variants."""
+
+from repro.baselines.capacity_scheduler import CapacityScheduler
+from repro.baselines.edf import EdfScheduler
+from repro.baselines.variants import (TABLE2_CONFIGS, tetrisched_config,
+                                      tetrisched_ng_config,
+                                      tetrisched_nh_config,
+                                      tetrisched_np_config)
+
+__all__ = ["CapacityScheduler", "EdfScheduler", "TABLE2_CONFIGS", "tetrisched_config",
+           "tetrisched_ng_config", "tetrisched_nh_config",
+           "tetrisched_np_config"]

@@ -1,0 +1,52 @@
+"""TetriSched feature-ablation configurations (Table 2).
+
+==================  ==========================================================
+TetriSched          all features
+TetriSched-NH       no heterogeneity (soft-constraint) awareness
+TetriSched-NG       no global scheduling (greedy, one job at a time)
+TetriSched-NP       no plan-ahead (equivalent to alsched [33])
+==================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.scheduler import TetriSchedConfig
+
+
+def tetrisched_config(**overrides) -> TetriSchedConfig:
+    """Full-featured TetriSched configuration."""
+    return TetriSchedConfig(**overrides)
+
+
+def tetrisched_nh_config(**overrides) -> TetriSchedConfig:
+    """TetriSched with No Heterogeneity awareness (Table 2).
+
+    STRL expressions draw k containers from a single equivalence set (the
+    whole cluster) using the conservative slowed-down runtime estimate.
+    """
+    return replace(TetriSchedConfig(**overrides), heterogeneity_aware=False)
+
+
+def tetrisched_ng_config(**overrides) -> TetriSchedConfig:
+    """TetriSched with No Global scheduling (Table 2).
+
+    Full MILP formulation, but the solver sees one job at a time, drawn from
+    three priority-ordered FIFO queues (Sec. 6.3).
+    """
+    return replace(TetriSchedConfig(**overrides), global_scheduling=False)
+
+
+def tetrisched_np_config(**overrides) -> TetriSchedConfig:
+    """TetriSched with No Plan-ahead (Table 2) — emulates alsched [33]."""
+    return replace(TetriSchedConfig(**overrides), plan_ahead_s=0.0)
+
+
+#: Table 2, as (name -> config factory).
+TABLE2_CONFIGS = {
+    "TetriSched": tetrisched_config,
+    "TetriSched-NH": tetrisched_nh_config,
+    "TetriSched-NG": tetrisched_ng_config,
+    "TetriSched-NP": tetrisched_np_config,
+}

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``
+    Regenerate paper tables/figures (all or a subset) into ``results/``.
+``run``
+    Run one experiment (scheduler x workload x parameters) and print the
+    paper's four metrics; optionally dump an execution trace.
+``workload``
+    Generate a workload and save it as JSON for auditing or replay.
+``solve``
+    Parse an STRL expression file, compile it against a synthetic cluster
+    (Algorithm 1), solve the MILP, and print the chosen placements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.state import ClusterState
+from repro.core.compiler import StrlCompiler
+from repro.errors import ReproError
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.runner import (SCHEDULER_NAMES, ClusterSpec, RunSpec,
+                                      run_experiment)
+from repro.sim.trace import ExecutionTrace
+from repro.solver.backend import make_backend
+from repro.strl.parser import parse as parse_strl
+from repro.workloads.compositions import COMPOSITIONS
+from repro.workloads.gridmix import GridmixConfig, generate_workload
+from repro.workloads.serialization import save_workload_file
+
+
+def _cluster_spec(text: str) -> ClusterSpec:
+    """Parse ``racks x nodes[, gpu_racks]`` e.g. ``8x8`` or ``4x8:2``."""
+    gpu = 0
+    if ":" in text:
+        text, gpu_text = text.split(":", 1)
+        gpu = int(gpu_text)
+    try:
+        racks, per = (int(p) for p in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected RACKSxNODES[:GPU_RACKS], got {text!r}") from None
+    return ClusterSpec(racks=racks, nodes_per_rack=per, gpu_racks=gpu)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TetriSched (EuroSys'16) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
+    p_fig.add_argument("ids", nargs="*", default=[],
+                       help=f"subset of {sorted(ALL_FIGURES)} (default all)")
+    p_fig.add_argument("--full", action="store_true",
+                       help="larger workloads + seed averaging")
+    p_fig.add_argument("--out", default="results", help="output directory")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("--scheduler", default="TetriSched",
+                       choices=SCHEDULER_NAMES)
+    p_run.add_argument("--workload", default="GR MIX",
+                       choices=sorted(COMPOSITIONS))
+    p_run.add_argument("--cluster", type=_cluster_spec, default="8x8",
+                       help="RACKSxNODES[:GPU_RACKS], e.g. 4x8:2")
+    p_run.add_argument("--jobs", type=int, default=48)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--error", type=float, default=0.0,
+                       help="estimate error fraction, e.g. -0.5")
+    p_run.add_argument("--util", type=float, default=1.3,
+                       help="target offered load (fraction of capacity)")
+    p_run.add_argument("--plan-ahead", type=float, default=96.0)
+    p_run.add_argument("--quantum", type=float, default=10.0)
+    p_run.add_argument("--backend", default="auto")
+    p_run.add_argument("--trace", default=None,
+                       help="write a JSONL execution trace here")
+
+    p_wl = sub.add_parser("workload", help="generate + save a workload")
+    p_wl.add_argument("--composition", default="GR MIX",
+                      choices=sorted(COMPOSITIONS))
+    p_wl.add_argument("--cluster", type=_cluster_spec, default="8x8")
+    p_wl.add_argument("--jobs", type=int, default=48)
+    p_wl.add_argument("--seed", type=int, default=0)
+    p_wl.add_argument("--error", type=float, default=0.0)
+    p_wl.add_argument("--util", type=float, default=1.3)
+    p_wl.add_argument("--out", required=True, help="output JSON path")
+
+    p_solve = sub.add_parser("solve", help="compile+solve one STRL file")
+    p_solve.add_argument("file", help="path to an STRL s-expression file")
+    p_solve.add_argument("--cluster", type=_cluster_spec, default="2x2:1")
+    p_solve.add_argument("--quantum", type=float, default=10.0)
+    p_solve.add_argument("--backend", default="auto")
+    return parser
+
+
+# -- command implementations ---------------------------------------------------
+
+def _cmd_figures(args) -> int:
+    ids = args.ids or list(ALL_FIGURES)
+    unknown = [i for i in ids if i not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown ids: {unknown}", file=sys.stderr)
+        return 2
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    scale = "full" if args.full else "bench"
+    for figure_id in ids:
+        fn = ALL_FIGURES[figure_id]
+        t0 = time.monotonic()
+        result = fn(scale) if figure_id.startswith("fig") else fn()
+        (out_dir / f"{figure_id}.txt").write_text(result.text + "\n")
+        print(result.text)
+        print(f"[{figure_id}: {time.monotonic() - t0:.1f}s]\n")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = RunSpec(scheduler=args.scheduler,
+                   composition=COMPOSITIONS[args.workload],
+                   cluster=args.cluster, num_jobs=args.jobs, seed=args.seed,
+                   estimate_error=args.error, target_utilization=args.util,
+                   plan_ahead_s=args.plan_ahead, quantum_s=args.quantum,
+                   cycle_s=args.quantum, backend=args.backend)
+    if args.trace:
+        # Re-run the pipeline by hand so we can attach a trace.
+        from repro.experiments.runner import build_scheduler
+        from repro.reservation.rayon import RayonReservationSystem
+        from repro.sim.engine import Simulation
+        cluster = spec.cluster.build()
+        workload = generate_workload(spec.composition, cluster, GridmixConfig(
+            num_jobs=spec.num_jobs, target_utilization=spec.target_utilization,
+            estimate_error=spec.estimate_error, seed=spec.seed))
+        rayon = RayonReservationSystem(len(cluster), step_s=spec.cycle_s)
+        scheduler = build_scheduler(spec, cluster, rayon)
+        trace = ExecutionTrace()
+        result = Simulation(cluster, scheduler, workload, rayon=rayon,
+                            trace=trace).run()
+        pathlib.Path(args.trace).write_text(trace.to_jsonl() + "\n")
+        print(f"[trace -> {args.trace}]")
+        samples = trace.utilization_timeline(len(cluster),
+                                             step_s=spec.cycle_s)
+        if samples:
+            from repro.experiments.ascii_chart import render_series
+            xs = [t for t, _ in samples]
+            ys = [100.0 * u for _, u in samples]
+            print(render_series(
+                xs, {"utilization": ys},
+                title=f"Cluster utilization (mean "
+                      f"{100 * trace.mean_utilization(len(cluster)):.0f}%)",
+                y_label="busy nodes (%)"))
+    else:
+        result = run_experiment(spec)
+    print(result)
+    m = result.metrics
+    print(f"  jobs: {m.jobs_total} total, {m.jobs_slo} SLO "
+          f"({m.jobs_accepted} accepted), {m.jobs_best_effort} best-effort")
+    print(f"  preferred placements: {m.preferred_placements_pct:.1f}%")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    cluster = args.cluster.build()
+    jobs = generate_workload(COMPOSITIONS[args.composition], cluster,
+                             GridmixConfig(num_jobs=args.jobs, seed=args.seed,
+                                           estimate_error=args.error,
+                                           target_utilization=args.util))
+    save_workload_file(jobs, args.out)
+    slo = sum(1 for j in jobs if j.is_slo)
+    print(f"wrote {len(jobs)} jobs ({slo} SLO) to {args.out}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    text = pathlib.Path(args.file).read_text()
+    expr = parse_strl(text)
+    cluster = args.cluster.build()
+    missing = expr.referenced_nodes() - cluster.node_names
+    if missing:
+        print(f"expression references unknown nodes: {sorted(missing)[:5]} "
+              f"(cluster has {sorted(cluster.node_names)[:5]}...)",
+              file=sys.stderr)
+        return 2
+    state = ClusterState(cluster.node_names)
+    compiled = StrlCompiler(state, quantum_s=args.quantum).compile(
+        [("request", expr)])
+    res = make_backend(args.backend).solve(compiled.model)
+    print(f"MILP: {compiled.stats}")
+    print(f"status: {res.status.value}, objective: {res.objective:.3f}, "
+          f"nodes: {res.nodes}, time: {res.solve_time * 1000:.1f}ms")
+    if res.status.has_solution:
+        for pl in compiled.decode(res.x):
+            nodes = []
+            for pid, count in sorted(pl.node_counts.items()):
+                members = sorted(compiled.partitioning.partitions[pid].nodes)
+                nodes.append(f"{count} of {members}")
+            print(f"  placement: start={pl.start}q dur={pl.duration}q "
+                  f"value={pl.value:g} -> {'; '.join(nodes)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "figures":
+            return _cmd_figures(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "workload":
+            return _cmd_workload(args)
+        if args.command == "solve":
+            return _cmd_solve(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

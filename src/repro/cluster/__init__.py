@@ -1,0 +1,9 @@
+"""Cluster model: nodes, racks, attributes, partitions, availability."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.cluster.partitions import Partition, Partitioning
+from repro.cluster.state import ClusterState, RunningAllocation
+
+__all__ = ["Cluster", "ClusterState", "Node", "Partition", "Partitioning",
+           "RunningAllocation"]

@@ -1,0 +1,118 @@
+"""The cluster: an immutable collection of nodes with rack/attribute queries.
+
+Mirrors the paper's testbeds: RC256 is 256 slaves in 8 equal racks; RC80 is a
+similarly configured 80-node subset (Sec. 6.1).  For heterogeneous workloads
+(GS HET) a fraction of racks is GPU-enabled, as in Fig. 1's toy example where
+rack 1 has GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.cluster.node import Node
+from repro.errors import ClusterError
+
+
+class Cluster:
+    """An indexed, immutable set of :class:`Node`.
+
+    Example
+    -------
+    >>> c = Cluster.build(racks=2, nodes_per_rack=2, gpu_racks=1)
+    >>> sorted(c.rack_names)
+    ['r0', 'r1']
+    >>> len(c.nodes_with_attr("gpu"))
+    2
+    """
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self._nodes: dict[str, Node] = {}
+        self._racks: dict[str, list[str]] = {}
+        for node in nodes:
+            if node.name in self._nodes:
+                raise ClusterError(f"duplicate node name {node.name!r}")
+            self._nodes[node.name] = node
+            self._racks.setdefault(node.rack, []).append(node.name)
+        if not self._nodes:
+            raise ClusterError("cluster must contain at least one node")
+        self._all_names = frozenset(self._nodes)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def build(cls, racks: int, nodes_per_rack: int, gpu_racks: int = 0,
+              extra_attrs: Mapping[str, Iterable[str]] | None = None) -> "Cluster":
+        """Build a homogeneous-rack cluster like the paper's testbeds.
+
+        Parameters
+        ----------
+        racks, nodes_per_rack:
+            Topology; node names are ``r<i>n<j>``.
+        gpu_racks:
+            The first ``gpu_racks`` racks get the ``"gpu"`` attribute on all
+            their nodes (as in Fig. 1, where rack 1 is GPU-enabled).
+        extra_attrs:
+            Optional map of node name -> extra attribute tags.
+        """
+        if racks <= 0 or nodes_per_rack <= 0:
+            raise ClusterError("racks and nodes_per_rack must be positive")
+        if gpu_racks > racks:
+            raise ClusterError(f"gpu_racks {gpu_racks} exceeds racks {racks}")
+        extra = {k: frozenset(v) for k, v in (extra_attrs or {}).items()}
+        nodes = []
+        for r in range(racks):
+            rack = f"r{r}"
+            base = frozenset({"gpu"}) if r < gpu_racks else frozenset()
+            for n in range(nodes_per_rack):
+                name = f"{rack}n{n}"
+                nodes.append(Node(name, rack, base | extra.get(name, frozenset())))
+        return cls(nodes)
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ClusterError(f"unknown node {name!r}") from None
+
+    @property
+    def node_names(self) -> frozenset[str]:
+        """All node names as a frozenset (the whole-cluster equivalence set)."""
+        return self._all_names
+
+    @property
+    def rack_names(self) -> list[str]:
+        return list(self._racks)
+
+    def rack_nodes(self, rack: str) -> frozenset[str]:
+        """Equivalence set of all nodes on a rack."""
+        try:
+            return frozenset(self._racks[rack])
+        except KeyError:
+            raise ClusterError(f"unknown rack {rack!r}") from None
+
+    def nodes_with_attr(self, attr: str) -> frozenset[str]:
+        """Equivalence set of nodes carrying a static attribute tag."""
+        return frozenset(n.name for n in self._nodes.values() if n.has_attr(attr))
+
+    def racks_of(self, names: Iterable[str]) -> set[str]:
+        """Set of racks spanned by the given node names."""
+        return {self.node(n).rack for n in names}
+
+    def validate_names(self, names: Iterable[str]) -> None:
+        unknown = set(names) - self._all_names
+        if unknown:
+            raise ClusterError(f"unknown nodes: {sorted(unknown)}")
+
+    def __repr__(self) -> str:
+        return (f"Cluster(nodes={len(self)}, racks={len(self._racks)}, "
+                f"gpu={len(self.nodes_with_attr('gpu'))})")

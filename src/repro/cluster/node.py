@@ -1,0 +1,42 @@
+"""Cluster node model: names, racks, and static attributes.
+
+Static heterogeneity (Sec. 2.2) is modeled with attribute tags on nodes
+("gpu", "ssd", ...).  Rack membership drives combinatorial constraints such
+as MPI rack-locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class Node:
+    """A single schedulable machine.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier ("r0n3").
+    rack:
+        Name of the rack the node belongs to ("r0").
+    attrs:
+        Static attribute tags, e.g. ``frozenset({"gpu"})``.
+    """
+
+    name: str
+    rack: str
+    attrs: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ClusterError("node name must be non-empty")
+        if not self.rack:
+            raise ClusterError(f"node {self.name!r}: rack must be non-empty")
+        if not isinstance(self.attrs, frozenset):
+            raise ClusterError(f"node {self.name!r}: attrs must be a frozenset")
+
+    def has_attr(self, attr: str) -> bool:
+        return attr in self.attrs

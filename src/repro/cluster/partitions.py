@@ -1,0 +1,120 @@
+"""Dynamic minimal partitioning of the cluster (Sec. 4.2, TR Appendix A).
+
+Equivalence sets let jobs say "any k of these nodes" without enumerating the
+``n choose k`` tuples.  The MILP only needs one integer *partition variable*
+per (leaf, partition) pair, so the number of partitions directly controls
+MILP size.  The paper's most important scalability optimization is
+"dynamically partitioning cluster resources at the beginning of each cycle to
+minimize the number of partition variables" (Sec. 7.3).
+
+Given the set of equivalence sets referenced by the current batch, the
+minimal partitioning groups nodes by their *membership signature* — which of
+the equivalence sets each node belongs to.  Nodes with identical signatures
+are interchangeable for every pending job and can share a partition.
+
+Example: batch references {GPU nodes} and {rack r0}.  With GPUs on rack r0
+only, the partitions are {gpu∩r0}, {r0 \\ gpu}, {rest}; every referenced
+equivalence set is an exact union of partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A maximal group of nodes indistinguishable to the current batch."""
+
+    pid: int
+    nodes: frozenset[str]
+
+    @property
+    def capacity(self) -> int:
+        return len(self.nodes)
+
+
+class Partitioning:
+    """Minimal partitioning induced by a family of equivalence sets.
+
+    Parameters
+    ----------
+    universe:
+        All node names in the cluster.
+    equivalence_sets:
+        The distinct equivalence sets referenced by the batch.  Sets must be
+        subsets of ``universe``.
+
+    Notes
+    -----
+    Nodes not referenced by any equivalence set share one "unreferenced"
+    partition, which no leaf can draw from this cycle; it still exists so
+    that capacity accounting covers the whole cluster.
+    """
+
+    def __init__(self, universe: frozenset[str],
+                 equivalence_sets: Iterable[frozenset[str]]) -> None:
+        eq_sets = []
+        seen: set[frozenset[str]] = set()
+        for es in equivalence_sets:
+            if not es <= universe:
+                raise ClusterError(
+                    f"equivalence set has nodes outside the cluster: "
+                    f"{sorted(es - universe)[:5]}")
+            if es not in seen:
+                seen.add(es)
+                eq_sets.append(es)
+        self.universe = universe
+        self.equivalence_sets = eq_sets
+
+        # Group nodes by membership signature.
+        signature_groups: dict[frozenset[int], set[str]] = {}
+        for node in universe:
+            sig = frozenset(i for i, es in enumerate(eq_sets) if node in es)
+            signature_groups.setdefault(sig, set()).add(node)
+
+        self.partitions: list[Partition] = []
+        self._eqset_to_pids: dict[frozenset[str], tuple[int, ...]] = {
+            es: () for es in eq_sets}
+        sig_to_pid: dict[frozenset[int], int] = {}
+        for sig, nodes in sorted(signature_groups.items(),
+                                 key=lambda kv: sorted(kv[1])[0]):
+            pid = len(self.partitions)
+            self.partitions.append(Partition(pid, frozenset(nodes)))
+            sig_to_pid[sig] = pid
+        for sig, pid in sig_to_pid.items():
+            for i in sig:
+                es = eq_sets[i]
+                self._eqset_to_pids[es] = self._eqset_to_pids[es] + (pid,)
+
+    def partitions_of(self, equivalence_set: frozenset[str]) -> tuple[Partition, ...]:
+        """Partitions whose union is exactly the given equivalence set.
+
+        The set must have been passed at construction time — the partitioning
+        is only minimal with respect to the declared family.
+        """
+        try:
+            pids = self._eqset_to_pids[equivalence_set]
+        except KeyError:
+            raise ClusterError(
+                "equivalence set was not declared when partitioning was built"
+            ) from None
+        return tuple(self.partitions[p] for p in pids)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def partition_of_node(self, name: str) -> Partition:
+        for p in self.partitions:
+            if name in p.nodes:
+                return p
+        raise ClusterError(f"node {name!r} not in universe")
+
+    def __repr__(self) -> str:
+        return (f"Partitioning(sets={len(self.equivalence_sets)}, "
+                f"partitions={self.num_partitions}, "
+                f"universe={len(self.universe)})")

@@ -1,0 +1,148 @@
+"""Space-time cluster availability tracking.
+
+TetriSched "makes allocation decisions based on ... its own view of cluster
+node availability it maintains" (Sec. 3.3).  :class:`ClusterState` is that
+view: which nodes are held by which running job and until when the job is
+*expected* to hold them.  Expected release times come from runtime estimates
+and may be wrong — the scheduler adjusts them upward when a job overruns
+(Sec. 7.1), which is exactly how TetriSched tolerates under-estimation.
+
+The per-quantum availability profile produced by :meth:`availability_profile`
+feeds the MILP supply constraints ``sum(P in used(x,t)) <= avail(x, t)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ClusterError, SchedulerError
+
+
+@dataclass
+class RunningAllocation:
+    """Nodes held by a launched job and its expected release time."""
+
+    job_id: str
+    nodes: frozenset[str]
+    start_time: float
+    expected_end: float
+
+
+class ClusterState:
+    """Tracks running allocations over the node universe.
+
+    Example
+    -------
+    >>> cs = ClusterState(frozenset({"a", "b", "c"}))
+    >>> cs.start("j1", frozenset({"a"}), start_time=0.0, expected_end=25.0)
+    >>> sorted(cs.free_nodes())
+    ['b', 'c']
+    """
+
+    def __init__(self, universe: frozenset[str]) -> None:
+        if not universe:
+            raise ClusterError("universe must not be empty")
+        self.universe = universe
+        self._allocations: dict[str, RunningAllocation] = {}
+        self._node_owner: dict[str, str] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self, job_id: str, nodes: frozenset[str], start_time: float,
+              expected_end: float) -> None:
+        """Record a launched job occupying ``nodes`` until ``expected_end``."""
+        if job_id in self._allocations:
+            raise SchedulerError(f"job {job_id!r} already running")
+        unknown = nodes - self.universe
+        if unknown:
+            raise ClusterError(f"unknown nodes: {sorted(unknown)}")
+        busy = {n for n in nodes if n in self._node_owner}
+        if busy:
+            owners = {self._node_owner[n] for n in busy}
+            raise SchedulerError(
+                f"nodes {sorted(busy)} already held by {sorted(owners)}")
+        if expected_end <= start_time:
+            raise SchedulerError("expected_end must be after start_time")
+        self._allocations[job_id] = RunningAllocation(
+            job_id, nodes, start_time, expected_end)
+        for n in nodes:
+            self._node_owner[n] = job_id
+
+    def finish(self, job_id: str) -> frozenset[str]:
+        """Release a job's nodes; returns the freed node set."""
+        alloc = self._allocations.pop(job_id, None)
+        if alloc is None:
+            raise SchedulerError(f"job {job_id!r} is not running")
+        for n in alloc.nodes:
+            del self._node_owner[n]
+        return alloc.nodes
+
+    def extend_expectation(self, job_id: str, new_expected_end: float) -> None:
+        """Bump a running job's expected release time upward.
+
+        Called when a job overruns its estimate (adaptive re-planning,
+        Sec. 7.1: "adjusting runtime under-estimates upward when observed to
+        be too low").  Downward adjustments are ignored — releases happen via
+        :meth:`finish`.
+        """
+        alloc = self._allocations.get(job_id)
+        if alloc is None:
+            raise SchedulerError(f"job {job_id!r} is not running")
+        if new_expected_end > alloc.expected_end:
+            alloc.expected_end = new_expected_end
+
+    # -- queries -------------------------------------------------------------
+    def is_running(self, job_id: str) -> bool:
+        return job_id in self._allocations
+
+    @property
+    def running_jobs(self) -> list[RunningAllocation]:
+        return list(self._allocations.values())
+
+    def allocation_of(self, job_id: str) -> RunningAllocation:
+        try:
+            return self._allocations[job_id]
+        except KeyError:
+            raise SchedulerError(f"job {job_id!r} is not running") from None
+
+    def free_nodes(self) -> frozenset[str]:
+        """Nodes not held by any running job right now."""
+        return self.universe - self._node_owner.keys()
+
+    def busy_quanta(self, now: float, quantum_s: float) -> dict[str, int]:
+        """Per busy node: how many whole quanta from ``now`` it stays held.
+
+        A node expected to release at ``now + 25`` with a 10 s quantum is
+        unavailable for slices 0..2 (3 quanta).  Overdue jobs (expected end
+        in the past) still hold their nodes for at least one quantum — the
+        scheduler cannot place on top of a job that has not actually exited.
+        """
+        out: dict[str, int] = {}
+        for alloc in self._allocations.values():
+            remaining = alloc.expected_end - now
+            quanta = max(1, math.ceil(remaining / quantum_s - 1e-9))
+            for n in alloc.nodes:
+                out[n] = max(out.get(n, 0), quanta)
+        return out
+
+    def availability_profile(self, nodes: frozenset[str], horizon_quanta: int,
+                             now: float, quantum_s: float) -> list[int]:
+        """``avail(x, t)`` for a node group: free count per future quantum.
+
+        Returns a list of length ``horizon_quanta`` where entry ``t`` is the
+        number of nodes from ``nodes`` expected to be free during time slice
+        ``[now + t*q, now + (t+1)*q)``.
+        """
+        if horizon_quanta <= 0:
+            return []
+        busy = self.busy_quanta(now, quantum_s)
+        profile = [len(nodes)] * horizon_quanta
+        for n in nodes:
+            held = busy.get(n, 0)
+            for t in range(min(held, horizon_quanta)):
+                profile[t] -= 1
+        return profile
+
+    def utilization(self) -> float:
+        """Fraction of nodes currently held."""
+        return len(self._node_owner) / len(self.universe)

@@ -1,0 +1,129 @@
+"""Mapping solved schedules onto concrete nodes.
+
+The MILP works on partition *counts*; actually launching a job requires
+picking concrete free nodes.  :class:`PlanAccumulator` tracks per-node
+space-time occupancy within a cycle so that
+
+* placements launching now receive nodes that are genuinely free, and
+* (in greedy mode) tentative future placements of earlier-considered jobs
+  are visible to later jobs in the same cycle.
+
+The accumulator implements the same ``availability_profile`` interface as
+:class:`~repro.cluster.state.ClusterState`, so the STRL compiler can draw
+supply from either: the raw cluster view (global scheduling — the MILP
+resolves conflicts itself) or the accumulator (greedy scheduling — earlier
+jobs' tentative placements consume capacity).
+
+Supply constraints guarantee the counts fit, so node picking can be greedy
+and deterministic (sorted order) without backtracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cluster.partitions import Partitioning
+from repro.cluster.state import ClusterState
+from repro.errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A concrete launch decision: job -> nodes, now, for expected duration."""
+
+    job_id: str
+    nodes: frozenset[str]
+    start_time: float      # absolute seconds
+    expected_end: float    # absolute seconds (estimate-based)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise SchedulerError(f"allocation for {self.job_id!r} has no nodes")
+        if self.expected_end <= self.start_time:
+            raise SchedulerError(
+                f"allocation for {self.job_id!r}: end must be after start")
+
+
+class PlanAccumulator:
+    """Per-node occupancy (in quanta from "now") within one scheduling cycle.
+
+    Seeds busy intervals from the running jobs in ``state`` (using their
+    expected release times), then lets the caller :meth:`reserve` nodes for
+    planned placements as they are materialized.
+    """
+
+    def __init__(self, state: ClusterState, now: float,
+                 quantum_s: float) -> None:
+        self.universe = state.universe
+        self.now = now
+        self.quantum_s = quantum_s
+        self._busy: dict[str, set[int]] = {n: set() for n in state.universe}
+        for node, quanta in state.busy_quanta(now, quantum_s).items():
+            self._busy[node].update(range(quanta))
+
+    # -- availability-provider interface (mirrors ClusterState) -------------
+    def availability_profile(self, nodes: frozenset[str], horizon_quanta: int,
+                             now: float, quantum_s: float) -> list[int]:
+        """Free-node count per quantum, accounting for tentative plans."""
+        if horizon_quanta <= 0:
+            return []
+        profile = [0] * horizon_quanta
+        for n in nodes:
+            busy = self._busy[n]
+            for t in range(horizon_quanta):
+                if t not in busy:
+                    profile[t] += 1
+        return profile
+
+    # -- occupancy ------------------------------------------------------------
+    def is_free(self, node: str, start: int, duration: int) -> bool:
+        """Whether ``node`` is free for the whole ``[start, start+duration)``."""
+        busy = self._busy[node]
+        return all(t not in busy for t in range(start, start + duration))
+
+    def free_nodes_within(self, nodes: frozenset[str], start: int,
+                          duration: int) -> list[str]:
+        """Deterministically ordered nodes free for the whole interval."""
+        return [n for n in sorted(nodes) if self.is_free(n, start, duration)]
+
+    def interval_free_count(self, nodes: frozenset[str], start: int,
+                            duration: int) -> int:
+        """Number of nodes free for the *entire* interval.
+
+        Exposed to the STRL compiler so greedy-mode MILPs never plan counts
+        that node-level fragmentation would make unassignable.
+        """
+        return len(self.free_nodes_within(nodes, start, duration))
+
+    def reserve(self, nodes: Iterable[str], start: int, duration: int) -> None:
+        """Mark nodes busy for the interval (planned placement)."""
+        span = range(start, start + duration)
+        for n in nodes:
+            busy = self._busy[n]
+            for t in span:
+                if t in busy:
+                    raise SchedulerError(
+                        f"node {n!r} double-reserved at quantum {t}")
+                busy.add(t)
+
+    def pick(self, partitioning: Partitioning, node_counts: dict[int, int],
+             start: int, duration: int) -> frozenset[str]:
+        """Pick and reserve concrete nodes for a placement.
+
+        ``node_counts`` maps partition id -> count, as decoded from the MILP.
+        Raises :class:`SchedulerError` if the counts don't fit — that would
+        mean the supply constraints and this accumulator disagree, i.e. a
+        compiler bug.
+        """
+        chosen: list[str] = []
+        for pid, count in sorted(node_counts.items()):
+            part = partitioning.partitions[pid]
+            free = self.free_nodes_within(part.nodes, start, duration)
+            if len(free) < count:
+                raise SchedulerError(
+                    f"partition {pid} has {len(free)} free nodes for "
+                    f"[{start},{start + duration}), need {count}")
+            chosen.extend(free[:count])
+        self.reserve(chosen, start, duration)
+        return frozenset(chosen)

@@ -1,0 +1,340 @@
+"""STRL -> MILP compilation (Algorithm 1, Sec. 5).
+
+The compiler walks the aggregated STRL expression with a single recursive
+``gen(expr, I)`` function.  The three key ideas from the paper:
+
+1. **Indicator variables** — every sub-expression gets a binary ``I`` saying
+   whether the solver assigns resources to it.  ``max`` constrains the sum of
+   child indicators by its own indicator (OR with at-most-one choice);
+   ``min`` passes its *own* indicator to all children (AND).
+2. **Objectives flow upward** — ``gen`` returns the sub-expression's
+   objective contribution; the root's return becomes the MILP objective.
+   ``min`` introduces a continuous ``V`` with ``V <= f_i`` for each child.
+3. **Partition variables** — leaves create one integer variable per cluster
+   partition (not per node!), with *demand* constraints tying them to the
+   indicator and *supply* constraints capping total use per partition per
+   time slice (added once at the end over the ``used(x, t)`` ledger).
+
+Compilation is independent of any solver backend; the result carries enough
+bookkeeping to map a MILP solution back to per-job space-time allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.partitions import Partition, Partitioning
+from repro.cluster.state import ClusterState
+from repro.errors import SchedulerError
+from repro.solver.expr import LinExpr, Variable, linear_sum
+from repro.solver.model import Model
+from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+
+
+@dataclass
+class LeafRecord:
+    """Bookkeeping for one compiled leaf primitive.
+
+    Maps the leaf's decision variables back to scheduling semantics so a
+    MILP solution can be decoded into allocations.
+    """
+
+    job_id: str
+    leaf: NCk | LnCk
+    indicator: Variable
+    partition_vars: dict[int, Variable]  # pid -> P_x
+
+    def chosen_counts(self, x: np.ndarray, tol: float = 1e-6) -> dict[int, int]:
+        """Per-partition node counts selected by the solution (empty if none)."""
+        counts = {}
+        for pid, var in self.partition_vars.items():
+            v = int(round(float(x[var.index])))
+            if v > 0:
+                counts[pid] = v
+        if isinstance(self.leaf, NCk) and x[self.indicator.index] < 0.5:
+            return {}
+        return counts
+
+
+@dataclass
+class PlannedPlacement:
+    """One active leaf in the solved schedule: a space-time allocation."""
+
+    job_id: str
+    start: int                 # quanta from "now"
+    duration: int              # quanta
+    node_counts: dict[int, int]  # pid -> count
+    value: float
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.node_counts.values())
+
+
+@dataclass(frozen=True)
+class PreemptionCandidate:
+    """A running job the solver may choose to kill for its nodes.
+
+    Preemption inside TetriSched is explicitly future work in the paper
+    (Sec. 7.2); this extension models it MILP-natively: a binary decision
+    per candidate returns the victim's nodes to the supply from the current
+    quantum onward, at a ``penalty`` subtracted from the objective (the
+    victim's lost value plus re-execution cost).
+    """
+
+    job_id: str
+    nodes: frozenset[str]
+    penalty: float
+
+
+@dataclass
+class CompiledBatch:
+    """A compiled scheduling-cycle MILP plus decode metadata."""
+
+    model: Model
+    partitioning: Partitioning
+    horizon: int
+    job_indicators: dict[str, Variable]
+    leaf_records: list[LeafRecord]
+    job_order: list[str]
+    stats: dict[str, int] = field(default_factory=dict)
+    preemption_vars: dict[str, Variable] = field(default_factory=dict)
+
+    def preempted_jobs(self, x: np.ndarray) -> list[str]:
+        """Preemption candidates the solution chose to kill."""
+        return [job_id for job_id, var in self.preemption_vars.items()
+                if x[var.index] > 0.5]
+
+    def decode(self, x: np.ndarray) -> list[PlannedPlacement]:
+        """Decode a MILP solution into the set of active placements."""
+        placements: list[PlannedPlacement] = []
+        for rec in self.leaf_records:
+            counts = rec.chosen_counts(x)
+            if not counts:
+                continue
+            placements.append(PlannedPlacement(
+                job_id=rec.job_id, start=rec.leaf.start,
+                duration=rec.leaf.duration, node_counts=counts,
+                value=rec.leaf.value))
+        return placements
+
+    def scheduled_jobs(self, x: np.ndarray) -> set[str]:
+        """Jobs whose top-level indicator is on in the solution."""
+        return {job_id for job_id, ind in self.job_indicators.items()
+                if x[ind.index] > 0.5}
+
+
+class StrlCompiler:
+    """Compiles a batch of per-job STRL expressions into one MILP.
+
+    Parameters
+    ----------
+    state:
+        Current cluster availability view; drives the supply constraints'
+        right-hand sides (``avail(x, t)``).
+    quantum_s:
+        Length of one time quantum in seconds.
+    now:
+        Absolute time of this scheduling cycle.
+    """
+
+    def __init__(self, state: ClusterState, quantum_s: float,
+                 now: float = 0.0, minimal_partitioning: bool = True) -> None:
+        self.state = state
+        self.quantum_s = quantum_s
+        self.now = now
+        #: Ablation knob: when False, every node is its own partition,
+        #: disabling the paper's dynamic-partitioning optimization (TR
+        #: Appendix A).  Schedules are identical; MILPs are much larger.
+        self.minimal_partitioning = minimal_partitioning
+
+    def compile(self, batch: list[tuple[str, StrlNode]],
+                preemptible: list[PreemptionCandidate] | None = None
+                ) -> CompiledBatch:
+        """Compile ``[(job_id, strl_expr), ...]`` into a :class:`CompiledBatch`.
+
+        The batch is aggregated under the top-level SUM (global scheduling);
+        supply constraints are added for every (partition, time slice) pair
+        touched by any leaf.
+
+        ``preemptible`` (extension, see :class:`PreemptionCandidate`) adds a
+        binary kill-decision per running victim: choosing it returns the
+        victim's still-held nodes to the supply of every affected time slice
+        at a value penalty in the objective.
+        """
+        if not batch:
+            raise SchedulerError("cannot compile an empty batch")
+        preemptible = preemptible or []
+        seen_ids = set()
+        for job_id, _ in batch:
+            if job_id in seen_ids:
+                raise SchedulerError(f"duplicate job id {job_id!r} in batch")
+            seen_ids.add(job_id)
+
+        # Dynamic minimal partitioning over this batch's equivalence sets.
+        eq_sets = []
+        for _, expr in batch:
+            for leaf in expr.leaves():
+                eq_sets.append(leaf.nodes)
+        if self.minimal_partitioning:
+            partitioning = Partitioning(self.state.universe, eq_sets)
+        else:
+            # Ablation: singleton partitions (one integer variable per node
+            # per leaf) — the naive formulation the paper optimizes away.
+            singletons = [frozenset({n}) for n in self.state.universe]
+            partitioning = Partitioning(self.state.universe,
+                                        eq_sets + singletons)
+
+        model = Model("tetrisched-cycle")
+        self._model = model
+        self._partitioning = partitioning
+        self._used: dict[tuple[int, int], list[Variable]] = {}
+        self._records: list[LeafRecord] = []
+        self._counter = 0
+        horizon = max(expr.horizon() for _, expr in batch)
+
+        job_indicators: dict[str, Variable] = {}
+        objective = LinExpr()
+        for job_id, expr in batch:
+            self._job_id = job_id
+            ind = model.add_binary(f"I[{job_id}]")
+            job_indicators[job_id] = ind
+            objective = objective + self._gen(expr, ind)
+
+        # Preemption extension: binary kill-decision per candidate.
+        preemption_vars: dict[str, Variable] = {}
+        victim_busy: dict[str, dict[str, int]] = {}
+        if preemptible:
+            busy = self.state.busy_quanta(self.now, self.quantum_s)
+            for cand in preemptible:
+                r = model.add_binary(f"R[{cand.job_id}]")
+                preemption_vars[cand.job_id] = r
+                victim_busy[cand.job_id] = {
+                    n: busy.get(n, 0) for n in cand.nodes}
+                objective = objective - cand.penalty * r
+
+        # Supply constraints: sum of P in used(x, t) <= avail(x, t)
+        # (+ nodes freed by any chosen preemptions).
+        for part in partitioning.partitions:
+            profile = self.state.availability_profile(
+                part.nodes, horizon, self.now, self.quantum_s)
+            for t in range(horizon):
+                users = self._used.get((part.pid, t))
+                if not users:
+                    continue
+                rhs = LinExpr(constant=profile[t])
+                for cand in preemptible:
+                    freed = sum(
+                        1 for n in cand.nodes
+                        if n in part.nodes
+                        and victim_busy[cand.job_id][n] > t)
+                    if freed:
+                        rhs.add_term(preemption_vars[cand.job_id], freed)
+                model.add_constraint(
+                    linear_sum(users), "<=", rhs,
+                    name=f"supply[p{part.pid},t{t}]")
+
+        model.set_objective(objective, sense="maximize")
+        compiled = CompiledBatch(
+            model=model, partitioning=partitioning, horizon=horizon,
+            job_indicators=job_indicators, leaf_records=self._records,
+            job_order=[job_id for job_id, _ in batch],
+            stats=model.stats(), preemption_vars=preemption_vars)
+        # Release builder state.
+        del self._model, self._partitioning, self._used, self._records
+        return compiled
+
+    # -- Algorithm 1's gen(expr, I) -----------------------------------------
+    def _fresh(self, tag: str) -> str:
+        self._counter += 1
+        return f"{tag}#{self._counter}"
+
+    def _gen(self, expr: StrlNode, indicator: Variable) -> LinExpr:
+        if isinstance(expr, NCk):
+            return self._gen_nck(expr, indicator)
+        if isinstance(expr, LnCk):
+            return self._gen_lnck(expr, indicator)
+        if isinstance(expr, Max):
+            return self._gen_choice(expr, indicator, at_most=1)
+        if isinstance(expr, Sum):
+            return self._gen_choice(expr, indicator, at_most=len(expr.subexprs))
+        if isinstance(expr, Min):
+            return self._gen_min(expr, indicator)
+        if isinstance(expr, Scale):
+            return self._gen(expr.subexpr, indicator) * expr.factor
+        if isinstance(expr, Barrier):
+            return self._gen_barrier(expr, indicator)
+        raise SchedulerError(f"cannot compile STRL node {expr!r}")
+
+    def _leaf_partition_vars(self, leaf: NCk | LnCk,
+                             tag: str) -> dict[int, Variable]:
+        """Create partition variables and register them in the used ledger."""
+        parts = self._partitioning.partitions_of(leaf.nodes)
+        # When the availability provider knows about node-level fragmentation
+        # (the greedy mode's PlanAccumulator), cap each partition variable by
+        # the number of nodes free for the leaf's *whole* interval.  Per-slice
+        # supply alone can overestimate capacity once tentative reservations
+        # create non-prefix busy intervals.
+        interval_cap = getattr(self.state, "interval_free_count", None)
+        pvars: dict[int, Variable] = {}
+        for part in parts:
+            ub = min(leaf.k, part.capacity)
+            if interval_cap is not None:
+                ub = min(ub, interval_cap(part.nodes, leaf.start, leaf.duration))
+            p = self._model.add_integer(
+                f"P[{tag},p{part.pid}]", lb=0, ub=ub)
+            pvars[part.pid] = p
+            for t in range(leaf.start, leaf.start + leaf.duration):
+                self._used.setdefault((part.pid, t), []).append(p)
+        return pvars
+
+    def _gen_nck(self, leaf: NCk, indicator: Variable) -> LinExpr:
+        tag = self._fresh("nCk")
+        pvars = self._leaf_partition_vars(leaf, tag)
+        # Demand: sum_x P_x == k * I.
+        self._model.add_constraint(
+            linear_sum(pvars.values()), "==", leaf.k * indicator,
+            name=f"demand[{tag}]")
+        self._records.append(LeafRecord(self._job_id, leaf, indicator, pvars))
+        return LinExpr({indicator.index: leaf.value})
+
+    def _gen_lnck(self, leaf: LnCk, indicator: Variable) -> LinExpr:
+        tag = self._fresh("LnCk")
+        pvars = self._leaf_partition_vars(leaf, tag)
+        # Demand: sum_x P_x <= k * I (any count up to k).
+        self._model.add_constraint(
+            linear_sum(pvars.values()), "<=", leaf.k * indicator,
+            name=f"demand[{tag}]")
+        self._records.append(LeafRecord(self._job_id, leaf, indicator, pvars))
+        # Value is linear in the count: v * sum_x P_x / k.
+        return linear_sum(pvars.values()) * (leaf.value / leaf.k)
+
+    def _gen_choice(self, expr: Max | Sum, indicator: Variable,
+                    at_most: int) -> LinExpr:
+        objective = LinExpr()
+        child_inds = []
+        for child in expr.subexprs:
+            ci = self._model.add_binary(self._fresh("I"))
+            child_inds.append(ci)
+            objective = objective + self._gen(child, ci)
+        # max: sum I_i <= I; sum: sum I_i <= n * I.
+        self._model.add_constraint(
+            linear_sum(child_inds), "<=", at_most * indicator,
+            name=self._fresh("choice"))
+        return objective
+
+    def _gen_min(self, expr: Min, indicator: Variable) -> LinExpr:
+        v = self._model.add_continuous(self._fresh("V"), lb=0.0)
+        for child in expr.subexprs:
+            f_i = self._gen(child, indicator)  # children share parent's I
+            self._model.add_constraint(v, "<=", f_i, name=self._fresh("min"))
+        return LinExpr({v.index: 1.0})
+
+    def _gen_barrier(self, expr: Barrier, indicator: Variable) -> LinExpr:
+        f = self._gen(expr.subexpr, indicator)
+        # v * I <= f: only yield the threshold if the child reaches it.
+        self._model.add_constraint(
+            expr.threshold * indicator, "<=", f, name=self._fresh("barrier"))
+        return LinExpr({indicator.index: expr.threshold})

@@ -1,0 +1,69 @@
+"""Priority-ordered FIFO queues for greedy scheduling (TetriSched-NG).
+
+The greedy policy "organizes pending jobs in 3 FIFO queues in priority
+order: top priority queue with accepted SLO jobs, medium-priority with SLO
+jobs without a reservation, and low-priority with best-effort jobs"
+(Sec. 6.3).  Each cycle it drains jobs one at a time in queue-priority order.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Iterator, TypeVar
+
+from repro.errors import SchedulerError
+
+
+class PriorityClass(enum.IntEnum):
+    """Job priority classes, lowest value = highest priority."""
+
+    SLO_ACCEPTED = 0
+    SLO_NO_RESERVATION = 1
+    BEST_EFFORT = 2
+
+
+T = TypeVar("T")
+
+
+class PriorityQueues:
+    """Three FIFO queues keyed by :class:`PriorityClass`.
+
+    Insertion order within a class is preserved (FIFO); iteration yields all
+    entries in (priority, insertion) order.  Entries are keyed by job id for
+    O(1) removal when a job launches or is culled.
+    """
+
+    def __init__(self) -> None:
+        self._queues: dict[PriorityClass, OrderedDict[str, T]] = {
+            pc: OrderedDict() for pc in PriorityClass}
+        self._where: dict[str, PriorityClass] = {}
+
+    def push(self, job_id: str, priority: PriorityClass, item: T) -> None:
+        if job_id in self._where:
+            raise SchedulerError(f"job {job_id!r} already queued")
+        self._queues[priority][job_id] = item
+        self._where[job_id] = priority
+
+    def remove(self, job_id: str) -> T:
+        priority = self._where.pop(job_id, None)
+        if priority is None:
+            raise SchedulerError(f"job {job_id!r} is not queued")
+        return self._queues[priority].pop(job_id)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._where
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def items(self) -> Iterator[tuple[str, T]]:
+        """All (job_id, item) pairs in priority-then-FIFO order."""
+        for pc in PriorityClass:
+            yield from self._queues[pc].items()
+
+    def job_ids(self) -> list[str]:
+        return [job_id for job_id, _ in self.items()]
+
+    def counts(self) -> dict[PriorityClass, int]:
+        return {pc: len(q) for pc, q in self._queues.items()}

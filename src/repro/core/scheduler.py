@@ -1,0 +1,460 @@
+"""The TetriSched scheduler core (Sec. 3).
+
+On each scheduling cycle TetriSched:
+
+1. generates a STRL expression per pending job, replicating placement
+   options over the plan-ahead window and culling valueless options;
+2. aggregates them under the top-level SUM (global scheduling) and compiles
+   to a MILP (Algorithm 1), with supply drawn from its space-time view of
+   cluster availability;
+3. solves the MILP (optionally warm-started from the previous cycle's
+   solution shifted forward in time, Sec. 3.2.2);
+4. extracts and launches only the placements scheduled to start *now*;
+   everything else is reconsidered from scratch next cycle — this is the
+   adaptive re-planning that makes TetriSched robust to mis-estimates and
+   new arrivals (Sec. 2.3.3).
+
+The ablation configurations of Table 2 are expressed as config flags:
+
+* ``global_scheduling=False`` -> TetriSched-NG: jobs are solved one at a
+  time in priority-queue order, each seeing the tentative plan of its
+  predecessors;
+* ``heterogeneity_aware=False`` -> TetriSched-NH: placement preferences are
+  collapsed to a whole-cluster equivalence set with the conservative
+  (slowed-down) runtime estimate;
+* ``plan_ahead_s=0`` -> TetriSched-NP (alsched): jobs may only start now.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.state import ClusterState
+from repro.core.allocation import Allocation, PlanAccumulator
+from repro.core.compiler import CompiledBatch, StrlCompiler
+from repro.core.queues import PriorityClass, PriorityQueues
+from repro.errors import SchedulerError
+from repro.solver.backend import make_backend
+from repro.strl.ast import NCk, StrlNode
+from repro.strl.generator import SpaceOption, generate_job_strl
+from repro.valuefn import ValueFunction
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A pending job as seen by the scheduler.
+
+    ``options`` carry *estimated* durations (possibly mis-estimated); the
+    simulator computes true runtimes separately.  ``deadline`` is used for
+    option culling; ``priority`` orders the greedy policy's queues.
+    """
+
+    job_id: str
+    options: tuple[SpaceOption, ...]
+    value_fn: ValueFunction
+    priority: PriorityClass
+    submit_time: float
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise SchedulerError(f"job {self.job_id!r} has no placement options")
+
+
+@dataclass
+class TetriSchedConfig:
+    """Tunable parameters (defaults follow the paper where it states them)."""
+
+    #: Time quantum used to discretize the plan-ahead window.
+    quantum_s: float = 4.0
+    #: Scheduling cycle period ("TetriSched cycle period is set to 4s").
+    cycle_s: float = 4.0
+    #: Plan-ahead window in seconds (Fig. 11 sweeps 0..144).
+    plan_ahead_s: float = 96.0
+    #: Global (MILP over all pending jobs) vs greedy one-at-a-time (-NG).
+    global_scheduling: bool = True
+    #: Soft-constraint awareness (-NH when False).
+    heterogeneity_aware: bool = True
+    #: Deadline/zero-value culling of options and jobs.
+    cull: bool = True
+    #: Solver backend name (see repro.solver.backend.make_backend).
+    backend: str = "auto"
+    #: Relative optimality gap ("within 10% of the optimal" in the paper).
+    rel_gap: float = 0.01
+    #: Wall-clock budget per solve, seconds (None = unlimited).
+    solver_time_limit: float | None = None
+    #: Seed each solve with the previous cycle's shifted solution.
+    warm_start: bool = True
+    #: EXTENSION (paper future work, Sec. 7.2): let the MILP preempt
+    #: running best-effort jobs when the freed nodes buy more SLO value
+    #: than the preemption penalty costs.
+    enable_preemption: bool = False
+    #: Objective penalty per preemption (in value units; keep above the
+    #: best-effort base value so kills only happen for SLO-value gains).
+    preemption_penalty: float = 5.0
+    #: Deadline slack granted to compensate for duration ceil-rounding, in
+    #: quanta.  Quantization rounds estimated runtimes *up* by as much as one
+    #: quantum; without this grace, borderline-feasible SLO jobs would be
+    #: culled even though their true runtime fits ("optimistically allows
+    #: scheduled jobs to complete if their deadline has not passed",
+    #: Sec. 7.1).  Attainment metrics always use the true deadline.
+    deadline_grace_quanta: float = 1.0
+
+    @property
+    def plan_ahead_quanta(self) -> int:
+        return int(round(self.plan_ahead_s / self.quantum_s))
+
+
+@dataclass
+class CycleStats:
+    """Per-cycle observability record (drives Fig. 12)."""
+
+    now: float
+    pending: int
+    launched: int
+    culled: int
+    solver_latency_s: float
+    cycle_latency_s: float
+    milp_variables: int = 0
+    milp_constraints: int = 0
+    objective: float = 0.0
+    solves: int = 0
+
+
+@dataclass
+class CycleResult:
+    """What a scheduling cycle decided."""
+
+    allocations: list[Allocation] = field(default_factory=list)
+    culled: list[str] = field(default_factory=list)
+    #: Running jobs killed by the preemption extension this cycle.
+    preempted: list[str] = field(default_factory=list)
+    stats: CycleStats | None = None
+
+
+class TetriSched:
+    """The scheduler: queue management + per-cycle global rescheduling.
+
+    Example
+    -------
+    >>> from repro.cluster import Cluster
+    >>> cluster = Cluster.build(racks=1, nodes_per_rack=4)
+    >>> sched = TetriSched(cluster, TetriSchedConfig(quantum_s=10,
+    ...                                              plan_ahead_s=30))
+    """
+
+    def __init__(self, cluster: Cluster,
+                 config: TetriSchedConfig | None = None) -> None:
+        self.cluster = cluster
+        self.config = config or TetriSchedConfig()
+        self.state = ClusterState(cluster.node_names)
+        self.queues: PriorityQueues = PriorityQueues()
+        self.cycle_history: list[CycleStats] = []
+        self._backend = make_backend(self.config.backend,
+                                     rel_gap=self.config.rel_gap,
+                                     time_limit=self.config.solver_time_limit)
+        # Previous cycle's accepted plan: (job_id, leaf) pairs, and its time.
+        self._prev_plan: list[tuple[str, NCk]] = []
+        self._prev_now: float = 0.0
+        # Requests of currently running jobs (for preemption re-queuing).
+        self._launched: dict[str, JobRequest] = {}
+
+    # -- queue management ----------------------------------------------------
+    def submit(self, request: JobRequest) -> None:
+        """Add a job to the pending queue (from YARN proxy / reservation)."""
+        self.queues.push(request.job_id, request.priority, request)
+
+    def on_job_finished(self, job_id: str, now: float) -> frozenset[str]:
+        """Signal job completion; frees its nodes (Sec. 3.3 interface (c))."""
+        self._launched.pop(job_id, None)
+        return self.state.finish(job_id)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.queues)
+
+    # -- per-cycle scheduling --------------------------------------------------
+    def run_cycle(self, now: float) -> CycleResult:
+        """Run one scheduling cycle at absolute time ``now``.
+
+        Returns the launch decisions; callers (the simulator / YARN proxy)
+        are responsible for actually starting the jobs and reporting
+        completion via :meth:`on_job_finished`.
+        """
+        t_cycle = time.monotonic()
+        cfg = self.config
+        result = CycleResult()
+
+        # 1. Generate STRL per pending job; cull jobs with no remaining value.
+        exprs: list[tuple[str, StrlNode]] = []
+        requests: dict[str, JobRequest] = {}
+        for job_id, req in list(self.queues.items()):
+            expr = self._generate(req, now)
+            if expr is None:
+                self.queues.remove(job_id)
+                result.culled.append(job_id)
+                continue
+            exprs.append((job_id, expr))
+            requests[job_id] = req
+
+        solver_latency = 0.0
+        solves = 0
+        milp_vars = milp_cons = 0
+        objective = 0.0
+        if exprs:
+            if cfg.global_scheduling:
+                (allocs, solver_latency, solves, milp_vars, milp_cons,
+                 objective) = self._cycle_global(exprs, requests, now,
+                                                 result)
+            else:
+                (allocs, solver_latency, solves, milp_vars, milp_cons,
+                 objective) = self._cycle_greedy(exprs, requests, now)
+            result.allocations = allocs
+            for alloc in allocs:
+                req = self.queues.remove(alloc.job_id)
+                self._launched[alloc.job_id] = req
+                self.state.start(alloc.job_id, alloc.nodes, alloc.start_time,
+                                 alloc.expected_end)
+
+        stats = CycleStats(
+            now=now, pending=self.pending_count,
+            launched=len(result.allocations), culled=len(result.culled),
+            solver_latency_s=solver_latency,
+            cycle_latency_s=time.monotonic() - t_cycle,
+            milp_variables=milp_vars, milp_constraints=milp_cons,
+            objective=objective, solves=solves)
+        self.cycle_history.append(stats)
+        result.stats = stats
+        return result
+
+    # -- STRL generation --------------------------------------------------------
+    def _generate(self, req: JobRequest, now: float) -> StrlNode | None:
+        options = req.options
+        if not self.config.heterogeneity_aware:
+            options = self._flatten_options(options)
+        return generate_job_strl(
+            list(options), req.value_fn, now=now,
+            quantum_s=self.config.quantum_s,
+            plan_ahead_quanta=self.config.plan_ahead_quanta,
+            deadline=req.deadline, cull=self.config.cull)
+
+    def _flatten_options(self, options: tuple[SpaceOption, ...]) -> tuple[SpaceOption, ...]:
+        """-NH: one whole-cluster option with the conservative runtime.
+
+        The paper's TetriSched-NH "creates STRL expressions that draw k
+        containers from only one possible equivalence set: the whole
+        cluster" and "uses the specified slowdown to conservatively estimate
+        job's runtime on a (likely) sub-optimal allocation" (Sec. 6.3).
+        """
+        k = options[0].k
+        worst = max(opt.duration_s for opt in options)
+        return (SpaceOption(self.cluster.node_names, k=k, duration_s=worst,
+                            label="nh-flattened"),)
+
+    # -- global scheduling ---------------------------------------------------------
+    def _preemption_candidates(self):
+        """Running best-effort jobs the preemption extension may kill."""
+        from repro.core.compiler import PreemptionCandidate
+        candidates = []
+        for job_id, req in self._launched.items():
+            if req.priority != PriorityClass.BEST_EFFORT:
+                continue
+            if not self.state.is_running(job_id):
+                continue
+            alloc = self.state.allocation_of(job_id)
+            candidates.append(PreemptionCandidate(
+                job_id=job_id, nodes=alloc.nodes,
+                penalty=self.config.preemption_penalty))
+        return candidates
+
+    def _cycle_global(self, exprs, requests, now, result: CycleResult):
+        compiler = StrlCompiler(self.state, self.config.quantum_s, now)
+        preemptible = (self._preemption_candidates()
+                       if self.config.enable_preemption else [])
+        compiled = compiler.compile(exprs, preemptible=preemptible)
+        warm = self._build_warm_start(compiled, now) if self.config.warm_start else None
+        t0 = time.monotonic()
+        res = self._backend.solve(compiled.model, warm_start=warm)
+        solver_latency = time.monotonic() - t0
+        if not res.status.has_solution:
+            # All-zero (schedule nothing) is always feasible, so this should
+            # only happen under a very tight solver budget.
+            self._prev_plan = []
+            return [], solver_latency, 1, compiled.stats["variables"], \
+                compiled.stats["constraints"], 0.0
+
+        # Apply preemption decisions before materializing placements: the
+        # freed nodes are part of the supply the solution relied on.
+        for victim_id in compiled.preempted_jobs(res.x):
+            self.state.finish(victim_id)
+            req = self._launched.pop(victim_id)
+            self.queues.push(victim_id, req.priority, req)
+            result.preempted.append(victim_id)
+
+        placements = compiled.decode(res.x)
+        self._prev_plan = [(rec.job_id, rec.leaf)
+                           for rec in compiled.leaf_records
+                           if rec.chosen_counts(res.x)]
+        self._prev_now = now
+
+        acc = PlanAccumulator(self.state, now, self.config.quantum_s)
+        allocs = self._materialize(placements, compiled, acc, requests, now)
+        return (allocs, solver_latency, 1, compiled.stats["variables"],
+                compiled.stats["constraints"], res.objective)
+
+    # -- greedy (-NG) scheduling -------------------------------------------------------
+    def _cycle_greedy(self, exprs, requests, now):
+        """One-at-a-time scheduling in priority order (TetriSched-NG).
+
+        Uses the full MILP formulation per job; each job's supply reflects
+        the tentative (possibly deferred) placements of jobs decided earlier
+        in this cycle.
+        """
+        acc = PlanAccumulator(self.state, now, self.config.quantum_s)
+        order = {job_id: i for i, job_id in enumerate(self.queues.job_ids())}
+        exprs_sorted = sorted(exprs, key=lambda kv: order[kv[0]])
+        allocs: list[Allocation] = []
+        solver_latency = 0.0
+        solves = 0
+        milp_vars = milp_cons = 0
+        objective = 0.0
+        for job_id, expr in exprs_sorted:
+            compiler = StrlCompiler(acc, self.config.quantum_s, now)
+            compiled = compiler.compile([(job_id, expr)])
+            milp_vars += compiled.stats["variables"]
+            milp_cons += compiled.stats["constraints"]
+            t0 = time.monotonic()
+            res = self._backend.solve(compiled.model)
+            solver_latency += time.monotonic() - t0
+            solves += 1
+            if not res.status.has_solution or res.x is None:
+                continue
+            objective += res.objective
+            placements = compiled.decode(res.x)
+            # Reserve *all* chosen placements (incl. deferred) in the
+            # accumulator so later jobs see them; launch only start == 0.
+            job_allocs: list[tuple[frozenset[str], int]] = []
+            pick_failed = False
+            for pl in placements:
+                try:
+                    nodes = acc.pick(compiled.partitioning, pl.node_counts,
+                                     pl.start, pl.duration)
+                except SchedulerError:
+                    # Fragmentation made this tentative placement
+                    # unassignable (possible for multi-leaf Min gangs that
+                    # the per-leaf interval caps cannot fully protect).
+                    # Skip; the job is re-planned next cycle.
+                    pick_failed = True
+                    continue
+                if pl.start == 0:
+                    job_allocs.append((nodes, pl.duration))
+            if pick_failed:
+                continue  # never launch a partial gang
+            for nodes, dur in job_allocs:
+                allocs = self._merge_launch(
+                    allocs, job_id, nodes,
+                    now, now + dur * self.config.quantum_s)
+        self._prev_plan = []
+        return allocs, solver_latency, solves, milp_vars, milp_cons, objective
+
+    # -- shared helpers -----------------------------------------------------------------
+    def _materialize(self, placements, compiled: CompiledBatch,
+                     acc: PlanAccumulator, requests, now) -> list[Allocation]:
+        """Turn decoded placements into launch decisions for start == 0."""
+        allocs: list[Allocation] = []
+        # Reserve deferred placements first so they are never cannibalized
+        # by now-starting picks of overlapping partitions? No: reservation
+        # order does not matter for feasibility (supply constraints hold for
+        # every quantum), but deterministic order aids reproducibility.
+        for pl in sorted(placements, key=lambda p: (p.start, p.job_id)):
+            nodes = acc.pick(compiled.partitioning, pl.node_counts,
+                             pl.start, pl.duration)
+            if pl.start == 0:
+                allocs = self._merge_launch(
+                    allocs, pl.job_id, nodes, now,
+                    now + pl.duration * self.config.quantum_s)
+        return allocs
+
+    @staticmethod
+    def _merge_launch(allocs: list[Allocation], job_id: str,
+                      nodes: frozenset[str], start: float,
+                      expected_end: float) -> list[Allocation]:
+        """Merge multi-leaf (e.g. Min gang) placements of one job."""
+        for i, a in enumerate(allocs):
+            if a.job_id == job_id:
+                allocs[i] = Allocation(job_id, a.nodes | nodes, a.start_time,
+                                       max(a.expected_end, expected_end))
+                return allocs
+        allocs.append(Allocation(job_id, nodes, start, expected_end))
+        return allocs
+
+    # -- warm start --------------------------------------------------------------------------
+    def _build_warm_start(self, compiled: CompiledBatch,
+                          now: float) -> np.ndarray | None:
+        """Previous cycle's plan, shifted forward, as a feasible MILP point.
+
+        Implements the paper's "we cache solver results to serve as a
+        feasible initial solution for the next cycle's solver invocation"
+        (Sec. 3.2.2).  Jobs that launched, finished, or no longer fit are
+        dropped; if nothing survives, returns ``None``.
+        """
+        if not self._prev_plan:
+            return None
+        elapsed_q = int(round((now - self._prev_now) / self.config.quantum_s))
+        if elapsed_q < 0:
+            return None
+
+        # Remaining capacity ledger per (partition, quantum).
+        remaining: dict[tuple[int, int], int] = {}
+        for part in compiled.partitioning.partitions:
+            profile = self.state.availability_profile(
+                part.nodes, compiled.horizon, now, self.config.quantum_s)
+            for t in range(compiled.horizon):
+                remaining[(part.pid, t)] = profile[t]
+
+        # Index compiled leaves by (job, eq-set, start, duration).
+        by_key = {}
+        for rec in compiled.leaf_records:
+            key = (rec.job_id, rec.leaf.nodes, rec.leaf.start,
+                   rec.leaf.duration)
+            by_key.setdefault(key, rec)
+
+        x = np.zeros(compiled.model.num_variables)
+        used_any = False
+        for job_id, leaf in self._prev_plan:
+            new_start = leaf.start - elapsed_q
+            if new_start < 0 or job_id not in compiled.job_indicators:
+                continue
+            rec = by_key.get((job_id, leaf.nodes, new_start, leaf.duration))
+            if rec is None:
+                continue
+            # Greedily refill the leaf's demand from its partitions.
+            plan: list[tuple[int, int]] = []
+            needed = leaf.k
+            span = range(new_start, new_start + leaf.duration)
+            for pid, pvar in sorted(rec.partition_vars.items()):
+                if needed == 0:
+                    break
+                avail = min(remaining[(pid, t)] for t in span)
+                take = min(needed, avail, int(pvar.ub or 0))
+                if take > 0:
+                    plan.append((pid, take))
+                    needed -= take
+            if needed > 0:
+                continue  # no longer fits; drop from warm start
+            for pid, take in plan:
+                x[rec.partition_vars[pid].index] = take
+                for t in span:
+                    remaining[(pid, t)] -= take
+            x[rec.indicator.index] = 1.0
+            x[compiled.job_indicators[job_id].index] = 1.0
+            used_any = True
+        if not used_any:
+            return None
+        if not compiled.model.check_feasible(x):
+            return None
+        return x

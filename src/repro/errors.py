@@ -1,0 +1,55 @@
+"""Exception hierarchy for the TetriSched reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """A MILP model was constructed or used incorrectly."""
+
+
+class SolverError(ReproError):
+    """The solver failed in an unexpected way (not mere infeasibility)."""
+
+
+class InfeasibleError(SolverError):
+    """The optimization problem has no feasible solution."""
+
+
+class UnboundedError(SolverError):
+    """The optimization problem is unbounded."""
+
+
+class StrlError(ReproError):
+    """An STRL expression is malformed or used incorrectly."""
+
+
+class StrlParseError(StrlError):
+    """The STRL text parser rejected its input."""
+
+
+class ClusterError(ReproError):
+    """Cluster model misuse (unknown node, duplicate names, ...)."""
+
+
+class SchedulerError(ReproError):
+    """Scheduler-level invariant violation."""
+
+
+class ReservationError(ReproError):
+    """Reservation system misuse."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulator invariant violation."""
+
+
+class WorkloadError(ReproError):
+    """Workload generator misconfiguration."""

@@ -1,0 +1,21 @@
+"""Experiment harness: runners, sweeps, and per-figure drivers."""
+
+from repro.experiments.figures import (ALL_FIGURES, FigureResult, fig6, fig7,
+                                       fig8, fig9, fig10, fig11, fig12,
+                                       table1, table2)
+from repro.experiments.report import (format_sweep, format_sweep_metric,
+                                      format_table, shape_check)
+from repro.experiments.runner import (RC80_SCALED, RC256_SCALED, SCHEDULER_NAMES,
+                                      ClusterSpec, RunSpec, build_scheduler,
+                                      run_experiment)
+from repro.experiments.sweeps import (METRICS, SweepResult,
+                                      estimate_error_sweep, plan_ahead_sweep)
+
+__all__ = [
+    "ALL_FIGURES", "ClusterSpec", "FigureResult", "METRICS", "RC256_SCALED",
+    "RC80_SCALED", "RunSpec", "SCHEDULER_NAMES", "SweepResult",
+    "build_scheduler", "estimate_error_sweep", "fig10", "fig11", "fig12",
+    "fig6", "fig7", "fig8", "fig9", "format_sweep", "format_sweep_metric",
+    "format_table", "plan_ahead_sweep", "run_experiment", "shape_check",
+    "table1", "table2",
+]

@@ -1,0 +1,104 @@
+"""ASCII line charts for sweep series (figures without matplotlib).
+
+Renders multiple series over a shared x-axis as a character grid, one
+marker per series, with a legend and y-axis labels — enough to eyeball the
+paper's figure shapes straight from a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.sweeps import SweepResult
+
+_MARKERS = "ox*+#@%&"
+
+
+@dataclass(frozen=True)
+class ChartConfig:
+    height: int = 12
+    width: int = 56
+    y_min: float | None = None
+    y_max: float | None = None
+
+
+def render_series(x_values: list[float],
+                  series: dict[str, list[float]],
+                  title: str = "", y_label: str = "",
+                  config: ChartConfig | None = None) -> str:
+    """Render named series sharing ``x_values`` as an ASCII chart."""
+    cfg = config or ChartConfig()
+    clean: dict[str, list[tuple[float, float]]] = {}
+    all_y: list[float] = []
+    for name, ys in series.items():
+        pts = [(x, y) for x, y in zip(x_values, ys)
+               if y is not None and not math.isnan(y)]
+        clean[name] = pts
+        all_y.extend(y for _, y in pts)
+    if not all_y:
+        return f"{title}\n(no data)"
+
+    y_lo = cfg.y_min if cfg.y_min is not None else min(all_y)
+    y_hi = cfg.y_max if cfg.y_max is not None else max(all_y)
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * cfg.width for _ in range(cfg.height)]
+
+    def col_of(x: float) -> int:
+        return int(round((x - x_lo) / (x_hi - x_lo) * (cfg.width - 1)))
+
+    def row_of(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return cfg.height - 1 - int(round(frac * (cfg.height - 1)))
+
+    for (name, pts), marker in zip(clean.items(), _MARKERS):
+        # Connect consecutive points with linear interpolation.
+        for (x1, y1), (x2, y2) in zip(pts, pts[1:]):
+            c1, c2 = col_of(x1), col_of(x2)
+            for c in range(min(c1, c2), max(c1, c2) + 1):
+                if c2 == c1:
+                    y = y1
+                else:
+                    t = (c - c1) / (c2 - c1)
+                    y = y1 + t * (y2 - y1)
+                r = row_of(y)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for x, y in pts:
+            grid[row_of(y)][col_of(x)] = marker
+
+    label_w = 8
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(cfg.height):
+        if r == 0:
+            label = f"{y_hi:>{label_w}.1f}"
+        elif r == cfg.height - 1:
+            label = f"{y_lo:>{label_w}.1f}"
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(grid[r])}|")
+    x_axis = f"{'':>{label_w}} +{'-' * cfg.width}+"
+    lines.append(x_axis)
+    gap = max(0, cfg.width - 22)
+    lines.append(f"{'':>{label_w}}  {x_lo:<10.4g}{'':>{gap}}{x_hi:>10.4g}")
+    legend = "   ".join(f"{marker}={name}"
+                        for (name, _), marker in zip(clean.items(), _MARKERS))
+    lines.append(f"{'':>{label_w}}  {legend}")
+    if y_label:
+        lines.append(f"{'':>{label_w}}  y: {y_label}")
+    return "\n".join(lines)
+
+
+def chart_sweep_metric(sweep: SweepResult, metric: str, title: str = "",
+                       config: ChartConfig | None = None) -> str:
+    """Chart one metric of a sweep, one series per scheduler."""
+    series = {sched: sweep.get(sched, metric) for sched in sweep.schedulers}
+    return render_series(sweep.x_values, series, title=title,
+                         y_label=metric, config=config)

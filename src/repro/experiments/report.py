@@ -1,0 +1,68 @@
+"""ASCII rendering of tables and sweep series for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.experiments.sweeps import SweepResult
+
+#: Human-readable labels for metric keys.
+METRIC_LABELS = {
+    "slo_total_pct": "SLO Attainment, all SLO jobs (%)",
+    "slo_accepted_pct": "SLO Attainment, accepted SLO jobs (%)",
+    "slo_no_reservation_pct": "SLO Attainment, SLO w/o reservation (%)",
+    "mean_be_latency_s": "Mean Best-Effort Latency (s)",
+}
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a fixed-width ASCII table."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line(headers), sep]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_sweep_metric(sweep: SweepResult, metric: str,
+                        title: str = "") -> str:
+    """One metric of a sweep as a table: rows = schedulers, cols = x."""
+    headers = [sweep.x_label] + [_fmt(float(x)) for x in sweep.x_values]
+    rows = []
+    for scheduler in sweep.schedulers:
+        rows.append([scheduler] + list(sweep.get(scheduler, metric)))
+    heading = title or METRIC_LABELS.get(metric, metric)
+    return f"{heading}\n{format_table(headers, rows)}"
+
+
+def format_sweep(sweep: SweepResult, metrics: Sequence[str],
+                 title: str = "") -> str:
+    """Render several metrics of one sweep, paper-figure style."""
+    blocks = [format_sweep_metric(sweep, m) for m in metrics]
+    body = "\n\n".join(blocks)
+    if title:
+        rule = "=" * len(title)
+        return f"{title}\n{rule}\n{body}"
+    return body
+
+
+def shape_check(description: str, condition: bool) -> str:
+    """One-line pass/fail annotation for a paper-shape assertion."""
+    return f"  [{'ok' if condition else 'DIVERGES'}] {description}"

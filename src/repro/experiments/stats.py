@@ -1,0 +1,96 @@
+"""Multi-seed statistics for experiment results.
+
+Single-seed runs carry several percentage points of workload noise; the
+``full`` scale runs each configuration across seeds.  This module
+aggregates those runs (mean, standard deviation, a normal-approximation
+confidence interval) and offers a paired comparison across schedulers on
+common seeds — the standard methodology for simulator studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary of one metric over seeds."""
+
+    mean: float
+    std: float
+    n: int
+    ci95_half_width: float
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.ci95_half_width
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.ci95_half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.ci95_half_width:.1f} (n={self.n})"
+
+
+def aggregate(values: list[float]) -> Aggregate:
+    """Mean / std / 95 % CI of a metric across seeds (NaNs dropped)."""
+    clean = np.asarray([v for v in values if not math.isnan(v)], dtype=float)
+    if clean.size == 0:
+        return Aggregate(math.nan, math.nan, 0, math.nan)
+    mean = float(clean.mean())
+    if clean.size == 1:
+        return Aggregate(mean, 0.0, 1, math.nan)
+    std = float(clean.std(ddof=1))
+    half = 1.96 * std / math.sqrt(clean.size)
+    return Aggregate(mean, std, int(clean.size), half)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired per-seed difference between two schedulers on one metric."""
+
+    mean_diff: float
+    ci95_half_width: float
+    n: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95 % CI of the paired difference excludes zero."""
+        if self.n < 2 or math.isnan(self.mean_diff):
+            return False
+        return abs(self.mean_diff) > self.ci95_half_width
+
+    def __str__(self) -> str:
+        marker = "*" if self.significant else " "
+        return (f"Δ={self.mean_diff:+.1f} ± {self.ci95_half_width:.1f} "
+                f"(n={self.n}){marker}")
+
+
+def paired_compare(a_values: list[float],
+                   b_values: list[float]) -> PairedComparison:
+    """Paired comparison ``a - b`` over common seeds.
+
+    Inputs must be aligned per seed (same index = same workload seed);
+    pairs with a NaN on either side are dropped.
+    """
+    diffs = [a - b for a, b in zip(a_values, b_values)
+             if not (math.isnan(a) or math.isnan(b))]
+    if not diffs:
+        return PairedComparison(math.nan, math.nan, 0)
+    arr = np.asarray(diffs, dtype=float)
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return PairedComparison(mean, math.inf, 1)
+    half = 1.96 * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return PairedComparison(mean, half, int(arr.size))
+
+
+def aggregate_sweep_point(sweep, scheduler: str, x: float,
+                          metric: str) -> Aggregate:
+    """Aggregate a metric across the seeds of one sweep point."""
+    runs = sweep.raw[(scheduler, x)]
+    return aggregate([getattr(r.metrics, metric) for r in runs])

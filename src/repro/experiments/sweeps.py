@@ -1,0 +1,86 @@
+"""Parameter sweeps: estimate error (Figs. 6-10) and plan-ahead (Figs. 11-12).
+
+A sweep runs every (scheduler, x-value) combination, optionally averaging
+over several workload seeds, and collects the paper's four metrics into
+series keyed ``(scheduler, metric)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.runner import RunSpec, run_experiment
+
+#: Metric keys extracted from every run.
+METRICS = ("slo_total_pct", "slo_accepted_pct", "slo_no_reservation_pct",
+           "mean_be_latency_s")
+
+
+@dataclass
+class SweepResult:
+    """Series data for one figure."""
+
+    x_label: str
+    x_values: list[float]
+    schedulers: list[str]
+    #: (scheduler, metric) -> list aligned with x_values.
+    series: dict[tuple[str, str], list[float]] = field(default_factory=dict)
+    #: (scheduler, x) -> list of SimulationResult (one per seed).
+    raw: dict = field(default_factory=dict)
+
+    def get(self, scheduler: str, metric: str) -> list[float]:
+        return self.series[(scheduler, metric)]
+
+
+def _mean_ignoring_nan(values: list[float]) -> float:
+    clean = [v for v in values if not math.isnan(v)]
+    return float(np.mean(clean)) if clean else math.nan
+
+
+def _run_point(base: RunSpec, scheduler: str, seeds: list[int],
+               **overrides) -> list:
+    results = []
+    for seed in seeds:
+        spec = base.with_(scheduler=scheduler, seed=seed, **overrides)
+        results.append(run_experiment(spec))
+    return results
+
+
+def _collect(sweep: SweepResult, scheduler: str, x: float, results) -> None:
+    sweep.raw[(scheduler, x)] = results
+    for metric in METRICS:
+        key = (scheduler, metric)
+        sweep.series.setdefault(key, []).append(_mean_ignoring_nan(
+            [getattr(r.metrics, metric) for r in results]))
+
+
+def estimate_error_sweep(base: RunSpec, schedulers: list[str],
+                         errors_pct: list[float],
+                         seeds: list[int] | None = None) -> SweepResult:
+    """Sweep runtime estimate error (percent, as on the paper's x-axes)."""
+    seeds = seeds or [base.seed]
+    sweep = SweepResult(x_label="Estimate Error(%)",
+                        x_values=list(errors_pct), schedulers=list(schedulers))
+    for scheduler in schedulers:
+        for err in errors_pct:
+            results = _run_point(base, scheduler, seeds,
+                                 estimate_error=err / 100.0)
+            _collect(sweep, scheduler, err, results)
+    return sweep
+
+
+def plan_ahead_sweep(base: RunSpec, schedulers: list[str],
+                     plan_aheads_s: list[float],
+                     seeds: list[int] | None = None) -> SweepResult:
+    """Sweep the plan-ahead window (seconds, Fig. 11/12 x-axis)."""
+    seeds = seeds or [base.seed]
+    sweep = SweepResult(x_label="Plan-ahead(s)", x_values=list(plan_aheads_s),
+                        schedulers=list(schedulers))
+    for scheduler in schedulers:
+        for pa in plan_aheads_s:
+            results = _run_point(base, scheduler, seeds, plan_ahead_s=pa)
+            _collect(sweep, scheduler, pa, results)
+    return sweep

@@ -1,0 +1,7 @@
+"""Rayon-style reservation system (admission control + capacity plan)."""
+
+from repro.reservation.plan import ReservationPlan, ReservedWindow
+from repro.reservation.rayon import RayonReservationSystem, ReservationDecision
+
+__all__ = ["RayonReservationSystem", "ReservationDecision", "ReservationPlan",
+           "ReservedWindow"]

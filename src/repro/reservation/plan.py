@@ -1,0 +1,154 @@
+"""Capacity ledger over discretized future time (the reservation plan).
+
+Rayon maintains a plan of promised capacity over time; admission control
+checks a new reservation against it and the cluster's total capacity.  We
+model capacity as node count (the paper's workloads request gangs of
+equal-sized containers, one per node).
+
+The ledger is sparse: only steps with nonzero reservation are stored, so the
+plan scales to long horizons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReservationError
+
+
+@dataclass(frozen=True)
+class ReservedWindow:
+    """A committed reservation: ``k`` nodes over ``[start_s, end_s)``."""
+
+    job_id: str
+    k: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class ReservationPlan:
+    """Tracks reserved capacity per time step against a fixed total.
+
+    Parameters
+    ----------
+    capacity:
+        Total cluster capacity in nodes.
+    step_s:
+        Ledger granularity in seconds.  Reservations snap outward to step
+        boundaries (start rounded down, end rounded up) so the plan never
+        under-counts.
+    """
+
+    def __init__(self, capacity: int, step_s: float = 4.0) -> None:
+        if capacity <= 0:
+            raise ReservationError("capacity must be positive")
+        if step_s <= 0:
+            raise ReservationError("step must be positive")
+        self.capacity = capacity
+        self.step_s = step_s
+        self._reserved: dict[int, int] = {}
+        self._windows: dict[str, ReservedWindow] = {}
+
+    # -- step helpers ---------------------------------------------------------
+    def _step_of(self, t: float) -> int:
+        return int(math.floor(t / self.step_s + 1e-9))
+
+    def _step_range(self, start_s: float, end_s: float) -> range:
+        first = self._step_of(start_s)
+        last = int(math.ceil(end_s / self.step_s - 1e-9))
+        return range(first, max(last, first + 1))
+
+    # -- queries ----------------------------------------------------------------
+    def reserved_at(self, t: float) -> int:
+        """Capacity promised to reservations at absolute time ``t``."""
+        return self._reserved.get(self._step_of(t), 0)
+
+    def headroom(self, start_s: float, end_s: float) -> int:
+        """Minimum free capacity across ``[start_s, end_s)``."""
+        return min((self.capacity - self._reserved.get(s, 0)
+                    for s in self._step_range(start_s, end_s)),
+                   default=self.capacity)
+
+    def fits(self, k: int, start_s: float, end_s: float) -> bool:
+        return k <= self.headroom(start_s, end_s)
+
+    def window_of(self, job_id: str) -> ReservedWindow:
+        try:
+            return self._windows[job_id]
+        except KeyError:
+            raise ReservationError(f"no reservation for job {job_id!r}") from None
+
+    def has_reservation(self, job_id: str) -> bool:
+        return job_id in self._windows
+
+    @property
+    def windows(self) -> list[ReservedWindow]:
+        return list(self._windows.values())
+
+    # -- placement search ----------------------------------------------------------
+    def find_earliest_start(self, k: int, duration_s: float,
+                            earliest_s: float, deadline_s: float) -> float | None:
+        """Earliest step-aligned start fitting ``k`` nodes for the duration.
+
+        Scans step boundaries in ``[earliest_s, deadline_s - duration_s]``;
+        returns ``None`` when no slot exists (the reservation is rejected).
+        """
+        if k > self.capacity or duration_s <= 0:
+            return None
+        latest_start = deadline_s - duration_s
+        if latest_start < earliest_s - 1e-9:
+            return None
+        step = self._step_of(earliest_s)
+        start = max(earliest_s, step * self.step_s)
+        if start < earliest_s - 1e-9:
+            start += self.step_s
+        while start <= latest_start + 1e-9:
+            if self.fits(k, start, start + duration_s):
+                return start
+            start += self.step_s
+        return None
+
+    # -- mutation ------------------------------------------------------------------
+    def reserve(self, job_id: str, k: int, start_s: float,
+                duration_s: float) -> ReservedWindow:
+        """Commit a reservation; raises if it does not fit."""
+        if job_id in self._windows:
+            raise ReservationError(f"job {job_id!r} already has a reservation")
+        if k <= 0:
+            raise ReservationError("k must be positive")
+        end_s = start_s + duration_s
+        if not self.fits(k, start_s, end_s):
+            raise ReservationError(
+                f"reservation for {job_id!r} does not fit the plan")
+        for s in self._step_range(start_s, end_s):
+            self._reserved[s] = self._reserved.get(s, 0) + k
+        window = ReservedWindow(job_id, k, start_s, end_s)
+        self._windows[job_id] = window
+        return window
+
+    def release(self, job_id: str, at_s: float | None = None) -> None:
+        """Drop a reservation's remaining capacity from the ledger.
+
+        ``at_s`` trims only the part of the window at or after that time
+        (early completion frees the tail); ``None`` drops the whole window.
+        """
+        window = self.window_of(job_id)
+        cut = window.start_s if at_s is None else max(at_s, window.start_s)
+        if cut < window.end_s:
+            # Steps fully or partially covered from `cut` onward.  The step
+            # containing `cut` stays reserved (it was promised and partially
+            # used); release from the next boundary.
+            first_kept = int(math.ceil(cut / self.step_s - 1e-9))
+            for s in self._step_range(window.start_s, window.end_s):
+                if s >= first_kept:
+                    remaining = self._reserved.get(s, 0) - window.k
+                    if remaining > 0:
+                        self._reserved[s] = remaining
+                    else:
+                        self._reserved.pop(s, None)
+        del self._windows[job_id]

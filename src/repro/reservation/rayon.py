@@ -1,0 +1,111 @@
+"""Rayon-style reservation system: admission control over future capacity.
+
+Rayon [Curino et al., SoCC'14] is the YARN reservation system TetriSched
+runs in tandem with (Sec. 2.1).  Its role in the paper's evaluation:
+
+* SLO jobs submit a reservation (RDL ``Window``/``Atom``) on arrival;
+* Rayon *accepts* the reservation iff the requested gang fits into the
+  remaining capacity plan before the deadline (using the job's *estimated*
+  runtime — mis-estimation at this stage is exactly what Sec. 7.1 studies);
+* accepted jobs are "accepted SLO jobs" (value 1000x); rejected ones become
+  "SLO jobs without reservation" (25x) and compete as high-priority
+  best-effort (Sec. 6.2.2);
+* both the Rayon/CapacityScheduler stack and Rayon/TetriSched consume the
+  *same* admission decisions, so the comparison isolates the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReservationError
+from repro.reservation.plan import ReservationPlan, ReservedWindow
+from repro.strl.rdl import Window
+
+
+@dataclass(frozen=True)
+class ReservationDecision:
+    """Outcome of admission control for one job."""
+
+    job_id: str
+    accepted: bool
+    window: ReservedWindow | None = None
+
+    @property
+    def start_s(self) -> float:
+        if self.window is None:
+            raise ReservationError(f"job {self.job_id!r} was not accepted")
+        return self.window.start_s
+
+
+class RayonReservationSystem:
+    """Admission control frontend shared by both scheduler stacks.
+
+    Example
+    -------
+    >>> rayon = RayonReservationSystem(capacity=4, step_s=10)
+    >>> d = rayon.submit("j1", k=2, duration_s=20, arrival_s=0, deadline_s=60)
+    >>> d.accepted
+    True
+    """
+
+    def __init__(self, capacity: int, step_s: float = 4.0) -> None:
+        self.plan = ReservationPlan(capacity, step_s)
+        self.decisions: dict[str, ReservationDecision] = {}
+
+    def submit(self, job_id: str, k: int, duration_s: float, arrival_s: float,
+               deadline_s: float) -> ReservationDecision:
+        """Run admission control for a job's reservation request.
+
+        Finds the earliest slot where ``k`` nodes are free for the full
+        (estimated) duration without violating prior guarantees; accepts and
+        records it, or rejects.
+        """
+        if job_id in self.decisions:
+            raise ReservationError(f"job {job_id!r} already submitted")
+        start = self.plan.find_earliest_start(k, duration_s, arrival_s,
+                                              deadline_s)
+        if start is None:
+            decision = ReservationDecision(job_id, accepted=False)
+        else:
+            window = self.plan.reserve(job_id, k, start, duration_s)
+            decision = ReservationDecision(job_id, accepted=True,
+                                           window=window)
+        self.decisions[job_id] = decision
+        return decision
+
+    def submit_rdl(self, job_id: str, window: Window,
+                   arrival_s: float) -> ReservationDecision:
+        """Admission control from an RDL expression (Sec. 4.4 interface)."""
+        atom = window.atom
+        return self.submit(job_id, k=atom.k, duration_s=atom.duration_s,
+                           arrival_s=max(arrival_s, window.start_s),
+                           deadline_s=window.finish_s)
+
+    def decision_of(self, job_id: str) -> ReservationDecision:
+        try:
+            return self.decisions[job_id]
+        except KeyError:
+            raise ReservationError(
+                f"job {job_id!r} never submitted a reservation") from None
+
+    def is_accepted(self, job_id: str) -> bool:
+        """True iff the job holds an accepted reservation.
+
+        Jobs that never submitted return False (best-effort jobs).
+        """
+        decision = self.decisions.get(job_id)
+        return decision is not None and decision.accepted
+
+    def on_job_complete(self, job_id: str, at_s: float) -> None:
+        """Release the unused tail of a reservation on (early) completion."""
+        if self.is_accepted(job_id) and self.plan.has_reservation(job_id):
+            self.plan.release(job_id, at_s)
+
+    def guaranteed_capacity_at(self, t: float) -> int:
+        """Total capacity promised to reservations at time ``t``.
+
+        The CapacityScheduler uses this to decide how much of the cluster
+        must be protected (via preemption if needed) for reserved jobs.
+        """
+        return self.plan.reserved_at(t)

@@ -1,0 +1,19 @@
+"""Discrete-event cluster simulator (replaces the paper's physical testbed)."""
+
+from repro.sim.adapters import TetriSchedAdapter
+from repro.sim.engine import Simulation, SimulationResult
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.faults import FaultDecision, FaultModel
+from repro.sim.interface import ClusterScheduler, CycleDecisions
+from repro.sim.jobs import ElasticType, GpuType, Job, MpiType, UnconstrainedType
+from repro.sim.metrics import (JobOutcome, LatencyTrace, MetricsCollector,
+                               MetricsReport)
+from repro.sim.trace import ExecutionTrace, TraceEvent
+
+__all__ = [
+    "ClusterScheduler", "CycleDecisions", "Event", "EventKind", "EventQueue",
+    "ElasticType", "ExecutionTrace", "FaultDecision", "FaultModel",
+    "GpuType", "Job", "JobOutcome", "LatencyTrace", "MetricsCollector",
+    "MetricsReport", "MpiType", "Simulation", "SimulationResult",
+    "TetriSchedAdapter", "TraceEvent", "UnconstrainedType",
+]

@@ -1,0 +1,78 @@
+"""Adapter exposing the TetriSched core through the simulator interface.
+
+Performs the role of the paper's STRL Generator inputs (Sec. 3.1): combines
+reservation information (accepted / rejected, deadline) with the job type's
+placement options and the Fig. 5 value functions to build
+:class:`~repro.core.scheduler.JobRequest` objects.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.core.queues import PriorityClass
+from repro.core.scheduler import JobRequest, TetriSched, TetriSchedConfig
+from repro.sim.interface import ClusterScheduler, CycleDecisions
+from repro.sim.jobs import Job
+from repro.valuefn import (SLO_ACCEPTED_MULTIPLIER,
+                           SLO_NO_RESERVATION_MULTIPLIER, GraceStepValue,
+                           best_effort_value)
+
+
+class TetriSchedAdapter:
+    """Rayon/TetriSched stack as a simulator-drivable scheduler."""
+
+    def __init__(self, cluster: Cluster,
+                 config: TetriSchedConfig | None = None,
+                 name: str = "TetriSched") -> None:
+        self.name = name
+        self.cluster = cluster
+        self.scheduler = TetriSched(cluster, config)
+        self.cycle_s = self.scheduler.config.cycle_s
+        self._running: set[str] = set()
+
+    # -- ClusterScheduler interface -----------------------------------------
+    def submit(self, job: Job, accepted: bool, now: float) -> None:
+        if job.is_slo:
+            # A one-quantum grace window (at discounted value) compensates
+            # for ceil-rounded durations and cycle misalignment; on-time
+            # placements always dominate, and SLO attainment is still
+            # measured against the true deadline by the simulator.
+            cfg = self.scheduler.config
+            grace = cfg.deadline_grace_quanta * cfg.quantum_s
+            mult = (SLO_ACCEPTED_MULTIPLIER if accepted
+                    else SLO_NO_RESERVATION_MULTIPLIER)
+            value_fn = GraceStepValue(mult, job.deadline, grace)
+            deadline = job.deadline + grace
+            priority = (PriorityClass.SLO_ACCEPTED if accepted
+                        else PriorityClass.SLO_NO_RESERVATION)
+        else:
+            value_fn = best_effort_value(release_time=job.submit_time)
+            priority = PriorityClass.BEST_EFFORT
+            deadline = None
+        request = JobRequest(
+            job_id=job.job_id,
+            options=tuple(job.estimated_options(self.cluster)),
+            value_fn=value_fn, priority=priority,
+            submit_time=job.submit_time, deadline=deadline)
+        self.scheduler.submit(request)
+
+    def cycle(self, now: float) -> CycleDecisions:
+        result = self.scheduler.run_cycle(now)
+        self._running.update(a.job_id for a in result.allocations)
+        self._running.difference_update(result.preempted)
+        return CycleDecisions(allocations=result.allocations,
+                              culled=result.culled,
+                              preempted=result.preempted, stats=result.stats)
+
+    def job_finished(self, job_id: str, now: float) -> None:
+        self.scheduler.on_job_finished(job_id, now)
+        self._running.discard(job_id)
+
+    @property
+    def active_jobs(self) -> int:
+        return self.scheduler.pending_count + len(self._running)
+
+    @property
+    def cycle_history(self):
+        """Per-cycle stats (Fig. 12 scalability data)."""
+        return self.scheduler.cycle_history

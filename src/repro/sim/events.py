@@ -1,0 +1,93 @@
+"""Event queue for the discrete-event simulator.
+
+A tiny, deterministic priority queue: events fire in (time, sequence) order,
+so same-time events fire in insertion order.  Events can be cancelled in
+place (used when the CapacityScheduler preempts a running job and its
+completion event must not fire).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class EventKind(enum.Enum):
+    JOB_ARRIVAL = "arrival"
+    JOB_COMPLETION = "completion"
+    JOB_FAILURE = "failure"
+    SCHEDULER_CYCLE = "cycle"
+
+
+#: Same-timestamp ordering: arrivals and completions are visible to a cycle
+#: firing at the same instant (freed nodes / new jobs are schedulable now).
+_KIND_PRIORITY = {
+    EventKind.JOB_ARRIVAL: 0,
+    EventKind.JOB_COMPLETION: 1,
+    EventKind.JOB_FAILURE: 1,  # frees nodes like a completion
+    EventKind.SCHEDULER_CYCLE: 2,
+}
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulator event (ordered by time, kind priority, seq)."""
+
+    time: float
+    priority: int
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of events with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        ev = Event(time, _KIND_PRIORITY[kind], next(self._counter), kind,
+                   payload)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def pop(self) -> Event | None:
+        """Next non-cancelled event, or ``None`` when the queue is drained."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def cancel(self, event: Event) -> None:
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> float | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

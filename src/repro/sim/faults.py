@@ -1,0 +1,73 @@
+"""Fault injection: probabilistic job failures with bounded retries.
+
+Production clusters lose tasks to hardware faults, speculative kills, and
+bad nodes; schedulers must tolerate work evaporating mid-run.  The fault
+model decides, per launch, whether the run fails and after which fraction
+of its true runtime.  Failed jobs release their nodes immediately and are
+resubmitted (same Rayon admission status) until ``retry_limit`` attempts
+are exhausted, after which they are finalized as never-completed.
+
+Deterministic: decisions are a pure function of (seed, job id, attempt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """Outcome of the fault draw for one launch attempt."""
+
+    fails: bool
+    #: Fraction of the true runtime completed before the failure.
+    at_fraction: float = 1.0
+
+
+class FaultModel:
+    """Per-launch failure decisions.
+
+    Parameters
+    ----------
+    failure_prob:
+        Probability that any given launch attempt fails mid-run.
+    retry_limit:
+        Maximum number of *failed* attempts before the job is abandoned
+        (so a job may run up to ``retry_limit + 1`` times).
+    seed:
+        Fault-stream seed, independent of the workload seed.
+    """
+
+    def __init__(self, failure_prob: float, retry_limit: int = 3,
+                 seed: int = 0) -> None:
+        if not 0.0 <= failure_prob < 1.0:
+            raise SimulationError("failure_prob must be in [0, 1)")
+        if retry_limit < 0:
+            raise SimulationError("retry_limit must be nonnegative")
+        self.failure_prob = failure_prob
+        self.retry_limit = retry_limit
+        self.seed = seed
+
+    def _rng_for(self, job_id: str, attempt: int) -> np.random.Generator:
+        # zlib.crc32 is stable across processes (unlike hash(), which is
+        # salted for strings), keeping fault streams reproducible.
+        import zlib
+        digest = zlib.crc32(f"{self.seed}:{job_id}:{attempt}".encode())
+        return np.random.default_rng(digest)
+
+    def draw(self, job_id: str, attempt: int) -> FaultDecision:
+        """Decide the fate of launch ``attempt`` (0-based) of ``job_id``."""
+        rng = self._rng_for(job_id, attempt)
+        if rng.random() >= self.failure_prob:
+            return FaultDecision(fails=False)
+        # Fail somewhere in (0.1, 0.9) of the run: neither instant nor at
+        # the finish line, so lost work is always meaningful.
+        return FaultDecision(fails=True,
+                             at_fraction=float(rng.uniform(0.1, 0.9)))
+
+    def gave_up(self, failures: int) -> bool:
+        return failures > self.retry_limit

@@ -1,0 +1,54 @@
+"""The scheduler interface the simulator drives.
+
+Both stacks implement this: Rayon/TetriSched (via
+:class:`repro.sim.adapters.TetriSchedAdapter`) and Rayon/CapacityScheduler
+(:class:`repro.baselines.capacity_scheduler.CapacityScheduler`).  It mirrors
+the paper's YARN proxy-scheduler interface (Sec. 3.3): add jobs, emit
+allocation decisions, signal completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.core.allocation import Allocation
+from repro.core.scheduler import CycleStats
+from repro.sim.jobs import Job
+
+
+@dataclass
+class CycleDecisions:
+    """What one scheduling cycle decided, as seen by the simulator."""
+
+    allocations: list[Allocation] = field(default_factory=list)
+    #: Jobs permanently dropped this cycle (zero remaining value).
+    culled: list[str] = field(default_factory=list)
+    #: Running jobs killed to honor reservations (CapacityScheduler only).
+    preempted: list[str] = field(default_factory=list)
+    stats: CycleStats | None = None
+
+
+@runtime_checkable
+class ClusterScheduler(Protocol):
+    """Minimal contract between the simulator and a scheduler stack."""
+
+    name: str
+    cycle_s: float
+
+    def submit(self, job: Job, accepted: bool, now: float) -> None:
+        """A job arrived; ``accepted`` is Rayon's admission decision."""
+        ...
+
+    def cycle(self, now: float) -> CycleDecisions:
+        """Run one scheduling cycle and return its decisions."""
+        ...
+
+    def job_finished(self, job_id: str, now: float) -> None:
+        """A running job completed; its nodes are free again."""
+        ...
+
+    @property
+    def active_jobs(self) -> int:
+        """Jobs currently queued or running inside the scheduler."""
+        ...

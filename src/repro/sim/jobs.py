@@ -1,0 +1,235 @@
+"""Jobs and job types for the simulator.
+
+Job types reproduce the paper's three preference classes (Sec. 6.2.1):
+
+* **Unconstrained** — no placement preference; any ``k`` nodes.
+* **GPU** — prefers GPU-labeled nodes; on any non-GPU node the job runs
+  ``slowdown`` times longer (a simple non-combinatorial soft constraint).
+* **MPI** — prefers all ``k`` tasks on one rack (any rack); spreading across
+  racks slows the whole job down (a combinatorial constraint).
+
+Each type produces the *estimated* placement options handed to the scheduler
+(STRL generation feeds on these) and computes the *true* runtime of a
+concrete placement.  Mis-estimation (the Sec. 7.1 sweep) is carried on the
+job: the scheduler sees ``true * (1 + error)``, the simulator runs the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.cluster.cluster import Cluster
+from repro.errors import WorkloadError
+from repro.strl.generator import SpaceOption
+
+
+class JobType(Protocol):
+    """Placement-preference behaviour of a job class."""
+
+    name: str
+
+    def options(self, cluster: Cluster, k: int,
+                runtime_s: float) -> tuple[SpaceOption, ...]:
+        """Placement options with per-option runtimes (preferred first)."""
+        ...
+
+    def true_runtime(self, cluster: Cluster, nodes: frozenset[str],
+                     base_runtime_s: float, k: int) -> float:
+        """Actual runtime on a concrete placement.
+
+        ``base_runtime_s`` is the runtime on the *preferred* placement and
+        ``k`` the job's requested gang size (the maximum width for elastic
+        types).
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class UnconstrainedType:
+    """Any k nodes; runtime independent of placement."""
+
+    name: str = "unconstrained"
+
+    def options(self, cluster: Cluster, k: int,
+                runtime_s: float) -> tuple[SpaceOption, ...]:
+        return (SpaceOption(cluster.node_names, k=k, duration_s=runtime_s,
+                            label="any"),)
+
+    def true_runtime(self, cluster: Cluster, nodes: frozenset[str],
+                     base_runtime_s: float, k: int) -> float:
+        return base_runtime_s
+
+
+@dataclass(frozen=True)
+class GpuType:
+    """Prefers GPU nodes; non-GPU placement runs ``slowdown`` times longer."""
+
+    slowdown: float = 1.5
+    name: str = "gpu"
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise WorkloadError("slowdown must be >= 1")
+
+    def options(self, cluster: Cluster, k: int,
+                runtime_s: float) -> tuple[SpaceOption, ...]:
+        gpu_nodes = cluster.nodes_with_attr("gpu")
+        opts = []
+        if len(gpu_nodes) >= k:
+            opts.append(SpaceOption(gpu_nodes, k=k, duration_s=runtime_s,
+                                    label="gpu"))
+        opts.append(SpaceOption(cluster.node_names, k=k,
+                                duration_s=runtime_s * self.slowdown,
+                                label="fallback"))
+        return tuple(opts)
+
+    def true_runtime(self, cluster: Cluster, nodes: frozenset[str],
+                     base_runtime_s: float, k: int) -> float:
+        # "Any task placed on a sub-optimal node runs slower" — the gang
+        # completes when its slowest task does.
+        if all(cluster.node(n).has_attr("gpu") for n in nodes):
+            return base_runtime_s
+        return base_runtime_s * self.slowdown
+
+
+@dataclass(frozen=True)
+class MpiType:
+    """Prefers rack-local placement (any single rack); spreading slows it."""
+
+    slowdown: float = 1.5
+    name: str = "mpi"
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise WorkloadError("slowdown must be >= 1")
+
+    def options(self, cluster: Cluster, k: int,
+                runtime_s: float) -> tuple[SpaceOption, ...]:
+        opts = []
+        for rack in cluster.rack_names:
+            members = cluster.rack_nodes(rack)
+            if len(members) >= k:
+                opts.append(SpaceOption(members, k=k, duration_s=runtime_s,
+                                        label=f"rack:{rack}"))
+        opts.append(SpaceOption(cluster.node_names, k=k,
+                                duration_s=runtime_s * self.slowdown,
+                                label="spread"))
+        return tuple(opts)
+
+    def true_runtime(self, cluster: Cluster, nodes: frozenset[str],
+                     base_runtime_s: float, k: int) -> float:
+        if len(cluster.racks_of(nodes)) <= 1:
+            return base_runtime_s
+        return base_runtime_s * self.slowdown
+
+
+@dataclass(frozen=True)
+class ElasticType:
+    """Malleable parallelism: any width from ``min_k`` up to the gang size.
+
+    Implements the paper's space-time elasticity ("General space-time
+    elasticity of jobs can be expressed using MAX to select among possible
+    2D space-time shapes", Sec. 4.1): the job carries a fixed amount of
+    work; wider allocations finish proportionally faster.  ``Job.k`` is the
+    *maximum* parallelism and ``base_runtime_s`` the runtime at that width,
+    so total work is ``base_runtime_s * k`` node-seconds.
+
+    ``efficiency`` < 1 models imperfect scaling: each halving of width
+    costs slightly less than double the time, making wide allocations
+    mildly preferred even before the earliness bias.
+    """
+
+    min_k: int = 1
+    efficiency: float = 1.0
+    name: str = "elastic"
+
+    def __post_init__(self) -> None:
+        if self.min_k < 1:
+            raise WorkloadError("min_k must be >= 1")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise WorkloadError("efficiency must be in (0, 1]")
+
+    def _runtime_at(self, width: int, k: int, runtime_s: float) -> float:
+        """Runtime when running at ``width`` nodes (reference width ``k``).
+
+        Total work is ``runtime_s * k`` node-seconds; narrower widths pay a
+        1/efficiency scaling penalty.
+        """
+        penalty = 1.0 if width >= k else 1.0 / self.efficiency
+        return runtime_s * k * penalty / width
+
+    def options(self, cluster: Cluster, k: int,
+                runtime_s: float) -> tuple[SpaceOption, ...]:
+        lo = min(self.min_k, k)
+        opts = []
+        for width in range(k, lo - 1, -1):  # widest (fastest) first
+            opts.append(SpaceOption(
+                cluster.node_names, k=width,
+                duration_s=self._runtime_at(width, k, runtime_s),
+                label=f"width:{width}"))
+        return tuple(opts)
+
+    def true_runtime(self, cluster: Cluster, nodes: frozenset[str],
+                     base_runtime_s: float, k: int) -> float:
+        return self._runtime_at(len(nodes), k, base_runtime_s)
+
+
+@dataclass
+class Job:
+    """One simulated job.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier.
+    job_type:
+        Placement-preference behaviour (:class:`UnconstrainedType`, ...).
+    k:
+        Gang size in nodes.
+    base_runtime_s:
+        *True* runtime on the preferred placement.
+    submit_time:
+        Arrival time (absolute seconds).
+    deadline:
+        Absolute completion deadline for SLO jobs, ``None`` for best-effort.
+    estimate_error:
+        Relative runtime mis-estimation: the scheduler and the reservation
+        system see ``base_runtime_s * (1 + estimate_error)``.  Negative =
+        under-estimation (Sec. 6.3).
+    """
+
+    job_id: str
+    job_type: JobType
+    k: int
+    base_runtime_s: float
+    submit_time: float
+    deadline: float | None = None
+    estimate_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise WorkloadError(f"job {self.job_id!r}: k must be positive")
+        if self.base_runtime_s <= 0:
+            raise WorkloadError(f"job {self.job_id!r}: runtime must be positive")
+        if self.estimate_error <= -1.0:
+            raise WorkloadError(
+                f"job {self.job_id!r}: estimate error must be > -100%")
+
+    @property
+    def is_slo(self) -> bool:
+        return self.deadline is not None
+
+    @property
+    def estimated_runtime_s(self) -> float:
+        """Runtime as reported to Rayon and the scheduler."""
+        return self.base_runtime_s * (1.0 + self.estimate_error)
+
+    def estimated_options(self, cluster: Cluster) -> tuple[SpaceOption, ...]:
+        """Placement options with (mis-)estimated durations."""
+        return self.job_type.options(cluster, self.k, self.estimated_runtime_s)
+
+    def true_runtime_on(self, cluster: Cluster, nodes: frozenset[str]) -> float:
+        """Actual runtime for a concrete placement (simulator ground truth)."""
+        return self.job_type.true_runtime(cluster, nodes,
+                                          self.base_runtime_s, self.k)

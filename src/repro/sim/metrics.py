@@ -1,0 +1,162 @@
+"""Experiment metrics (Sec. 6.3).
+
+The paper's four success metrics:
+
+(a) **accepted SLO attainment** — % of accepted-reservation SLO jobs that
+    completed before their deadline;
+(b) **total SLO attainment** — % of all SLO jobs completed before deadline;
+(c) **SLO attainment w/o reservation** — % of rejected-reservation SLO jobs
+    completed before deadline;
+(d) **mean best-effort latency** — mean completion (sojourn) time of
+    best-effort jobs.
+
+Jobs that never ran (culled, or still pending at simulation end) count as
+missed SLOs; unfinished best-effort jobs are excluded from mean latency but
+reported separately.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class JobOutcome:
+    """Everything the metrics need to know about one job's fate."""
+
+    job_id: str
+    is_slo: bool
+    accepted: bool                 # accepted reservation (SLO only)
+    submit_time: float
+    deadline: float | None
+    start_time: float | None = None
+    finish_time: float | None = None
+    nodes: frozenset[str] = frozenset()
+    preferred_placement: bool | None = None
+    preemptions: int = 0
+    failures: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def met_deadline(self) -> bool:
+        """SLO attainment for this job (False when it never completed)."""
+        return (self.is_slo and self.completed
+                and self.finish_time <= self.deadline + 1e-9)
+
+    @property
+    def latency(self) -> float | None:
+        """Sojourn time (completion - submission), or None if unfinished."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+
+def _percentage(hits: int, total: int) -> float:
+    return 100.0 * hits / total if total else math.nan
+
+
+@dataclass
+class MetricsReport:
+    """Aggregated metrics for one simulation run."""
+
+    slo_total_pct: float
+    slo_accepted_pct: float
+    slo_no_reservation_pct: float
+    mean_be_latency_s: float
+    jobs_total: int
+    jobs_slo: int
+    jobs_accepted: int
+    jobs_best_effort: int
+    be_completed: int
+    preemptions: int
+    failures: int
+    preferred_placements_pct: float
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.__dict__)
+
+
+class MetricsCollector:
+    """Accumulates per-job outcomes and produces a :class:`MetricsReport`."""
+
+    def __init__(self) -> None:
+        self.outcomes: dict[str, JobOutcome] = {}
+
+    def register(self, outcome: JobOutcome) -> None:
+        if outcome.job_id in self.outcomes:
+            raise ValueError(f"job {outcome.job_id!r} already registered")
+        self.outcomes[outcome.job_id] = outcome
+
+    def of(self, job_id: str) -> JobOutcome:
+        return self.outcomes[job_id]
+
+    # -- aggregation ---------------------------------------------------------
+    def report(self) -> MetricsReport:
+        all_jobs = list(self.outcomes.values())
+        slo = [o for o in all_jobs if o.is_slo]
+        accepted = [o for o in slo if o.accepted]
+        no_res = [o for o in slo if not o.accepted]
+        be = [o for o in all_jobs if not o.is_slo]
+        be_latencies = [o.latency for o in be if o.latency is not None]
+        placed = [o for o in all_jobs if o.preferred_placement is not None]
+        return MetricsReport(
+            slo_total_pct=_percentage(
+                sum(o.met_deadline for o in slo), len(slo)),
+            slo_accepted_pct=_percentage(
+                sum(o.met_deadline for o in accepted), len(accepted)),
+            slo_no_reservation_pct=_percentage(
+                sum(o.met_deadline for o in no_res), len(no_res)),
+            mean_be_latency_s=(float(np.mean(be_latencies))
+                               if be_latencies else math.nan),
+            jobs_total=len(all_jobs),
+            jobs_slo=len(slo),
+            jobs_accepted=len(accepted),
+            jobs_best_effort=len(be),
+            be_completed=len(be_latencies),
+            preemptions=sum(o.preemptions for o in all_jobs),
+            failures=sum(o.failures for o in all_jobs),
+            preferred_placements_pct=_percentage(
+                sum(bool(o.preferred_placement) for o in placed), len(placed)),
+        )
+
+
+@dataclass
+class LatencyTrace:
+    """Per-cycle scheduler latencies for the scalability study (Fig. 12)."""
+
+    cycle_latencies_s: list[float] = field(default_factory=list)
+    solver_latencies_s: list[float] = field(default_factory=list)
+
+    def record(self, cycle_s: float, solver_s: float) -> None:
+        self.cycle_latencies_s.append(cycle_s)
+        self.solver_latencies_s.append(solver_s)
+
+    def summary(self) -> dict[str, float]:
+        def stats(xs: list[float], prefix: str) -> dict[str, float]:
+            if not xs:
+                return {f"{prefix}_mean": math.nan, f"{prefix}_p50": math.nan,
+                        f"{prefix}_p99": math.nan, f"{prefix}_max": math.nan}
+            arr = np.asarray(xs)
+            return {f"{prefix}_mean": float(arr.mean()),
+                    f"{prefix}_p50": float(np.percentile(arr, 50)),
+                    f"{prefix}_p99": float(np.percentile(arr, 99)),
+                    f"{prefix}_max": float(arr.max())}
+        out = stats(self.cycle_latencies_s, "cycle")
+        out.update(stats(self.solver_latencies_s, "solver"))
+        return out
+
+    def cdf(self, which: str = "cycle") -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF points (sorted latencies, cumulative fractions)."""
+        xs = (self.cycle_latencies_s if which == "cycle"
+              else self.solver_latencies_s)
+        arr = np.sort(np.asarray(xs))
+        if arr.size == 0:
+            return arr, arr
+        fracs = np.arange(1, arr.size + 1) / arr.size
+        return arr, fracs

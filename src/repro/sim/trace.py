@@ -1,0 +1,173 @@
+"""Execution traces: record what a simulation did, render it, replay it.
+
+The paper's analysis leans on understanding *why* a scheduler won — which
+jobs were deferred, what got preempted, how utilization evolved.  This
+module captures a structured event trace from a simulation run and offers:
+
+* JSON-lines round-tripping (``to_jsonl`` / ``from_jsonl``) so runs can be
+  archived and diffed;
+* a node-occupancy **Gantt chart** in plain text;
+* a cluster **utilization timeline** for load analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import SimulationError
+
+#: Trace event kinds.
+ARRIVAL = "arrival"
+LAUNCH = "launch"
+COMPLETION = "completion"
+PREEMPTION = "preemption"
+CULL = "cull"
+FAILURE = "failure"
+
+_KINDS = (ARRIVAL, LAUNCH, COMPLETION, PREEMPTION, CULL, FAILURE)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event."""
+
+    time: float
+    kind: str
+    job_id: str
+    nodes: tuple[str, ...] = ()
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SimulationError(f"unknown trace event kind {self.kind!r}")
+
+
+@dataclass
+class ExecutionTrace:
+    """An append-only log of simulation events."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    # -- recording -----------------------------------------------------------
+    def record(self, time: float, kind: str, job_id: str,
+               nodes: tuple[str, ...] = (), detail: str = "") -> None:
+        self.events.append(TraceEvent(time, kind, job_id, tuple(nodes),
+                                      detail))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_job(self, job_id: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.job_id == job_id]
+
+    # -- serialization -----------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(asdict(e)) for e in self.events)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "ExecutionTrace":
+        trace = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            trace.record(raw["time"], raw["kind"], raw["job_id"],
+                         tuple(raw.get("nodes", ())), raw.get("detail", ""))
+        return trace
+
+    # -- analyses -------------------------------------------------------------------
+    def intervals(self) -> list[tuple[str, str, float, float]]:
+        """Completed occupancy intervals: (job, node, start, end).
+
+        A launch opens an interval on each node; the matching completion or
+        preemption closes it.  Unclosed intervals are dropped.
+        """
+        open_runs: dict[str, tuple[float, tuple[str, ...]]] = {}
+        out: list[tuple[str, str, float, float]] = []
+        for e in self.events:
+            if e.kind == LAUNCH:
+                open_runs[e.job_id] = (e.time, e.nodes)
+            elif e.kind in (COMPLETION, PREEMPTION, FAILURE):
+                started = open_runs.pop(e.job_id, None)
+                if started is not None:
+                    start, nodes = started
+                    for node in nodes:
+                        out.append((e.job_id, node, start, e.time))
+        return out
+
+    def utilization_timeline(self, total_nodes: int,
+                             step_s: float) -> list[tuple[float, float]]:
+        """(time, busy fraction) samples at ``step_s`` resolution."""
+        if total_nodes <= 0 or step_s <= 0:
+            raise SimulationError("total_nodes and step_s must be positive")
+        intervals = self.intervals()
+        if not intervals:
+            return []
+        end = max(e for _, _, _, e in intervals)
+        samples = []
+        t = 0.0
+        while t <= end:
+            busy = sum(1 for _, _, s, e in intervals if s <= t < e)
+            samples.append((t, busy / total_nodes))
+            t += step_s
+        return samples
+
+    def mean_utilization(self, total_nodes: int) -> float:
+        """Node-seconds of work divided by (nodes x observed makespan)."""
+        intervals = self.intervals()
+        if not intervals:
+            return 0.0
+        start = min(s for _, _, s, _ in intervals)
+        end = max(e for _, _, _, e in intervals)
+        if end <= start:
+            return 0.0
+        work = sum(e - s for _, _, s, e in intervals)
+        return work / (total_nodes * (end - start))
+
+    def check_no_double_booking(self) -> None:
+        """Raise :class:`SimulationError` if any node hosts two jobs at once.
+
+        The strongest end-to-end invariant a scheduler trace can satisfy:
+        for every node, the closed occupancy intervals never overlap.
+        """
+        per_node: dict[str, list[tuple[float, float, str]]] = {}
+        for job_id, node, start, end in self.intervals():
+            per_node.setdefault(node, []).append((start, end, job_id))
+        for node, spans in per_node.items():
+            spans.sort()
+            for (s1, e1, j1), (s2, e2, j2) in zip(spans, spans[1:]):
+                if s2 < e1 - 1e-9:
+                    raise SimulationError(
+                        f"node {node!r} double-booked: {j1} [{s1},{e1}) "
+                        f"overlaps {j2} [{s2},{e2})")
+
+    def gantt(self, nodes: list[str], quantum_s: float,
+              width: int = 60) -> str:
+        """Plain-text Gantt chart: one row per node, one column per quantum.
+
+        Each cell shows the first character of the occupying job's id
+        (``.`` when idle).  Useful in examples and debugging.
+        """
+        if quantum_s <= 0:
+            raise SimulationError("quantum_s must be positive")
+        intervals = self.intervals()
+        end = max((e for _, _, _, e in intervals), default=0.0)
+        columns = min(width, max(1, int(end / quantum_s + 0.999)))
+        label_w = max((len(n) for n in nodes), default=4)
+        lines = []
+        for node in nodes:
+            row = []
+            for c in range(columns):
+                t = (c + 0.5) * quantum_s
+                cell = "."
+                for job_id, inode, s, e in intervals:
+                    if inode == node and s <= t < e:
+                        cell = job_id[0]
+                        break
+                row.append(cell)
+            lines.append(f"{node:<{label_w}} |{''.join(row)}|")
+        scale = (f"{'':<{label_w}}  0s .. {columns * quantum_s:.0f}s "
+                 f"({quantum_s:.0f}s/col)")
+        return "\n".join(lines + [scale])

@@ -1,0 +1,27 @@
+"""MILP solver substrate (replaces the paper's CPLEX dependency).
+
+Public surface:
+
+* :class:`Model`, :class:`Variable`, :class:`LinExpr`, :func:`linear_sum` —
+  model construction;
+* :class:`BranchBoundSolver` / :func:`make_backend` — solving;
+* :class:`MILPResult`, :class:`SolveStatus` — results;
+* :func:`solve_lp` — the standalone two-phase simplex LP solver.
+"""
+
+from repro.solver.backend import BACKEND_NAMES, MILPBackend, make_backend
+from repro.solver.branch_bound import BranchBoundOptions, BranchBoundSolver
+from repro.solver.expr import BINARY, CONTINUOUS, INTEGER, LinExpr, Variable, linear_sum
+from repro.solver.model import EQ, GE, LE, MAXIMIZE, MINIMIZE, Constraint, Model
+from repro.solver.presolve import PresolveResult, presolve
+from repro.solver.result import LPResult, MILPResult, SolveStatus
+from repro.solver.scipy_backend import ScipyMILPSolver, scipy_available
+from repro.solver.simplex import solve_lp
+
+__all__ = [
+    "BACKEND_NAMES", "BINARY", "BranchBoundOptions", "BranchBoundSolver",
+    "CONTINUOUS", "Constraint", "EQ", "GE", "INTEGER", "LE", "LPResult",
+    "LinExpr", "MAXIMIZE", "MILPBackend", "MILPResult", "MINIMIZE", "Model", "PresolveResult",
+    "ScipyMILPSolver", "SolveStatus", "Variable", "linear_sum",
+    "make_backend", "presolve", "scipy_available", "solve_lp",
+]

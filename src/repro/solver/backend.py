@@ -1,0 +1,65 @@
+"""Backend registry: pick a MILP solver by name.
+
+The scheduler core only depends on the tiny :class:`MILPBackend` protocol,
+mirroring the paper's pluggable-solver design (CPLEX there; pure-Python
+branch-and-bound or scipy/HiGHS here).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solver.branch_bound import BranchBoundOptions, BranchBoundSolver
+from repro.solver.model import Model
+from repro.solver.result import MILPResult
+from repro.solver.scipy_backend import ScipyMILPSolver, scipy_available, solve_lp_scipy
+
+
+class MILPBackend(Protocol):
+    """Anything with a ``solve(model, warm_start=None) -> MILPResult``."""
+
+    def solve(self, model: Model,
+              warm_start: np.ndarray | None = None) -> MILPResult: ...
+
+
+#: Names accepted by :func:`make_backend`.
+BACKEND_NAMES = ("pure", "pure-scipy-lp", "scipy", "auto")
+
+
+def make_backend(name: str = "auto", rel_gap: float = 1e-6,
+                 time_limit: float | None = None,
+                 node_limit: int | None = 200_000) -> MILPBackend:
+    """Construct a MILP backend.
+
+    Parameters
+    ----------
+    name:
+        * ``"pure"`` — from-scratch branch-and-bound over the pure simplex;
+        * ``"pure-scipy-lp"`` — our branch-and-bound over HiGHS LP relaxations;
+        * ``"scipy"`` — HiGHS branch-and-cut via ``scipy.optimize.milp``;
+        * ``"auto"`` — ``"scipy"`` when available, else ``"pure"``.
+    rel_gap:
+        Relative optimality gap at which the search may stop (the paper
+        configures its solver for solutions within 10 % of optimal).
+    time_limit, node_limit:
+        Optional search budgets; the best incumbent found is returned.
+    """
+    if name == "auto":
+        name = "scipy" if scipy_available() else "pure"
+    if name == "scipy":
+        if not scipy_available():
+            raise SolverError("scipy backend requested but scipy is missing")
+        return ScipyMILPSolver(rel_gap=rel_gap, time_limit=time_limit)
+    if name == "pure":
+        return BranchBoundSolver(BranchBoundOptions(
+            rel_gap=rel_gap, time_limit=time_limit, node_limit=node_limit))
+    if name == "pure-scipy-lp":
+        if not scipy_available():
+            raise SolverError("pure-scipy-lp backend requested but scipy is missing")
+        return BranchBoundSolver(BranchBoundOptions(
+            rel_gap=rel_gap, time_limit=time_limit, node_limit=node_limit,
+            lp_solver=solve_lp_scipy))
+    raise SolverError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

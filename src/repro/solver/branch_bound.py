@@ -1,0 +1,224 @@
+"""Branch-and-bound MILP solver over a pluggable LP-relaxation engine.
+
+Together with :mod:`repro.solver.simplex` this forms the from-scratch MILP
+backend replacing the paper's CPLEX (see DESIGN.md).  It supports the two
+solver controls the paper relies on (Sec. 3.2.2):
+
+* **bounded suboptimality** — stop when the relative optimality gap drops
+  below ``rel_gap`` (the paper configures CPLEX to return solutions within
+  10 % of optimal after a parametrizable time), or when ``time_limit`` /
+  ``node_limit`` is hit, returning the best incumbent;
+* **warm starting** — an initial feasible point (e.g., the previous
+  scheduling cycle's solution shifted forward in time) seeds the incumbent,
+  letting the search prune immediately.
+
+The search is best-bound-first with most-fractional branching and a simple
+rounding heuristic at every node to find incumbents early.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.solver.model import Model
+from repro.solver.result import LPResult, MILPResult, SolveStatus
+from repro.solver.simplex import solve_lp as simplex_solve_lp
+
+_INT_TOL = 1e-6
+
+LPSolveFn = Callable[..., LPResult]
+
+
+@dataclass
+class BranchBoundOptions:
+    """Tuning knobs for the branch-and-bound search."""
+
+    rel_gap: float = 1e-6
+    time_limit: float | None = None
+    node_limit: int | None = 200_000
+    lp_solver: LPSolveFn = simplex_solve_lp
+    #: Round the LP relaxation at each node and test feasibility.
+    rounding_heuristic: bool = True
+    #: Apply bound-tightening / row-dropping reductions before the search.
+    presolve: bool = True
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    seq: int
+    lb: np.ndarray = field(compare=False)
+    ub: np.ndarray = field(compare=False)
+    depth: int = field(compare=False, default=0)
+
+
+class BranchBoundSolver:
+    """Solve a :class:`~repro.solver.model.Model` by branch and bound.
+
+    Example
+    -------
+    >>> from repro.solver.model import Model
+    >>> m = Model()
+    >>> x = m.add_integer("x", ub=10); y = m.add_integer("y", ub=10)
+    >>> _ = m.add_constraint(3*x + 5*y, "<=", 15)
+    >>> m.set_objective(2*x + 3*y, sense="maximize")
+    >>> res = BranchBoundSolver().solve(m)
+    >>> res.status.name, res.objective
+    ('OPTIMAL', 10.0)
+    """
+
+    def __init__(self, options: BranchBoundOptions | None = None) -> None:
+        self.options = options or BranchBoundOptions()
+
+    def solve(self, model: Model,
+              warm_start: np.ndarray | None = None) -> MILPResult:
+        t0 = time.monotonic()
+        opts = self.options
+        sa = model.to_standard_arrays()
+        presolve_stats: dict = {}
+        if opts.presolve:
+            from repro.solver.presolve import presolve as _presolve
+            reduction = _presolve(sa)
+            presolve_stats = {
+                "presolve_rows_dropped": reduction.rows_dropped,
+                "presolve_bounds_tightened": reduction.bounds_tightened,
+            }
+            if reduction.infeasible:
+                return MILPResult(SolveStatus.INFEASIBLE, None, math.nan,
+                                  solve_time=time.monotonic() - t0,
+                                  stats=presolve_stats)
+            sa = reduction.arrays
+        n = len(sa.c)
+        int_idx = np.nonzero(sa.integrality)[0]
+
+        incumbent: np.ndarray | None = None
+        incumbent_obj = math.inf  # minimization orientation
+
+        if warm_start is not None:
+            ws = np.asarray(warm_start, dtype=float)
+            if ws.shape[0] == n and model.check_feasible(ws):
+                incumbent = ws.copy()
+                incumbent_obj = float(sa.c @ ws)
+
+        counter = itertools.count()
+        root = _Node(-math.inf, next(counter), sa.lb.copy(), sa.ub.copy())
+        heap: list[_Node] = [root]
+        nodes_processed = 0
+        best_bound = -math.inf
+        infeasible_everywhere = True
+
+        def lp_at(node: _Node) -> LPResult:
+            return opts.lp_solver(sa.c, a_ub=sa.a_ub, b_ub=sa.b_ub,
+                                  a_eq=sa.a_eq, b_eq=sa.b_eq,
+                                  lb=node.lb, ub=node.ub)
+
+        def gap_now() -> float:
+            if incumbent is None or not heap:
+                return math.inf if incumbent is None else 0.0
+            bound = min(h.bound for h in heap) if heap else incumbent_obj
+            bound = max(bound, best_bound)
+            return abs(incumbent_obj - bound) / max(1.0, abs(incumbent_obj))
+
+        while heap:
+            if opts.time_limit is not None and time.monotonic() - t0 > opts.time_limit:
+                break
+            if opts.node_limit is not None and nodes_processed >= opts.node_limit:
+                break
+            node = heapq.heappop(heap)
+            if node.bound >= incumbent_obj - abs(incumbent_obj) * opts.rel_gap - 1e-12:
+                # Cannot improve on the incumbent by more than the gap.
+                best_bound = max(best_bound, node.bound)
+                continue
+            nodes_processed += 1
+
+            lp = lp_at(node)
+            if lp.status == SolveStatus.INFEASIBLE:
+                continue
+            if lp.status == SolveStatus.UNBOUNDED:
+                # With a finite incumbent the true MILP may still be bounded,
+                # but our models always have bounded relaxations at the root;
+                # treat as unbounded only when nothing is integral-restricted.
+                if int_idx.size == 0:
+                    return MILPResult(SolveStatus.UNBOUNDED, None,
+                                      -sa.obj_sign * math.inf)
+                continue
+            infeasible_everywhere = False
+            assert lp.x is not None
+            if lp.objective >= incumbent_obj - 1e-12:
+                continue  # bound dominated
+
+            frac = np.abs(lp.x[int_idx] - np.round(lp.x[int_idx])) if int_idx.size else np.zeros(0)
+            fractional = np.nonzero(frac > _INT_TOL)[0]
+            if fractional.size == 0:
+                # Integral LP optimum: new incumbent.
+                if lp.objective < incumbent_obj:
+                    incumbent = lp.x.copy()
+                    incumbent[int_idx] = np.round(incumbent[int_idx])
+                    incumbent_obj = float(sa.c @ incumbent)
+                continue
+
+            if opts.rounding_heuristic:
+                cand = lp.x.copy()
+                cand[int_idx] = np.round(cand[int_idx])
+                cand = np.clip(cand, node.lb, node.ub)
+                if float(sa.c @ cand) < incumbent_obj and model.check_feasible(
+                        _to_model_space(cand)):
+                    incumbent = cand.copy()
+                    incumbent_obj = float(sa.c @ cand)
+
+            # Most-fractional branching.
+            pick = int(int_idx[fractional[np.argmax(frac[fractional])]])
+            val = lp.x[pick]
+            lo, hi = math.floor(val), math.ceil(val)
+
+            down = _Node(lp.objective, next(counter), node.lb.copy(),
+                         node.ub.copy(), node.depth + 1)
+            down.ub[pick] = min(down.ub[pick], lo)
+            up = _Node(lp.objective, next(counter), node.lb.copy(),
+                       node.ub.copy(), node.depth + 1)
+            up.lb[pick] = max(up.lb[pick], hi)
+            for child in (down, up):
+                if child.lb[pick] <= child.ub[pick]:
+                    heapq.heappush(heap, child)
+
+            if incumbent is not None and gap_now() <= opts.rel_gap:
+                break
+
+        solve_time = time.monotonic() - t0
+        if incumbent is None:
+            if infeasible_everywhere and not heap:
+                return MILPResult(SolveStatus.INFEASIBLE, None, math.nan,
+                                  nodes=nodes_processed, solve_time=solve_time,
+                                  stats=presolve_stats)
+            return MILPResult(SolveStatus.NO_SOLUTION, None, math.nan,
+                              nodes=nodes_processed, solve_time=solve_time,
+                              stats=presolve_stats)
+
+        open_bound = min((h.bound for h in heap), default=incumbent_obj)
+        open_bound = max(open_bound, best_bound) if best_bound > -math.inf else open_bound
+        gap = abs(incumbent_obj - open_bound) / max(1.0, abs(incumbent_obj))
+        proven = not heap or gap <= self.options.rel_gap
+        # Convert back to the model's objective sense.
+        model_obj = sa.obj_sign * incumbent_obj + sa.obj_constant
+        model_bound = sa.obj_sign * open_bound + sa.obj_constant
+        return MILPResult(
+            status=SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE,
+            x=incumbent, objective=model_obj, bound=model_bound, gap=gap,
+            nodes=nodes_processed, solve_time=solve_time,
+            stats=presolve_stats)
+
+
+def _to_model_space(x: np.ndarray) -> np.ndarray:
+    """Standard arrays keep model column order, so this is the identity.
+
+    Kept as a named hook so a future sparse/permuted export only needs one
+    change site.
+    """
+    return x

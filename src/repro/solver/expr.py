@@ -1,0 +1,243 @@
+"""Linear expressions and decision variables for the MILP substrate.
+
+The paper compiles STRL expressions to a Mixed Integer Linear Program
+(Sec. 5).  This module provides the building blocks of such programs:
+:class:`Variable` (continuous, integer, or binary decision variables) and
+:class:`LinExpr` (affine expressions over them).
+
+Variables are created through :class:`repro.solver.model.Model`; they carry a
+dense integer ``index`` into the model's column space, which keeps expression
+arithmetic dictionary-based and cheap.
+
+Example
+-------
+>>> from repro.solver.model import Model
+>>> m = Model("demo")
+>>> x = m.add_integer("x", lb=0, ub=5)
+>>> y = m.add_binary("y")
+>>> e = 2 * x + 3 * y + 1
+>>> e.coefficient(x), e.coefficient(y), e.constant
+(2.0, 3.0, 1.0)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Union
+
+from repro.errors import ModelError
+
+Number = Union[int, float]
+
+#: Domain tag for continuous variables.
+CONTINUOUS = "continuous"
+#: Domain tag for general integer variables.
+INTEGER = "integer"
+#: Domain tag for 0/1 variables.
+BINARY = "binary"
+
+_DOMAINS = (CONTINUOUS, INTEGER, BINARY)
+
+
+class Variable:
+    """A single decision variable owned by a :class:`~repro.solver.model.Model`.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, unique within the owning model.
+    index:
+        Dense column index assigned by the model.
+    lb, ub:
+        Lower / upper bound.  ``ub`` may be ``None`` for unbounded above.
+        ``lb`` may be ``None`` for unbounded below (continuous only).
+    domain:
+        One of :data:`CONTINUOUS`, :data:`INTEGER`, :data:`BINARY`.
+    """
+
+    __slots__ = ("name", "index", "lb", "ub", "domain")
+
+    def __init__(self, name: str, index: int, lb: Number | None, ub: Number | None,
+                 domain: str) -> None:
+        if domain not in _DOMAINS:
+            raise ModelError(f"unknown variable domain {domain!r}")
+        if domain == BINARY:
+            lb, ub = 0.0, 1.0
+        if lb is not None and ub is not None and lb > ub:
+            raise ModelError(f"variable {name!r}: lb {lb} > ub {ub}")
+        if domain in (INTEGER, BINARY) and lb is None:
+            raise ModelError(f"integer variable {name!r} needs a finite lower bound")
+        self.name = name
+        self.index = index
+        self.lb = float(lb) if lb is not None else None
+        self.ub = float(ub) if ub is not None else None
+        self.domain = domain
+
+    @property
+    def is_integral(self) -> bool:
+        """True for integer and binary variables."""
+        return self.domain in (INTEGER, BINARY)
+
+    # -- arithmetic: variables promote to LinExpr -------------------------
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other: "ExprLike") -> "LinExpr":
+        return self._as_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "ExprLike") -> "LinExpr":
+        return self._as_expr() - other
+
+    def __rsub__(self, other: "ExprLike") -> "LinExpr":
+        return (-1.0 * self._as_expr()) + other
+
+    def __mul__(self, k: Number) -> "LinExpr":
+        return self._as_expr() * k
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self._as_expr() * -1.0
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, domain={self.domain}, lb={self.lb}, ub={self.ub})"
+
+
+class LinExpr:
+    """An affine expression ``sum_i coef_i * x_i + constant``.
+
+    Internally a mapping ``{variable index -> coefficient}`` plus a constant.
+    Immutable-by-convention: arithmetic returns new expressions, but
+    :meth:`add_term` mutates in place for use in hot construction loops.
+    """
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[int, float] | None = None,
+                 constant: Number = 0.0) -> None:
+        self.coeffs: dict[int, float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    # -- construction helpers ---------------------------------------------
+    @staticmethod
+    def from_terms(terms: Iterable[tuple[Variable, Number]],
+                   constant: Number = 0.0) -> "LinExpr":
+        """Build an expression from ``(variable, coefficient)`` pairs."""
+        e = LinExpr(constant=constant)
+        for var, coef in terms:
+            e.add_term(var, coef)
+        return e
+
+    def add_term(self, var: Variable, coef: Number) -> "LinExpr":
+        """In-place ``self += coef * var``; returns self for chaining."""
+        c = self.coeffs.get(var.index, 0.0) + float(coef)
+        if c == 0.0:
+            self.coeffs.pop(var.index, None)
+        else:
+            self.coeffs[var.index] = c
+        return self
+
+    def coefficient(self, var: Variable) -> float:
+        """Coefficient of ``var`` in this expression (0.0 if absent)."""
+        return self.coeffs.get(var.index, 0.0)
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coeffs, self.constant)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "ExprLike") -> "LinExpr":
+        out = self.copy()
+        if isinstance(other, LinExpr):
+            for idx, coef in other.coeffs.items():
+                c = out.coeffs.get(idx, 0.0) + coef
+                if c == 0.0:
+                    out.coeffs.pop(idx, None)
+                else:
+                    out.coeffs[idx] = c
+            out.constant += other.constant
+        elif isinstance(other, Variable):
+            return out + other._as_expr()
+        elif isinstance(other, (int, float)):
+            out.constant += float(other)
+        else:
+            return NotImplemented
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "ExprLike") -> "LinExpr":
+        if isinstance(other, Variable):
+            other = other._as_expr()
+        if isinstance(other, LinExpr):
+            return self + (other * -1.0)
+        if isinstance(other, (int, float)):
+            return self + (-float(other))
+        return NotImplemented
+
+    def __rsub__(self, other: "ExprLike") -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, k: Number) -> "LinExpr":
+        if not isinstance(k, (int, float)):
+            return NotImplemented
+        k = float(k)
+        if k == 0.0:
+            return LinExpr()
+        return LinExpr({i: c * k for i, c in self.coeffs.items()}, self.constant * k)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
+        if not terms:
+            return f"LinExpr({self.constant:g})"
+        if self.constant:
+            return f"LinExpr({terms} + {self.constant:g})"
+        return f"LinExpr({terms})"
+
+
+ExprLike = Union[LinExpr, Variable, int, float]
+
+
+def as_expr(value: ExprLike) -> LinExpr:
+    """Coerce a variable or number to a :class:`LinExpr`."""
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, Variable):
+        return value._as_expr()
+    if isinstance(value, (int, float)):
+        return LinExpr(constant=value)
+    raise ModelError(f"cannot coerce {value!r} to a linear expression")
+
+
+def linear_sum(values: Iterable[ExprLike]) -> LinExpr:
+    """Sum an iterable of expressions/variables/numbers into one LinExpr.
+
+    Faster and clearer than ``sum(...)`` for large collections because it
+    mutates a single accumulator.
+    """
+    acc = LinExpr()
+    for v in values:
+        if isinstance(v, Variable):
+            acc.add_term(v, 1.0)
+        elif isinstance(v, LinExpr):
+            for idx, coef in v.coeffs.items():
+                c = acc.coeffs.get(idx, 0.0) + coef
+                if c == 0.0:
+                    acc.coeffs.pop(idx, None)
+                else:
+                    acc.coeffs[idx] = c
+            acc.constant += v.constant
+        elif isinstance(v, (int, float)):
+            acc.constant += float(v)
+        else:
+            raise ModelError(f"cannot sum {v!r}")
+    return acc

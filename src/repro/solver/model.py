@@ -1,0 +1,304 @@
+"""MILP model container.
+
+A :class:`Model` owns decision variables, linear constraints, and a single
+linear objective.  It is solver-agnostic: backends (pure-Python simplex +
+branch-and-bound, or scipy/HiGHS) consume the model through its dense matrix
+export, :meth:`Model.to_standard_arrays`.
+
+This mirrors the paper's architecture where "the internal MILP model can be
+translated to any MILP backend" (Sec. 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.solver.expr import (BINARY, CONTINUOUS, INTEGER, ExprLike, LinExpr,
+                               Variable, as_expr)
+
+#: Constraint senses.
+LE = "<="
+GE = ">="
+EQ = "=="
+_SENSES = (LE, GE, EQ)
+
+#: Objective senses.
+MAXIMIZE = "maximize"
+MINIMIZE = "minimize"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear constraint ``expr (sense) rhs``.
+
+    The stored ``expr`` has its constant folded into ``rhs`` so that
+    ``expr.constant == 0`` always holds.
+    """
+
+    name: str
+    expr: LinExpr
+    sense: str
+    rhs: float
+
+    def violation(self, x: np.ndarray) -> float:
+        """How far a point ``x`` (dense column vector) violates the constraint.
+
+        Returns 0.0 when satisfied; positive magnitude otherwise.
+        """
+        lhs = sum(c * x[i] for i, c in self.expr.coeffs.items()) + self.expr.constant
+        if self.sense == LE:
+            return max(0.0, lhs - self.rhs)
+        if self.sense == GE:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)
+
+
+@dataclass
+class StandardArrays:
+    """Dense-array export of a model, in *minimization* orientation.
+
+    Attributes
+    ----------
+    c:
+        Objective coefficients (minimize ``c @ x``).
+    obj_constant:
+        Constant term dropped from the objective (add back to solver value).
+    obj_sign:
+        +1 if the model was already minimizing, -1 if it was maximizing
+        (so ``model objective = obj_sign * (c @ x) + obj_constant`` ... see
+        :meth:`Model.objective_value`).
+    a_ub, b_ub:
+        Inequality rows ``a_ub @ x <= b_ub`` (GE rows are negated into LE).
+    a_eq, b_eq:
+        Equality rows.
+    lb, ub:
+        Per-variable bounds, ``np.inf`` / ``-np.inf`` where unbounded.
+    integrality:
+        Boolean mask, True where the variable must be integral.
+    """
+
+    c: np.ndarray
+    obj_constant: float
+    obj_sign: float
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    integrality: np.ndarray
+
+
+class Model:
+    """A mixed integer linear program.
+
+    Example
+    -------
+    >>> m = Model("knapsack")
+    >>> x = [m.add_binary(f"x{i}") for i in range(3)]
+    >>> _ = m.add_constraint(2*x[0] + 3*x[1] + 4*x[2], "<=", 5, name="cap")
+    >>> m.set_objective(3*x[0] + 4*x[1] + 5*x[2], sense="maximize")
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self.objective_sense: str = MAXIMIZE
+        self._names: set[str] = set()
+
+    # -- variables ---------------------------------------------------------
+    def _add_var(self, name: str, lb, ub, domain: str) -> Variable:
+        if name in self._names:
+            raise ModelError(f"duplicate variable name {name!r}")
+        var = Variable(name, len(self.variables), lb, ub, domain)
+        self.variables.append(var)
+        self._names.add(name)
+        return var
+
+    def add_continuous(self, name: str, lb: float | None = 0.0,
+                       ub: float | None = None) -> Variable:
+        """Add a continuous variable (default domain ``[0, +inf)``)."""
+        return self._add_var(name, lb, ub, CONTINUOUS)
+
+    def add_integer(self, name: str, lb: float = 0.0,
+                    ub: float | None = None) -> Variable:
+        """Add a general integer variable (default domain ``{0,1,2,...}``)."""
+        return self._add_var(name, lb, ub, INTEGER)
+
+    def add_binary(self, name: str) -> Variable:
+        """Add a 0/1 variable."""
+        return self._add_var(name, 0.0, 1.0, BINARY)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_integer_variables(self) -> int:
+        return sum(1 for v in self.variables if v.is_integral)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    # -- constraints ---------------------------------------------------------
+    def add_constraint(self, lhs: ExprLike, sense: str, rhs: ExprLike,
+                       name: str | None = None) -> Constraint:
+        """Add ``lhs (sense) rhs``; either side may contain variables.
+
+        The constraint is normalized so all variables live on the left and
+        the right-hand side is a plain number.
+        """
+        if sense not in _SENSES:
+            raise ModelError(f"unknown constraint sense {sense!r}")
+        expr = as_expr(lhs) - as_expr(rhs)
+        rhs_value = -expr.constant
+        expr = LinExpr(expr.coeffs, 0.0)
+        if not expr.coeffs:
+            # Constant constraint: check it immediately, keep models clean.
+            ok = {LE: 0.0 <= rhs_value, GE: 0.0 >= rhs_value,
+                  EQ: rhs_value == 0.0}[sense]
+            if not ok:
+                raise ModelError(
+                    f"constraint {name or ''} is constant and unsatisfiable: "
+                    f"0 {sense} {rhs_value}")
+        if name is None:
+            name = f"c{len(self.constraints)}"
+        con = Constraint(name, expr, sense, float(rhs_value))
+        self.constraints.append(con)
+        return con
+
+    # -- objective -----------------------------------------------------------
+    def set_objective(self, expr: ExprLike, sense: str = MAXIMIZE) -> None:
+        if sense not in (MAXIMIZE, MINIMIZE):
+            raise ModelError(f"unknown objective sense {sense!r}")
+        self.objective = as_expr(expr).copy()
+        self.objective_sense = sense
+
+    def objective_value(self, x: np.ndarray) -> float:
+        """Evaluate the model objective (in its own sense) at point ``x``."""
+        return (sum(c * x[i] for i, c in self.objective.coeffs.items())
+                + self.objective.constant)
+
+    # -- export ----------------------------------------------------------------
+    def to_standard_arrays(self) -> StandardArrays:
+        """Export dense arrays in minimization orientation for backends."""
+        n = self.num_variables
+        c = np.zeros(n)
+        for i, coef in self.objective.coeffs.items():
+            c[i] = coef
+        obj_sign = 1.0
+        if self.objective_sense == MAXIMIZE:
+            c = -c
+            obj_sign = -1.0
+
+        ub_rows: list[tuple[LinExpr, float]] = []
+        eq_rows: list[tuple[LinExpr, float]] = []
+        for con in self.constraints:
+            if con.sense == LE:
+                ub_rows.append((con.expr, con.rhs))
+            elif con.sense == GE:
+                ub_rows.append((con.expr * -1.0, -con.rhs))
+            else:
+                eq_rows.append((con.expr, con.rhs))
+
+        def to_matrix(rows: list[tuple[LinExpr, float]]) -> tuple[np.ndarray, np.ndarray]:
+            a = np.zeros((len(rows), n))
+            b = np.zeros(len(rows))
+            for r, (expr, rhs) in enumerate(rows):
+                for i, coef in expr.coeffs.items():
+                    a[r, i] = coef
+                b[r] = rhs
+            return a, b
+
+        a_ub, b_ub = to_matrix(ub_rows)
+        a_eq, b_eq = to_matrix(eq_rows)
+        lb = np.array([v.lb if v.lb is not None else -np.inf for v in self.variables])
+        ub = np.array([v.ub if v.ub is not None else np.inf for v in self.variables])
+        integrality = np.array([v.is_integral for v in self.variables], dtype=bool)
+        return StandardArrays(c=c, obj_constant=self.objective.constant,
+                              obj_sign=obj_sign, a_ub=a_ub, b_ub=b_ub,
+                              a_eq=a_eq, b_eq=b_eq, lb=lb, ub=ub,
+                              integrality=integrality)
+
+    # -- diagnostics -------------------------------------------------------------
+    def check_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """True if ``x`` satisfies all constraints, bounds and integrality."""
+        for v in self.variables:
+            if v.lb is not None and x[v.index] < v.lb - tol:
+                return False
+            if v.ub is not None and x[v.index] > v.ub + tol:
+                return False
+            if v.is_integral and abs(x[v.index] - round(x[v.index])) > tol:
+                return False
+        return all(con.violation(x) <= tol for con in self.constraints)
+
+    def iter_integral_indices(self) -> Iterator[int]:
+        for v in self.variables:
+            if v.is_integral:
+                yield v.index
+
+    def stats(self) -> dict[str, int]:
+        """Size summary used by the scalability experiments (Fig. 12)."""
+        return {
+            "variables": self.num_variables,
+            "integer_variables": self.num_integer_variables,
+            "binary_variables": sum(1 for v in self.variables if v.domain == BINARY),
+            "constraints": self.num_constraints,
+            "nonzeros": sum(len(c.expr.coeffs) for c in self.constraints),
+        }
+
+    def to_lp_string(self) -> str:
+        """Render the model in (a readable subset of) CPLEX LP format.
+
+        For debugging and archiving; parseable by most LP tools.  Variable
+        names are sanitized to alphanumerics/underscores.
+        """
+        def vname(i: int) -> str:
+            raw = self.variables[i].name
+            return "".join(ch if ch.isalnum() else "_" for ch in raw)
+
+        def render(expr: LinExpr) -> str:
+            parts = []
+            for i, coef in sorted(expr.coeffs.items()):
+                sign = "+" if coef >= 0 else "-"
+                parts.append(f"{sign} {abs(coef):g} {vname(i)}")
+            text = " ".join(parts) if parts else "0"
+            return text.lstrip("+ ").strip() or "0"
+
+        lines = [f"\\ Model: {self.name}"]
+        lines.append("Maximize" if self.objective_sense == MAXIMIZE
+                     else "Minimize")
+        lines.append(f" obj: {render(self.objective)}")
+        lines.append("Subject To")
+        sense_map = {LE: "<=", GE: ">=", EQ: "="}
+        for con in self.constraints:
+            lines.append(f" {con.name}: {render(con.expr)} "
+                         f"{sense_map[con.sense]} {con.rhs:g}")
+        lines.append("Bounds")
+        for v in self.variables:
+            lo = "-inf" if v.lb is None else f"{v.lb:g}"
+            hi = "+inf" if v.ub is None else f"{v.ub:g}"
+            lines.append(f" {lo} <= {vname(v.index)} <= {hi}")
+        integral = [vname(v.index) for v in self.variables
+                    if v.domain == INTEGER]
+        binary = [vname(v.index) for v in self.variables
+                  if v.domain == BINARY]
+        if integral:
+            lines.append("Generals")
+            lines.append(" " + " ".join(integral))
+        if binary:
+            lines.append("Binaries")
+            lines.append(" " + " ".join(binary))
+        lines.append("End")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Model({self.name!r}, vars={self.num_variables}, "
+                f"cons={self.num_constraints}, sense={self.objective_sense})")

@@ -1,0 +1,149 @@
+"""Presolve: cheap reductions applied before branch and bound.
+
+Commercial solvers (the paper's CPLEX, HiGHS) lean heavily on presolve; our
+pure-Python branch and bound benefits from the same classic, always-safe
+reductions:
+
+* **integral bound rounding** — integer variables get ``ceil(lb)`` /
+  ``floor(ub)``;
+* **singleton rows** — a row touching one variable is just a bound; fold it
+  in and drop the row;
+* **redundant rows** — a row whose maximum activity (given bounds) cannot
+  exceed its right-hand side is always satisfied; drop it;
+* **infeasibility detection** — a row whose *minimum* activity exceeds its
+  right-hand side (or crossed bounds) proves the model infeasible without
+  any search.
+
+The reductions operate on :class:`~repro.solver.model.StandardArrays` in
+variable-preserving form (bounds tighten, rows drop, columns stay), so
+solutions need no post-processing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solver.model import StandardArrays
+
+_TOL = 1e-9
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of a presolve pass."""
+
+    arrays: StandardArrays
+    infeasible: bool
+    rows_dropped: int
+    bounds_tightened: int
+    passes: int
+
+
+def _round_integer_bounds(lb, ub, integrality) -> int:
+    changed = 0
+    for j in np.nonzero(integrality)[0]:
+        new_lb = math.ceil(lb[j] - _TOL) if np.isfinite(lb[j]) else lb[j]
+        new_ub = math.floor(ub[j] + _TOL) if np.isfinite(ub[j]) else ub[j]
+        if new_lb > lb[j] + _TOL:
+            lb[j] = new_lb
+            changed += 1
+        if new_ub < ub[j] - _TOL:
+            ub[j] = new_ub
+            changed += 1
+    return changed
+
+
+def _row_activity_bounds(row, lb, ub) -> tuple[float, float]:
+    """(min, max) of ``row @ x`` over the box [lb, ub]."""
+    pos = row > 0
+    neg = row < 0
+    lo = float(row[pos] @ lb[pos] + row[neg] @ ub[neg]) \
+        if (pos.any() or neg.any()) else 0.0
+    hi = float(row[pos] @ ub[pos] + row[neg] @ lb[neg]) \
+        if (pos.any() or neg.any()) else 0.0
+    return lo, hi
+
+
+def presolve(sa: StandardArrays, max_passes: int = 5) -> PresolveResult:
+    """Tighten bounds and drop redundant inequality rows.
+
+    Only ``a_ub`` rows are processed (the STRL compiler emits equalities
+    solely as per-leaf demand rows, which presolve must keep so indicator
+    semantics survive).  The input is not mutated.
+    """
+    lb = sa.lb.copy()
+    ub = sa.ub.copy()
+    a_ub = sa.a_ub.copy()
+    b_ub = sa.b_ub.copy()
+    tightened = 0
+    dropped = 0
+    infeasible = False
+    passes = 0
+
+    tightened += _round_integer_bounds(lb, ub, sa.integrality)
+    if np.any(lb > ub + _TOL):
+        infeasible = True
+
+    while not infeasible and passes < max_passes:
+        passes += 1
+        changed = False
+        keep = np.ones(a_ub.shape[0], dtype=bool)
+        for r in range(a_ub.shape[0]):
+            if not keep[r]:
+                continue
+            row = a_ub[r]
+            nz = np.nonzero(row)[0]
+            if nz.size == 0:
+                if b_ub[r] < -_TOL:
+                    infeasible = True
+                    break
+                keep[r] = False
+                dropped += 1
+                changed = True
+                continue
+            if nz.size == 1:
+                j = int(nz[0])
+                coef = row[j]
+                bound = b_ub[r] / coef
+                if coef > 0:  # x <= bound
+                    if bound < ub[j] - _TOL:
+                        ub[j] = bound
+                        tightened += 1
+                        changed = True
+                else:  # x >= bound
+                    if bound > lb[j] + _TOL:
+                        lb[j] = bound
+                        tightened += 1
+                        changed = True
+                keep[r] = False
+                dropped += 1
+                continue
+            lo, hi = _row_activity_bounds(row, lb, ub)
+            if lo > b_ub[r] + 1e-7:
+                infeasible = True
+                break
+            if hi <= b_ub[r] + _TOL:
+                keep[r] = False
+                dropped += 1
+                changed = True
+        if infeasible:
+            break
+        if not keep.all():
+            a_ub = a_ub[keep]
+            b_ub = b_ub[keep]
+        tightened += _round_integer_bounds(lb, ub, sa.integrality)
+        if np.any(lb > ub + _TOL):
+            infeasible = True
+        if not changed:
+            break
+
+    out = StandardArrays(
+        c=sa.c, obj_constant=sa.obj_constant, obj_sign=sa.obj_sign,
+        a_ub=a_ub, b_ub=b_ub, a_eq=sa.a_eq, b_eq=sa.b_eq,
+        lb=lb, ub=ub, integrality=sa.integrality)
+    return PresolveResult(arrays=out, infeasible=infeasible,
+                          rows_dropped=dropped, bounds_tightened=tightened,
+                          passes=passes)

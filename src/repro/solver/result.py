@@ -1,0 +1,73 @@
+"""Solve results and status codes shared by all solver backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolveStatus(enum.Enum):
+    """Terminal status of a solve call."""
+
+    OPTIMAL = "optimal"
+    #: Feasible incumbent found but optimality not proven (gap/time/node limit).
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    #: Limit hit before any feasible solution was found.
+    NO_SOLUTION = "no_solution"
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class LPResult:
+    """Result of a single LP relaxation solve."""
+
+    status: SolveStatus
+    x: np.ndarray | None
+    objective: float  # in minimization orientation
+    iterations: int = 0
+
+
+@dataclass
+class MILPResult:
+    """Result of a MILP solve.
+
+    Attributes
+    ----------
+    status:
+        Terminal status.
+    x:
+        Incumbent point (dense, model column order) or ``None``.
+    objective:
+        Objective value *in the model's own sense* (maximize stays maximize).
+    bound:
+        Best proven dual bound in the model's sense (``objective <= bound``
+        for maximization problems when status is FEASIBLE).
+    gap:
+        Relative optimality gap ``|bound - objective| / max(1, |objective|)``.
+    nodes:
+        Branch-and-bound nodes processed (0 for direct backends).
+    solve_time:
+        Wall-clock seconds in the backend.
+    """
+
+    status: SolveStatus
+    x: np.ndarray | None
+    objective: float
+    bound: float = float("nan")
+    gap: float = float("nan")
+    nodes: int = 0
+    solve_time: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    def value_of(self, var) -> float:
+        """Value of a :class:`~repro.solver.expr.Variable` in the incumbent."""
+        if self.x is None:
+            raise ValueError("no solution available")
+        return float(self.x[var.index])

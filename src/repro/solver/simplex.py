@@ -1,0 +1,292 @@
+"""A dense two-phase primal simplex LP solver (pure Python + numpy).
+
+This is the from-scratch LP engine underneath the branch-and-bound MILP
+solver in :mod:`repro.solver.branch_bound`.  The paper solved its MILPs with
+IBM CPLEX; we cannot ship CPLEX, so this module (plus branch-and-bound) is the
+"any MILP backend" substitution documented in DESIGN.md.
+
+Design notes
+------------
+* Problems are given in ``linprog``-style form: minimize ``c @ x`` subject to
+  ``a_ub @ x <= b_ub``, ``a_eq @ x == b_eq`` and per-variable bounds.
+* We reduce to standard form (equalities, nonnegative variables):
+
+  - variables with finite lower bound are shifted (``x = y + lb``);
+  - free variables are split (``x = y+ - y-``);
+  - finite upper bounds become extra inequality rows;
+  - inequality rows gain slack variables;
+  - rows are sign-normalized so the RHS is nonnegative.
+
+* Phase 1 introduces artificial variables for rows lacking an identity
+  column and minimizes their sum; phase 2 optimizes the true objective.
+* Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
+  after a stall threshold, guaranteeing termination.
+
+The implementation favors clarity over speed; the scipy/HiGHS backend in
+:mod:`repro.solver.scipy_backend` is the fast path for large experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solver.result import LPResult, SolveStatus
+
+_FEAS_TOL = 1e-8
+_OPT_TOL = 1e-9
+_PIVOT_TOL = 1e-10
+
+
+@dataclass
+class _StandardForm:
+    """Standard-form program plus the recipe to map solutions back."""
+
+    a: np.ndarray          # m x n_std equality matrix
+    b: np.ndarray          # m, nonnegative
+    c: np.ndarray          # n_std objective
+    obj_shift: float       # constant from variable shifting
+    n_orig: int
+    # per original variable: (kind, col[, col_neg]) where kind in
+    # {"shift", "split"}; shift also carries the lb offset.
+    recover: list[tuple]
+
+
+def _to_standard_form(c, a_ub, b_ub, a_eq, b_eq, lb, ub) -> _StandardForm:
+    n = len(c)
+    c = np.asarray(c, dtype=float)
+    lb = np.asarray(lb, dtype=float)
+    ub = np.asarray(ub, dtype=float)
+
+    # Column construction: for each original var either one shifted column or
+    # a split pair.  Track columns so we can build the matrix in one pass.
+    recover: list[tuple] = []
+    col_of_pos = np.zeros(n, dtype=int)
+    col_of_neg = np.full(n, -1, dtype=int)
+    n_std = 0
+    for j in range(n):
+        if np.isfinite(lb[j]):
+            recover.append(("shift", n_std, lb[j]))
+            col_of_pos[j] = n_std
+            n_std += 1
+        else:
+            recover.append(("split", n_std, n_std + 1))
+            col_of_pos[j] = n_std
+            col_of_neg[j] = n_std + 1
+            n_std += 2
+
+    def expand_rows(a_rows: np.ndarray) -> np.ndarray:
+        if a_rows.size == 0:
+            return np.zeros((a_rows.shape[0], n_std))
+        out = np.zeros((a_rows.shape[0], n_std))
+        out[:, col_of_pos] = a_rows
+        split_mask = col_of_neg >= 0
+        if split_mask.any():
+            out[:, col_of_neg[split_mask]] = -a_rows[:, split_mask]
+        return out
+
+    # Upper bounds as extra <= rows in original variable space.
+    ub_rows = []
+    ub_rhs = []
+    for j in range(n):
+        if np.isfinite(ub[j]):
+            row = np.zeros(n)
+            row[j] = 1.0
+            ub_rows.append(row)
+            ub_rhs.append(ub[j])
+
+    a_ub_full = np.vstack([m for m in (a_ub, np.array(ub_rows)) if m.size]) \
+        if (a_ub.size or ub_rows) else np.zeros((0, n))
+    b_ub_full = np.concatenate([v for v in (b_ub, np.array(ub_rhs)) if v.size]) \
+        if (b_ub.size or ub_rhs) else np.zeros(0)
+
+    a_ub_std = expand_rows(a_ub_full)
+    a_eq_std = expand_rows(a_eq)
+
+    # Shift RHS by contributions of lb offsets: row @ lb_offset.
+    lb_offset = np.where(np.isfinite(lb), lb, 0.0)
+    b_ub_std = b_ub_full - (a_ub_full @ lb_offset if a_ub_full.size else 0.0)
+    b_eq_std = b_eq - (a_eq @ lb_offset if a_eq.size else 0.0)
+
+    # Objective in standard space.
+    c_std = np.zeros(n_std)
+    c_std[col_of_pos] = c
+    split_mask = col_of_neg >= 0
+    if split_mask.any():
+        c_std[col_of_neg[split_mask]] = -c[split_mask]
+    obj_shift = float(c @ lb_offset)
+
+    # Slacks for inequality rows.
+    m_ub = a_ub_std.shape[0]
+    m_eq = a_eq_std.shape[0]
+    a = np.zeros((m_ub + m_eq, n_std + m_ub))
+    if m_ub:
+        a[:m_ub, :n_std] = a_ub_std
+        a[:m_ub, n_std:n_std + m_ub] = np.eye(m_ub)
+    if m_eq:
+        a[m_ub:, :n_std] = a_eq_std
+    b = np.concatenate([b_ub_std, b_eq_std]) if (m_ub or m_eq) else np.zeros(0)
+    c_full = np.concatenate([c_std, np.zeros(m_ub)])
+
+    # Normalize RHS signs.
+    neg = b < 0
+    a[neg] *= -1.0
+    b[neg] *= -1.0
+
+    return _StandardForm(a=a, b=b, c=c_full, obj_shift=obj_shift,
+                         n_orig=n, recover=recover)
+
+
+def _simplex_core(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                  basis: np.ndarray, max_iter: int) -> tuple[str, np.ndarray, int]:
+    """Run primal simplex iterations on tableau data.
+
+    ``a`` is modified in place and must already be in canonical form with the
+    given ``basis`` (identity columns on basis variables).  Returns
+    ``(status, x_basic_values_by_row, iterations)`` with status in
+    {"optimal", "unbounded", "iteration_limit"}.
+    """
+    m, ncols = a.shape
+    iters = 0
+    bland_after = max(200, 20 * (m + ncols))
+    while iters < max_iter:
+        iters += 1
+        # Reduced costs: z_j - c_j with current basis.
+        cb = c[basis]
+        # y = cb solves y B = cb; since tableau is canonical, B is identity:
+        # reduced = c - cb @ a.
+        reduced = c - cb @ a
+        reduced[basis] = 0.0
+        if iters <= bland_after:
+            enter = int(np.argmin(reduced))
+            if reduced[enter] >= -_OPT_TOL:
+                return "optimal", b.copy(), iters
+        else:
+            neg = np.nonzero(reduced < -_OPT_TOL)[0]
+            if neg.size == 0:
+                return "optimal", b.copy(), iters
+            enter = int(neg[0])  # Bland: lowest index
+
+        col = a[:, enter]
+        positive = col > _PIVOT_TOL
+        if not positive.any():
+            return "unbounded", b.copy(), iters
+        ratios = np.full(m, np.inf)
+        ratios[positive] = b[positive] / col[positive]
+        if iters <= bland_after:
+            leave_row = int(np.argmin(ratios))
+        else:
+            # Bland: among min-ratio rows pick the one whose basic variable
+            # has the lowest index.
+            min_ratio = ratios.min()
+            candidates = np.nonzero(np.isclose(ratios, min_ratio, atol=1e-12))[0]
+            leave_row = int(candidates[np.argmin(basis[candidates])])
+
+        # Pivot.
+        pivot = a[leave_row, enter]
+        a[leave_row] /= pivot
+        b[leave_row] /= pivot
+        for r in range(m):
+            if r != leave_row and abs(a[r, enter]) > _PIVOT_TOL:
+                factor = a[r, enter]
+                a[r] -= factor * a[leave_row]
+                b[r] -= factor * b[leave_row]
+        b[b < 0] = np.where(b[b < 0] > -_FEAS_TOL, 0.0, b[b < 0])
+        basis[leave_row] = enter
+    return "iteration_limit", b.copy(), iters
+
+
+def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None,
+             lb=None, ub=None, max_iter: int = 50_000) -> LPResult:
+    """Solve ``min c@x  s.t.  a_ub@x <= b_ub, a_eq@x == b_eq, lb <= x <= ub``.
+
+    Arrays may be ``None``/empty.  ``lb`` defaults to 0, ``ub`` to +inf.
+    """
+    c = np.atleast_1d(np.asarray(c, dtype=float))
+    n = c.shape[0]
+    a_ub = np.zeros((0, n)) if a_ub is None else np.atleast_2d(np.asarray(a_ub, float))
+    b_ub = np.zeros(0) if b_ub is None else np.atleast_1d(np.asarray(b_ub, float))
+    a_eq = np.zeros((0, n)) if a_eq is None else np.atleast_2d(np.asarray(a_eq, float))
+    b_eq = np.zeros(0) if b_eq is None else np.atleast_1d(np.asarray(b_eq, float))
+    lb = np.zeros(n) if lb is None else np.asarray(lb, dtype=float)
+    ub = np.full(n, np.inf) if ub is None else np.asarray(ub, dtype=float)
+    if a_ub.shape[0] != b_ub.shape[0] or a_eq.shape[0] != b_eq.shape[0]:
+        raise SolverError("constraint matrix / rhs shape mismatch")
+    if np.any(lb > ub + _FEAS_TOL):
+        return LPResult(SolveStatus.INFEASIBLE, None, np.inf)
+
+    sf = _to_standard_form(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+    m, n_std = sf.a.shape
+    if m == 0:
+        # Unconstrained over the nonnegative orthant.
+        x_std = np.zeros(n_std)
+        if np.any(sf.c < -_OPT_TOL):
+            return LPResult(SolveStatus.UNBOUNDED, None, -np.inf)
+        x = _recover(sf, x_std, n)
+        return LPResult(SolveStatus.OPTIMAL, x, float(c @ x))
+
+    # Phase 1: artificial variables on every row (simple and robust).
+    a1 = np.hstack([sf.a, np.eye(m)])
+    b1 = sf.b.copy()
+    c1 = np.concatenate([np.zeros(n_std), np.ones(m)])
+    basis = np.arange(n_std, n_std + m)
+    status, bvals, it1 = _simplex_core(a1, b1, c1, basis, max_iter)
+    if status == "iteration_limit":
+        raise SolverError("phase-1 simplex iteration limit reached")
+    phase1_obj = float(np.sum(bvals[np.nonzero(basis >= n_std)[0]]))
+    if phase1_obj > 1e-6:
+        return LPResult(SolveStatus.INFEASIBLE, None, np.inf, it1)
+
+    # Drive any artificial variables remaining in the basis out (or confirm
+    # their rows are redundant).
+    keep_rows = np.ones(m, dtype=bool)
+    for row in range(m):
+        if basis[row] >= n_std:
+            pivot_col = -1
+            for j in range(n_std):
+                if abs(a1[row, j]) > 1e-7:
+                    pivot_col = j
+                    break
+            if pivot_col < 0:
+                keep_rows[row] = False  # redundant row
+                continue
+            pivot = a1[row, pivot_col]
+            a1[row] /= pivot
+            b1[row] /= pivot
+            for r in range(m):
+                if r != row and abs(a1[r, pivot_col]) > _PIVOT_TOL:
+                    factor = a1[r, pivot_col]
+                    a1[r] -= factor * a1[row]
+                    b1[r] -= factor * b1[row]
+            basis[row] = pivot_col
+
+    a2 = a1[keep_rows][:, :n_std].copy()
+    b2 = b1[keep_rows].copy()
+    basis2 = basis[keep_rows].copy()
+    c2 = sf.c.copy()
+    status, bvals, it2 = _simplex_core(a2, b2, c2, basis2, max_iter)
+    if status == "iteration_limit":
+        raise SolverError("phase-2 simplex iteration limit reached")
+    if status == "unbounded":
+        return LPResult(SolveStatus.UNBOUNDED, None, -np.inf, it1 + it2)
+
+    x_std = np.zeros(n_std)
+    x_std[basis2] = bvals
+    x = _recover(sf, x_std, n)
+    obj = float(c @ x)
+    return LPResult(SolveStatus.OPTIMAL, x, obj, it1 + it2)
+
+
+def _recover(sf: _StandardForm, x_std: np.ndarray, n: int) -> np.ndarray:
+    """Map a standard-form point back to original variable space."""
+    x = np.zeros(n)
+    for j, spec in enumerate(sf.recover):
+        if spec[0] == "shift":
+            _, col, offset = spec
+            x[j] = x_std[col] + offset
+        else:
+            _, pos, negc = spec
+            x[j] = x_std[pos] - x_std[negc]
+    return x

@@ -1,0 +1,126 @@
+"""Analysis and rewriting passes over STRL expressions.
+
+The STRL Generator "performs many possible optimizations, such as culling the
+expression growth when the job's estimated runtime is expected to exceed its
+deadline" (Sec. 3.2.1).  This module hosts those passes:
+
+* :func:`stats` — size metrics feeding the scalability experiments (Fig. 12);
+* :func:`simplify` — structural cleanups that shrink the MILP without
+  changing the expression's value function;
+* :func:`cull_by_horizon` — drop placement options that cannot finish by a
+  deadline (deadline culling).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+
+
+def stats(expr: StrlNode) -> dict[str, int]:
+    """Structural statistics for an expression tree."""
+    kinds = Counter(type(n).__name__ for n in expr.walk())
+    eq_sets = {leaf.nodes for leaf in expr.leaves()}
+    return {
+        "size": expr.size,
+        "leaves": kinds["NCk"] + kinds["LnCk"],
+        "nck": kinds["NCk"],
+        "lnck": kinds["LnCk"],
+        "max_ops": kinds["Max"],
+        "min_ops": kinds["Min"],
+        "sum_ops": kinds["Sum"],
+        "scale_ops": kinds["Scale"],
+        "barrier_ops": kinds["Barrier"],
+        "horizon": expr.horizon(),
+        "equivalence_sets": len(eq_sets),
+        "referenced_nodes": len(expr.referenced_nodes()),
+    }
+
+
+def simplify(expr: StrlNode) -> StrlNode:
+    """Return an equivalent but structurally smaller expression.
+
+    Rewrites applied (bottom-up):
+
+    * ``max``/``min``/``sum`` with a single child -> the child;
+    * nested same-operator ``max``/``sum`` are flattened
+      (``max(max(a,b),c) -> max(a,b,c)``); ``min`` is *not* flattened through
+      ``min`` children because the value semantics already coincide — it is
+      flattened too, which is safe: min of mins is the overall min;
+    * ``scale`` with factor 1 -> the child;
+    * ``scale`` of ``scale`` -> single ``scale`` with multiplied factor;
+    * ``scale`` of an ``nCk``/``LnCk`` leaf -> leaf with scaled value.
+    """
+    if isinstance(expr, (NCk, LnCk)):
+        return expr
+    if isinstance(expr, Scale):
+        child = simplify(expr.subexpr)
+        if isinstance(child, Scale):
+            return simplify(Scale(child.subexpr, expr.factor * child.factor))
+        if expr.factor == 1.0:
+            return child
+        if isinstance(child, NCk):
+            return NCk(child.nodes, child.k, child.start, child.duration,
+                       child.value * expr.factor)
+        if isinstance(child, LnCk):
+            return LnCk(child.nodes, child.k, child.start, child.duration,
+                        child.value * expr.factor)
+        return Scale(child, expr.factor)
+    if isinstance(expr, Barrier):
+        return Barrier(simplify(expr.subexpr), expr.threshold)
+    if isinstance(expr, (Max, Min, Sum)):
+        cls = type(expr)
+        flat: list[StrlNode] = []
+        for child in expr.subexprs:
+            child = simplify(child)
+            if isinstance(child, cls):
+                flat.extend(child.subexprs)
+            else:
+                flat.append(child)
+        if len(flat) == 1:
+            return flat[0]
+        return cls(*flat)
+    return expr
+
+
+def cull_by_horizon(expr: StrlNode, horizon: int) -> StrlNode | None:
+    """Remove leaves whose allocation would extend past ``horizon`` quanta.
+
+    Implements the paper's deadline-culling optimization: a placement option
+    that cannot complete before the deadline contributes no value, so its
+    variables need not exist in the MILP.  Returns ``None`` when nothing
+    useful remains.
+
+    The rewrite is conservative under ``min``: if any child of a ``min``
+    dies, the whole ``min`` is unsatisfiable and dies with it.
+    """
+    if isinstance(expr, (NCk, LnCk)):
+        if expr.start + expr.duration > horizon:
+            return None
+        return expr
+    if isinstance(expr, Scale):
+        child = cull_by_horizon(expr.subexpr, horizon)
+        if child is None:
+            return None
+        return Scale(child, expr.factor)
+    if isinstance(expr, Barrier):
+        child = cull_by_horizon(expr.subexpr, horizon)
+        if child is None:
+            return None
+        return Barrier(child, expr.threshold)
+    if isinstance(expr, Min):
+        kept = [cull_by_horizon(c, horizon) for c in expr.subexprs]
+        if any(c is None for c in kept):
+            return None
+        return Min(*kept)
+    if isinstance(expr, (Max, Sum)):
+        kept = [c for c in (cull_by_horizon(ch, horizon)
+                            for ch in expr.subexprs) if c is not None]
+        if not kept:
+            return None
+        if len(kept) == 1:
+            return kept[0]
+        cls = type(expr)
+        return cls(*kept)
+    return expr

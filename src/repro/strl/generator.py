@@ -1,0 +1,154 @@
+"""STRL Generator: job requests -> STRL expressions (Sec. 3.1, 4.3, 4.4).
+
+The generator replicates each job's spatial placement options over every
+possible start time in the plan-ahead window (time is quantized, so the
+expression grows linearly with the window, Sec. 3.2.1), attaches the value of
+the resulting completion time from the job's value function, and combines
+everything under a ``max`` — the solver then picks the single most valuable
+space-time shape.
+
+Culling optimizations (Sec. 3.2.1, 7.3) are applied during generation:
+
+* options whose completion would exceed the job's deadline are skipped;
+* options with non-positive value are skipped;
+* jobs that retain no options yield ``None`` (the scheduler drops them from
+  this cycle's MILP).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import StrlError
+from repro.strl.ast import Max, NCk, StrlNode, Sum
+from repro.valuefn import ValueFunction
+
+
+@dataclass(frozen=True)
+class SpaceOption:
+    """One spatial placement alternative for a job.
+
+    A job type with heterogeneity preferences produces several options with
+    different equivalence sets and durations — e.g. a GPU job offers
+    ("GPU nodes", fast duration) and ("whole cluster", slow duration); an
+    MPI job offers one option per rack (fast) plus the whole cluster (slow).
+
+    Attributes
+    ----------
+    nodes:
+        Equivalence set: names of nodes this option may draw from.
+    k:
+        Gang size — number of nodes required simultaneously.
+    duration_s:
+        Estimated runtime in seconds when placed this way.
+    label:
+        Diagnostic tag ("gpu", "rack:r0", "fallback", ...).
+    """
+
+    nodes: frozenset[str]
+    k: int
+    duration_s: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise StrlError(f"SpaceOption: k must be positive, got {self.k}")
+        if self.duration_s <= 0:
+            raise StrlError(
+                f"SpaceOption: duration must be positive, got {self.duration_s}")
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the equivalence set is large enough for the gang."""
+        return self.k <= len(self.nodes)
+
+
+def quantize_duration(duration_s: float, quantum_s: float) -> int:
+    """Convert seconds to an integral number of quanta, rounding up.
+
+    Rounding up is the safe direction: the scheduler never plans a slot
+    shorter than the job's estimated runtime.
+    """
+    if quantum_s <= 0:
+        raise StrlError("quantum must be positive")
+    return max(1, math.ceil(duration_s / quantum_s - 1e-6))
+
+
+#: Default per-quantum completion-time bias (see generate_job_strl).
+DEFAULT_EARLINESS_BIAS = 1e-3
+
+
+def generate_job_strl(options: list[SpaceOption], value_fn: ValueFunction,
+                      now: float, quantum_s: float, plan_ahead_quanta: int,
+                      deadline: float | None = None,
+                      cull: bool = True,
+                      earliness_bias: float = DEFAULT_EARLINESS_BIAS) -> StrlNode | None:
+    """Build one job's STRL expression for the current scheduling cycle.
+
+    Parameters
+    ----------
+    options:
+        Spatial alternatives from the job's framework plugin.  Options whose
+        equivalence set is smaller than ``k`` are ignored.
+    value_fn:
+        Maps absolute completion time to value (see :mod:`repro.valuefn`).
+    now:
+        Absolute current time in seconds (cycle start).
+    quantum_s:
+        Time quantum; leaf ``start``/``duration`` are in these units.
+    plan_ahead_quanta:
+        Number of *future* start quanta to consider.  ``0`` disables
+        plan-ahead (TetriSched-NP / alsched): the job may only start now.
+    deadline:
+        Absolute deadline; used for culling when ``cull`` is true.
+    cull:
+        Apply deadline/zero-value culling.  Disabled only by the culling
+        ablation benchmark.
+    earliness_bias:
+        Deterministic tie-breaker: each leaf's value is scaled by
+        ``max(0.1, 1 - bias * completion_quanta)``.  The paper's SLO value
+        function is *constant* up to the deadline (Fig. 5), which leaves the
+        MILP indifferent between starting a job now or deferring it, and
+        between fast and slow placements that both meet the deadline.  The
+        tiny bias makes the solver strictly prefer earlier completion
+        without perturbing the 1000x/25x/1x priority ordering.  Set to 0 to
+        recover the paper's raw value functions exactly.
+
+    Returns
+    -------
+    The job's ``max`` expression, a single leaf, or ``None`` when every
+    option was culled.
+    """
+    if plan_ahead_quanta < 0:
+        raise StrlError("plan_ahead_quanta must be >= 0")
+    leaves: list[NCk] = []
+    for opt in options:
+        if not opt.feasible:
+            continue
+        dur_q = quantize_duration(opt.duration_s, quantum_s)
+        for start_q in range(plan_ahead_quanta + 1):
+            completion = now + (start_q + dur_q) * quantum_s
+            if cull and deadline is not None and completion > deadline + 1e-9:
+                break  # later starts only finish later; stop this option
+            value = value_fn(completion)
+            if cull and value <= 0.0:
+                continue
+            if earliness_bias and value > 0.0:
+                value *= max(0.1, 1.0 - earliness_bias * (start_q + dur_q))
+            leaves.append(NCk(nodes=opt.nodes, k=opt.k, start=start_q,
+                              duration=dur_q, value=value))
+    if not leaves:
+        return None
+    if len(leaves) == 1:
+        return leaves[0]
+    return Max(*leaves)
+
+
+def generate_batch_strl(job_exprs: list[StrlNode]) -> StrlNode | None:
+    """Aggregate per-job expressions with the top-level ``sum`` (Sec. 3.2)."""
+    if not job_exprs:
+        return None
+    if len(job_exprs) == 1:
+        return Sum(job_exprs[0])
+    return Sum(*job_exprs)

@@ -1,0 +1,136 @@
+"""Parser for the textual STRL syntax emitted by :mod:`repro.strl.printer`.
+
+Grammar (s-expressions)::
+
+    expr    := leaf | op
+    leaf    := "(" ("nCk" | "LnCk") set kw* ")"
+    set     := "(" "set" NAME+ ")"
+    kw      := ":k" INT | ":start" INT | ":dur" INT | ":v" NUMBER
+    op      := "(" ("max" | "min" | "sum") expr+ ")"
+             | "(" "scale" NUMBER expr ")"
+             | "(" "barrier" NUMBER expr ")"
+
+Keyword arguments may appear in any order; all four are required.  The parser
+produces the same frozen AST the programmatic API builds, so parsed and
+constructed expressions compare equal.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import StrlParseError
+from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+
+_TOKEN_RE = re.compile(r"""\(|\)|[^\s()]+""")
+_NUMBER_RE = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?$")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split STRL text into parentheses and atoms."""
+    return _TOKEN_RE.findall(text)
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise StrlParseError("unexpected end of input")
+        self._pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        tok = self.next()
+        if tok != token:
+            raise StrlParseError(f"expected {token!r}, got {tok!r}")
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+
+def parse(text: str) -> StrlNode:
+    """Parse a single STRL expression from text."""
+    stream = _TokenStream(tokenize(text))
+    expr = _parse_expr(stream)
+    if not stream.exhausted:
+        raise StrlParseError(f"trailing input after expression: {stream.peek()!r}")
+    return expr
+
+
+def _parse_number(tok: str, what: str) -> float:
+    if not _NUMBER_RE.match(tok):
+        raise StrlParseError(f"expected a number for {what}, got {tok!r}")
+    return float(tok)
+
+
+def _parse_int(tok: str, what: str) -> int:
+    value = _parse_number(tok, what)
+    if not value.is_integer():
+        raise StrlParseError(f"expected an integer for {what}, got {tok!r}")
+    return int(value)
+
+
+def _parse_set(stream: _TokenStream) -> frozenset[str]:
+    stream.expect("(")
+    stream.expect("set")
+    names: list[str] = []
+    while stream.peek() not in (")", None):
+        names.append(stream.next())
+    stream.expect(")")
+    if not names:
+        raise StrlParseError("empty (set ...) in leaf expression")
+    return frozenset(names)
+
+
+def _parse_leaf(stream: _TokenStream, tag: str) -> StrlNode:
+    nodes = _parse_set(stream)
+    kwargs: dict[str, float] = {}
+    while stream.peek() != ")":
+        key = stream.next()
+        if not key.startswith(":"):
+            raise StrlParseError(f"expected keyword like :k, got {key!r}")
+        kwargs[key] = stream.next()
+    stream.expect(")")
+    missing = {":k", ":start", ":dur", ":v"} - set(kwargs)
+    if missing:
+        raise StrlParseError(f"{tag} leaf missing keywords: {sorted(missing)}")
+    cls = NCk if tag == "nCk" else LnCk
+    return cls(nodes=nodes,
+               k=_parse_int(kwargs[":k"], ":k"),
+               start=_parse_int(kwargs[":start"], ":start"),
+               duration=_parse_int(kwargs[":dur"], ":dur"),
+               value=_parse_number(kwargs[":v"], ":v"))
+
+
+def _parse_expr(stream: _TokenStream) -> StrlNode:
+    stream.expect("(")
+    tag = stream.next()
+    if tag in ("nCk", "LnCk"):
+        return _parse_leaf(stream, tag)
+    if tag in ("max", "min", "sum"):
+        children: list[StrlNode] = []
+        while stream.peek() == "(":
+            children.append(_parse_expr(stream))
+        stream.expect(")")
+        if not children:
+            raise StrlParseError(f"({tag} ...) needs at least one child")
+        cls = {"max": Max, "min": Min, "sum": Sum}[tag]
+        return cls(*children)
+    if tag in ("scale", "barrier"):
+        scalar = _parse_number(stream.next(), tag)
+        child = _parse_expr(stream)
+        stream.expect(")")
+        if tag == "scale":
+            return Scale(child, scalar)
+        return Barrier(child, scalar)
+    raise StrlParseError(f"unknown STRL operator {tag!r}")

@@ -1,0 +1,72 @@
+"""Render STRL expressions as s-expression text.
+
+The textual form round-trips through :mod:`repro.strl.parser`:
+
+.. code-block:: text
+
+    (max (nCk (set M1 M2) :k 2 :start 0 :dur 2 :v 4)
+         (nCk (set M1 M2 M3 M4) :k 2 :start 0 :dur 3 :v 3))
+"""
+
+from __future__ import annotations
+
+from repro.errors import StrlError
+from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+
+
+def _fmt_num(x: float) -> str:
+    """Format a value without a trailing ``.0`` when it is integral."""
+    if float(x).is_integer():
+        return str(int(x))
+    return repr(float(x))
+
+
+def to_text(expr: StrlNode, indent: int | None = None) -> str:
+    """Serialize ``expr``; pass ``indent`` for a pretty multi-line form."""
+    if indent is None:
+        return _to_text_flat(expr)
+    return _to_text_pretty(expr, 0, indent)
+
+
+def _leaf_text(tag: str, leaf) -> str:
+    names = " ".join(sorted(leaf.nodes))
+    return (f"({tag} (set {names}) :k {leaf.k} :start {leaf.start} "
+            f":dur {leaf.duration} :v {_fmt_num(leaf.value)})")
+
+
+def _to_text_flat(expr: StrlNode) -> str:
+    if isinstance(expr, NCk):
+        return _leaf_text("nCk", expr)
+    if isinstance(expr, LnCk):
+        return _leaf_text("LnCk", expr)
+    if isinstance(expr, Max):
+        return "(max " + " ".join(_to_text_flat(c) for c in expr.subexprs) + ")"
+    if isinstance(expr, Min):
+        return "(min " + " ".join(_to_text_flat(c) for c in expr.subexprs) + ")"
+    if isinstance(expr, Sum):
+        return "(sum " + " ".join(_to_text_flat(c) for c in expr.subexprs) + ")"
+    if isinstance(expr, Scale):
+        return f"(scale {_fmt_num(expr.factor)} {_to_text_flat(expr.subexpr)})"
+    if isinstance(expr, Barrier):
+        return (f"(barrier {_fmt_num(expr.threshold)} "
+                f"{_to_text_flat(expr.subexpr)})")
+    raise StrlError(f"cannot print {expr!r}")
+
+
+def _to_text_pretty(expr: StrlNode, depth: int, indent: int) -> str:
+    pad = " " * (depth * indent)
+    if isinstance(expr, (NCk, LnCk)):
+        return pad + _to_text_flat(expr)
+    child_pad = "\n"
+    if isinstance(expr, (Max, Min, Sum)):
+        tag = type(expr).__name__.lower()
+        body = child_pad.join(
+            _to_text_pretty(c, depth + 1, indent) for c in expr.subexprs)
+        return f"{pad}({tag}\n{body})"
+    if isinstance(expr, Scale):
+        body = _to_text_pretty(expr.subexpr, depth + 1, indent)
+        return f"{pad}(scale {_fmt_num(expr.factor)}\n{body})"
+    if isinstance(expr, Barrier):
+        body = _to_text_pretty(expr.subexpr, depth + 1, indent)
+        return f"{pad}(barrier {_fmt_num(expr.threshold)}\n{body})"
+    raise StrlError(f"cannot print {expr!r}")

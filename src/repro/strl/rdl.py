@@ -1,0 +1,97 @@
+"""Rayon's Reservation Definition Language (RDL), minimal subset (Sec. 4.4).
+
+Rayon reservation requests arrive as RDL expressions; the paper's example::
+
+    Window(s=0, f=3, Atom(b=<16GB,8c>, k=2, gang=2, dur=3))
+
+reserves a gang of 2 containers for 3 time units anywhere in the window
+[0, 3].  The STRL Generator combines this coarse reservation information with
+framework-plugin knowledge (placement preferences, slowdowns) to produce the
+fine-grained STRL expression.
+
+We implement the subset the evaluation exercises: a ``Window`` bounding a
+single gang ``Atom``.  :func:`rdl_to_strl` performs the direct translation of
+Sec. 4.4 (unconstrained placement); heterogeneous preferences enter through
+:func:`repro.strl.generator.generate_job_strl` instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import StrlError
+from repro.strl.ast import Max, NCk, StrlNode
+from repro.strl.generator import quantize_duration
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A reservation for ``k`` identical containers over ``duration_s``.
+
+    ``bundle`` describes the per-container resource shape (informational in
+    our node-granular model, e.g. ``"<16GB,8c>"``); ``gang`` is the number of
+    containers that must be allocated simultaneously.  We require full gangs
+    (``gang == k``), matching the paper's workloads.
+    """
+
+    bundle: str
+    k: int
+    gang: int
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise StrlError(f"Atom: k must be positive, got {self.k}")
+        if self.gang != self.k:
+            raise StrlError(
+                f"Atom: only full gangs are supported (gang={self.gang}, k={self.k})")
+        if self.duration_s <= 0:
+            raise StrlError("Atom: duration must be positive")
+
+
+@dataclass(frozen=True)
+class Window:
+    """Bounds the time range in which the child ``Atom`` may be placed."""
+
+    start_s: float
+    finish_s: float
+    atom: Atom
+
+    def __post_init__(self) -> None:
+        if self.finish_s <= self.start_s:
+            raise StrlError("Window: finish must be after start")
+
+    @property
+    def deadline(self) -> float:
+        """The reservation's implied completion deadline."""
+        return self.finish_s
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the atom can complete inside the window at all."""
+        return self.start_s + self.atom.duration_s <= self.finish_s + 1e-9
+
+
+def rdl_to_strl(window: Window, nodes: frozenset[str], quantum_s: float,
+                now: float = 0.0, value: float = 1.0) -> StrlNode | None:
+    """Translate an RDL window into STRL (the Sec. 4.4 direct mapping).
+
+    Produces ``max`` over every feasible quantized start time of an ``nCk``
+    drawing ``k`` nodes from the whole given node set.  Returns ``None`` when
+    the window cannot fit the atom (infeasible reservation).
+    """
+    atom = window.atom
+    if atom.k > len(nodes):
+        return None
+    dur_q = quantize_duration(atom.duration_s, quantum_s)
+    first_q = max(0, math.ceil((window.start_s - now) / quantum_s - 1e-9))
+    # Last start such that start + dur completes by the window finish.
+    last_q = math.floor((window.finish_s - now) / quantum_s + 1e-9) - dur_q
+    if last_q < first_q:
+        return None
+    leaves = [NCk(nodes=nodes, k=atom.k, start=s, duration=dur_q, value=value)
+              for s in range(first_q, last_q + 1)]
+    if len(leaves) == 1:
+        return leaves[0]
+    return Max(*leaves)

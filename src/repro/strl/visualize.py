@@ -1,0 +1,87 @@
+"""Visualization of STRL expressions as text.
+
+Two views:
+
+* :func:`ascii_tree` — the operator tree with one node per line
+  (box-drawing connectors), annotated with values and shapes;
+* :func:`spacetime_grid` — every leaf as a row of time slots, Fig. 1-style:
+  which quanta each placement option would occupy, how many nodes it takes,
+  and from which equivalence set.
+
+Both are pure functions over the immutable AST; used by ``examples/`` and
+handy in a REPL when debugging generated expressions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StrlError
+from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+
+
+def _leaf_label(leaf: NCk | LnCk) -> str:
+    kind = "nCk" if isinstance(leaf, NCk) else "LnCk"
+    names = sorted(leaf.nodes)
+    shown = ",".join(names[:3]) + (",…" if len(names) > 3 else "")
+    return (f"{kind} k={leaf.k} of {{{shown}}} "
+            f"@t{leaf.start}+{leaf.duration} v={leaf.value:g}")
+
+
+def _node_label(node: StrlNode) -> str:
+    if isinstance(node, (NCk, LnCk)):
+        return _leaf_label(node)
+    if isinstance(node, Max):
+        return f"max (choose ≤1 of {len(node.subexprs)})"
+    if isinstance(node, Min):
+        return f"min (all of {len(node.subexprs)})"
+    if isinstance(node, Sum):
+        return f"sum ({len(node.subexprs)} jobs/parts)"
+    if isinstance(node, Scale):
+        return f"scale ×{node.factor:g}"
+    if isinstance(node, Barrier):
+        return f"barrier ≥{node.threshold:g}"
+    raise StrlError(f"cannot visualize {node!r}")
+
+
+def ascii_tree(expr: StrlNode) -> str:
+    """Render the expression tree with box-drawing connectors."""
+    lines: list[str] = []
+
+    def walk(node: StrlNode, prefix: str, connector: str,
+             child_prefix: str) -> None:
+        lines.append(prefix + connector + _node_label(node))
+        children = node.children()
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            walk(child,
+                 child_prefix,
+                 "└─ " if last else "├─ ",
+                 child_prefix + ("   " if last else "│  "))
+
+    walk(expr, "", "", "")
+    return "\n".join(lines)
+
+
+def spacetime_grid(expr: StrlNode, horizon: int | None = None) -> str:
+    """Render every leaf's space-time footprint, one row per leaf.
+
+    Columns are time quanta; a cell shows ``#`` while the option holds its
+    nodes and ``.`` otherwise; the row label names the equivalence set and
+    gang size.  This is the textual cousin of the paper's Fig. 1 grids.
+    """
+    leaves = list(expr.leaves())
+    if not leaves:
+        return "(no leaves)"
+    h = horizon if horizon is not None else expr.horizon()
+    h = max(h, 1)
+    label_parts = []
+    for leaf in leaves:
+        names = sorted(leaf.nodes)
+        shown = ",".join(names[:2]) + ("…" if len(names) > 2 else "")
+        label_parts.append(f"k={leaf.k} of {{{shown}}} v={leaf.value:g}")
+    width = max(len(p) for p in label_parts)
+    lines = [f"{'':<{width}}  t: " + "".join(f"{t % 10}" for t in range(h))]
+    for leaf, label in zip(leaves, label_parts):
+        cells = ["#" if leaf.start <= t < leaf.start + leaf.duration else "."
+                 for t in range(h)]
+        lines.append(f"{label:<{width}}     " + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Workload generation: SWIM-derived classes, Table 1 compositions, gridmix."""
+
+from repro.workloads.compositions import (COMPOSITIONS, GR_MIX, GR_SLO,
+                                          GS_HET, GS_MIX, TABLE1,
+                                          WorkloadComposition)
+from repro.workloads.distributions import (BoundedLogNormal, Rng, UniformFloat,
+                                           UniformInt)
+from repro.workloads.gridmix import (JOB_TYPES, GridmixConfig, generate_workload,
+                                     offered_load)
+from repro.workloads.swim import (FB2009_2, GS_SYNTHETIC, JOB_CLASSES,
+                                  YAHOO_1, JobClassSpec)
+
+__all__ = [
+    "BoundedLogNormal", "COMPOSITIONS", "FB2009_2", "GR_MIX", "GR_SLO",
+    "GS_HET", "GS_MIX", "GS_SYNTHETIC", "GridmixConfig", "JOB_CLASSES",
+    "JOB_TYPES", "JobClassSpec", "Rng", "TABLE1", "UniformFloat",
+    "UniformInt", "WorkloadComposition", "YAHOO_1", "generate_workload",
+    "offered_load",
+]

@@ -1,0 +1,111 @@
+"""Seeded random distributions for workload generation.
+
+A thin wrapper over ``numpy.random.Generator`` that keeps every experiment
+deterministic (seed in, same workload out) and centralizes the distribution
+shapes used by the SWIM-derived and synthetic generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class Rng:
+    """Deterministic random source for one workload."""
+
+    def __init__(self, seed: int) -> None:
+        self._gen = np.random.default_rng(seed)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return float(self._gen.uniform(lo, hi))
+
+    def exponential(self, mean: float) -> float:
+        return float(self._gen.exponential(mean))
+
+    def gamma_gap(self, mean: float, cv: float) -> float:
+        """Arrival gap with a chosen coefficient of variation.
+
+        ``cv = 1`` is exponential (Poisson arrivals); ``cv > 1`` is bursty
+        (the companion TR sweeps inter-arrival burstiness).  Implemented as
+        a Gamma distribution with shape ``1/cv**2`` and matching mean.
+        """
+        if cv <= 0:
+            raise WorkloadError("cv must be positive")
+        shape = 1.0 / (cv * cv)
+        scale = mean / shape
+        return float(self._gen.gamma(shape, scale))
+
+    def lognormal(self, median: float, sigma: float) -> float:
+        """Lognormal parameterized by its median (exp(mu)) and shape sigma."""
+        return float(self._gen.lognormal(np.log(median), sigma))
+
+    def integer(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] inclusive."""
+        return int(self._gen.integers(lo, hi + 1))
+
+    def choice(self, options, probabilities=None):
+        idx = self._gen.choice(len(options), p=probabilities)
+        return options[int(idx)]
+
+    def bernoulli(self, p: float) -> bool:
+        return bool(self._gen.random() < p)
+
+
+@dataclass(frozen=True)
+class BoundedLogNormal:
+    """Lognormal clipped to [lo, hi] — heavy-tailed but sim-friendly.
+
+    SWIM's published MapReduce characterizations (Facebook/Yahoo production
+    traces) show strongly skewed job sizes and durations; we reproduce the
+    skew with clipped lognormals.
+    """
+
+    median: float
+    sigma: float
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not (self.lo <= self.median <= self.hi):
+            raise WorkloadError(
+                f"median {self.median} outside bounds [{self.lo}, {self.hi}]")
+        if self.sigma < 0:
+            raise WorkloadError("sigma must be nonnegative")
+
+    def sample(self, rng: Rng) -> float:
+        return float(np.clip(rng.lognormal(self.median, self.sigma),
+                             self.lo, self.hi))
+
+
+@dataclass(frozen=True)
+class UniformInt:
+    """Uniform integer distribution, inclusive of both bounds."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi or self.lo < 1:
+            raise WorkloadError(f"bad integer range [{self.lo}, {self.hi}]")
+
+    def sample(self, rng: Rng) -> int:
+        return rng.integer(self.lo, self.hi)
+
+
+@dataclass(frozen=True)
+class UniformFloat:
+    """Uniform float distribution over [lo, hi]."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise WorkloadError(f"bad range [{self.lo}, {self.hi}]")
+
+    def sample(self, rng: Rng) -> float:
+        return rng.uniform(self.lo, self.hi)

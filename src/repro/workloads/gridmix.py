@@ -1,0 +1,145 @@
+"""Gridmix-style workload generator (Sec. 6.4).
+
+"We use a synthetic generator based on Gridmix 3 to generate MapReduce jobs
+that respect the runtime parameter distributions for arrival time, job
+count, size, deadline, and task runtime.  In all experiments, we adjust the
+load to utilize near 100 % of the available cluster capacity."
+
+The generator samples gang sizes / runtimes / deadline slacks from a
+:class:`~repro.workloads.compositions.WorkloadComposition`, then paces
+Poisson arrivals so the *offered load* (node-seconds demanded per second)
+matches ``target_utilization`` of cluster capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.errors import WorkloadError
+from repro.sim.jobs import GpuType, Job, MpiType, UnconstrainedType
+from repro.workloads.compositions import WorkloadComposition
+from repro.workloads.distributions import Rng
+
+#: Placement-preference implementations by type name.  The slowdown factor
+#: follows the paper's examples (Fig. 1: GPU/MPI jobs run 3 time units
+#: instead of 2 on sub-optimal placements -> 1.5x).
+JOB_TYPES = {
+    "unconstrained": UnconstrainedType(),
+    "gpu": GpuType(slowdown=1.5),
+    "mpi": MpiType(slowdown=1.5),
+}
+
+
+@dataclass(frozen=True)
+class GridmixConfig:
+    """Knobs for one generated workload."""
+
+    num_jobs: int = 60
+    target_utilization: float = 1.0
+    #: Relative runtime mis-estimation applied to every job (Sec. 6.3 sweep).
+    estimate_error: float = 0.0
+    #: Coefficient of variation of arrival gaps: 1.0 = Poisson, >1 = bursty
+    #: (the companion TR sweeps inter-arrival burstiness).
+    burstiness: float = 1.0
+    #: Sub-optimal-placement slowdown for GPU/MPI jobs (the companion TR
+    #: sweeps this heterogeneity intensity; 1.0 = homogeneous cluster).
+    slowdown: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_jobs <= 0:
+            raise WorkloadError("num_jobs must be positive")
+        if self.target_utilization <= 0:
+            raise WorkloadError("target_utilization must be positive")
+        if self.estimate_error <= -1.0:
+            raise WorkloadError("estimate_error must be > -100%")
+        if self.burstiness <= 0:
+            raise WorkloadError("burstiness must be positive")
+        if self.slowdown < 1.0:
+            raise WorkloadError("slowdown must be >= 1")
+
+
+def generate_workload(composition: WorkloadComposition, cluster: Cluster,
+                      config: GridmixConfig) -> list[Job]:
+    """Generate one deterministic workload.
+
+    Jobs are named ``slo<N>`` / ``be<N>``.  Gang sizes are capped at the
+    cluster size (and, for MPI jobs, at the largest rack so the rack-local
+    preference stays satisfiable).
+    """
+    rng = Rng(config.seed)
+    job_types = {
+        "unconstrained": UnconstrainedType(),
+        "gpu": GpuType(slowdown=config.slowdown),
+        "mpi": MpiType(slowdown=config.slowdown),
+    }
+    capacity = len(cluster)
+    max_rack = max(len(cluster.rack_nodes(r)) for r in cluster.rack_names)
+
+    type_names = sorted(composition.slo_type_mix)
+    type_probs = [composition.slo_type_mix[t] for t in type_names]
+
+    # -- sample job shapes first (sizes, runtimes, classes) ------------------
+    drafts = []
+    slo_target = composition.slo_fraction
+    for i in range(config.num_jobs):
+        # Deterministic class interleaving keeps the realized mix close to
+        # the target even for small workloads.
+        already_slo = sum(1 for d in drafts if d["is_slo"])
+        is_slo = (already_slo < slo_target * (i + 1) - 1e-9) or (
+            slo_target >= 1.0)
+        spec = composition.slo_class if is_slo else composition.be_class
+        if is_slo:
+            type_name = rng.choice(type_names, type_probs)
+        else:
+            type_name = "unconstrained"  # BE jobs are always unconstrained
+        k = spec.gang_size.sample(rng)
+        k = min(k, capacity if type_name != "mpi" else max_rack)
+        runtime = spec.runtime_s.sample(rng)
+        drafts.append(dict(is_slo=is_slo, type_name=type_name, k=k,
+                           runtime=runtime,
+                           slack=spec.deadline_slack.sample(rng)))
+
+    # -- pace arrivals to hit the utilization target --------------------------
+    mean_work = float(np.mean([d["k"] * d["runtime"] for d in drafts]))
+    arrival_rate = capacity * config.target_utilization / mean_work
+    mean_gap = 1.0 / arrival_rate
+
+    jobs: list[Job] = []
+    t = 0.0
+    slo_counter = be_counter = 0
+    for d in drafts:
+        t += rng.gamma_gap(mean_gap, config.burstiness)
+        if d["is_slo"]:
+            job_id = f"slo{slo_counter}"
+            slo_counter += 1
+            deadline = t + d["slack"] * d["runtime"]
+        else:
+            job_id = f"be{be_counter}"
+            be_counter += 1
+            deadline = None
+        jobs.append(Job(
+            job_id=job_id, job_type=job_types[d["type_name"]], k=d["k"],
+            base_runtime_s=d["runtime"], submit_time=t, deadline=deadline,
+            estimate_error=config.estimate_error))
+    return jobs
+
+
+def offered_load(jobs: list[Job], cluster: Cluster) -> float:
+    """Realized offered load as a fraction of cluster capacity.
+
+    ``sum(k * runtime) / (capacity * makespan_window)`` where the window is
+    the arrival span plus one mean runtime (so single-job workloads don't
+    divide by zero).
+    """
+    if not jobs:
+        return 0.0
+    work = sum(j.k * j.base_runtime_s for j in jobs)
+    first = min(j.submit_time for j in jobs)
+    last = max(j.submit_time for j in jobs)
+    mean_runtime = work / sum(j.k for j in jobs)
+    window = (last - first) + mean_runtime
+    return work / (len(cluster) * window)

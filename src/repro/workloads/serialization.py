@@ -1,0 +1,100 @@
+"""Workload (de)serialization: archive generated workloads as JSON.
+
+Generated workloads are deterministic given a seed, but archiving the exact
+job list makes runs auditable and lets external traces be imported into the
+simulator without writing a generator.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import WorkloadError
+from repro.sim.jobs import (ElasticType, GpuType, Job, JobType, MpiType,
+                            UnconstrainedType)
+
+_FORMAT_VERSION = 1
+
+
+def _type_to_dict(job_type: JobType) -> dict:
+    if isinstance(job_type, UnconstrainedType):
+        return {"name": "unconstrained"}
+    if isinstance(job_type, GpuType):
+        return {"name": "gpu", "slowdown": job_type.slowdown}
+    if isinstance(job_type, MpiType):
+        return {"name": "mpi", "slowdown": job_type.slowdown}
+    if isinstance(job_type, ElasticType):
+        return {"name": "elastic", "min_k": job_type.min_k,
+                "efficiency": job_type.efficiency}
+    raise WorkloadError(f"cannot serialize job type {job_type!r}")
+
+
+def _type_from_dict(raw: dict) -> JobType:
+    name = raw.get("name")
+    if name == "unconstrained":
+        return UnconstrainedType()
+    if name == "gpu":
+        return GpuType(slowdown=raw.get("slowdown", 1.5))
+    if name == "mpi":
+        return MpiType(slowdown=raw.get("slowdown", 1.5))
+    if name == "elastic":
+        return ElasticType(min_k=raw.get("min_k", 1),
+                           efficiency=raw.get("efficiency", 1.0))
+    raise WorkloadError(f"unknown job type {name!r}")
+
+
+def job_to_dict(job: Job) -> dict:
+    """One job as a plain JSON-safe dict."""
+    return {
+        "job_id": job.job_id,
+        "type": _type_to_dict(job.job_type),
+        "k": job.k,
+        "base_runtime_s": job.base_runtime_s,
+        "submit_time": job.submit_time,
+        "deadline": job.deadline,
+        "estimate_error": job.estimate_error,
+    }
+
+
+def job_from_dict(raw: dict) -> Job:
+    try:
+        return Job(
+            job_id=raw["job_id"],
+            job_type=_type_from_dict(raw["type"]),
+            k=int(raw["k"]),
+            base_runtime_s=float(raw["base_runtime_s"]),
+            submit_time=float(raw["submit_time"]),
+            deadline=(float(raw["deadline"])
+                      if raw.get("deadline") is not None else None),
+            estimate_error=float(raw.get("estimate_error", 0.0)))
+    except KeyError as exc:
+        raise WorkloadError(f"job record missing field {exc}") from None
+
+
+def dump_workload(jobs: list[Job]) -> str:
+    """Serialize a workload to a JSON document."""
+    return json.dumps({
+        "version": _FORMAT_VERSION,
+        "jobs": [job_to_dict(j) for j in jobs],
+    }, indent=2)
+
+
+def load_workload(text: str) -> list[Job]:
+    """Parse a workload JSON document back into jobs."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"invalid workload JSON: {exc}") from None
+    if doc.get("version") != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported workload format version {doc.get('version')!r}")
+    return [job_from_dict(raw) for raw in doc.get("jobs", [])]
+
+
+def save_workload_file(jobs: list[Job], path: str | pathlib.Path) -> None:
+    pathlib.Path(path).write_text(dump_workload(jobs))
+
+
+def load_workload_file(path: str | pathlib.Path) -> list[Job]:
+    return load_workload(pathlib.Path(path).read_text())

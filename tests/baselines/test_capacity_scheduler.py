@@ -1,0 +1,185 @@
+"""Tests for the Rayon/CapacityScheduler baseline."""
+
+import pytest
+
+from repro.baselines import CapacityScheduler
+from repro.cluster import Cluster
+from repro.errors import SchedulerError
+from repro.reservation import RayonReservationSystem
+from repro.sim import Job, Simulation, UnconstrainedType
+
+UN = UnconstrainedType()
+
+
+def make_stack(nodes=4, cycle_s=10.0, preemption=True):
+    cluster = Cluster.build(racks=1, nodes_per_rack=nodes)
+    rayon = RayonReservationSystem(capacity=nodes, step_s=cycle_s)
+    cs = CapacityScheduler(cluster, rayon, cycle_s=cycle_s,
+                           preemption=preemption)
+    return cluster, rayon, cs
+
+
+class TestQueueing:
+    def test_accepted_job_launches_in_window(self):
+        cluster, rayon, cs = make_stack()
+        job = Job("s", UN, k=2, base_runtime_s=20, submit_time=0.0,
+                  deadline=100.0)
+        rayon.submit("s", 2, 20, 0.0, 100.0)
+        cs.submit(job, accepted=True, now=0.0)
+        decisions = cs.cycle(0.0)
+        assert [a.job_id for a in decisions.allocations] == ["s"]
+
+    def test_best_effort_fifo_with_skip(self):
+        cluster, rayon, cs = make_stack(nodes=4)
+        wide = Job("wide", UN, k=4, base_runtime_s=20, submit_time=0.0)
+        narrow = Job("narrow", UN, k=1, base_runtime_s=20, submit_time=0.0)
+        blocker = Job("blocker", UN, k=2, base_runtime_s=20, submit_time=0.0)
+        cs.submit(blocker, accepted=False, now=0.0)
+        cs.cycle(0.0)
+        cs.submit(wide, accepted=False, now=0.0)
+        cs.submit(narrow, accepted=False, now=0.0)
+        decisions = cs.cycle(10.0)
+        # wide (4 nodes) cannot fit behind blocker (2 busy); narrow can.
+        assert [a.job_id for a in decisions.allocations] == ["narrow"]
+
+    def test_too_big_job_rejected(self):
+        cluster, rayon, cs = make_stack(nodes=2)
+        job = Job("huge", UN, k=5, base_runtime_s=10, submit_time=0.0)
+        with pytest.raises(SchedulerError):
+            cs.submit(job, accepted=False, now=0.0)
+
+    def test_finish_unknown_job_raises(self):
+        cluster, rayon, cs = make_stack()
+        with pytest.raises(SchedulerError):
+            cs.job_finished("ghost", 0.0)
+
+    def test_active_jobs_counts(self):
+        cluster, rayon, cs = make_stack()
+        cs.submit(Job("b", UN, k=1, base_runtime_s=10, submit_time=0.0),
+                  accepted=False, now=0.0)
+        assert cs.active_jobs == 1
+        cs.cycle(0.0)
+        assert cs.active_jobs == 1  # now running
+        cs.job_finished("b", 10.0)
+        assert cs.active_jobs == 0
+
+
+class TestPreemption:
+    def test_reserved_job_preempts_best_effort(self):
+        cluster, rayon, cs = make_stack(nodes=4)
+        # BE job takes the whole cluster at t=0.
+        be = Job("be", UN, k=4, base_runtime_s=100, submit_time=0.0)
+        cs.submit(be, accepted=False, now=0.0)
+        cs.cycle(0.0)
+        # Reserved job's window starts at t=10.
+        rayon.submit("slo", 4, 20, 10.0, 100.0)
+        cs.submit(Job("slo", UN, k=4, base_runtime_s=20, submit_time=10.0,
+                      deadline=100.0), accepted=True, now=10.0)
+        decisions = cs.cycle(10.0)
+        assert decisions.preempted == ["be"]
+        assert [a.job_id for a in decisions.allocations] == ["slo"]
+        assert cs.preemption_count == 1
+        # The preempted BE job is back in the queue (lost all progress).
+        assert cs.active_jobs == 2
+
+    def test_no_preemption_when_disabled(self):
+        cluster, rayon, cs = make_stack(nodes=4, preemption=False)
+        cs.submit(Job("be", UN, k=4, base_runtime_s=100, submit_time=0.0),
+                  accepted=False, now=0.0)
+        cs.cycle(0.0)
+        rayon.submit("slo", 4, 20, 10.0, 100.0)
+        cs.submit(Job("slo", UN, k=4, base_runtime_s=20, submit_time=10.0,
+                      deadline=100.0), accepted=True, now=10.0)
+        decisions = cs.cycle(10.0)
+        assert decisions.preempted == []
+        assert decisions.allocations == []
+
+    def test_reserved_jobs_are_not_preempted(self):
+        cluster, rayon, cs = make_stack(nodes=4)
+        rayon.submit("slo1", 4, 100, 0.0, 200.0)
+        cs.submit(Job("slo1", UN, k=4, base_runtime_s=100, submit_time=0.0,
+                      deadline=200.0), accepted=True, now=0.0)
+        cs.cycle(0.0)
+        rayon.submit("slo2", 4, 20, 0.0, 300.0)  # forced after slo1
+        cs.submit(Job("slo2", UN, k=4, base_runtime_s=20, submit_time=0.0,
+                      deadline=300.0), accepted=True, now=0.0)
+        decisions = cs.cycle(10.0)
+        # slo1 is within its window: protected.
+        assert decisions.preempted == []
+
+    def test_useless_preemption_avoided(self):
+        cluster, rayon, cs = make_stack(nodes=4)
+        cs.submit(Job("be", UN, k=1, base_runtime_s=100, submit_time=0.0),
+                  accepted=False, now=0.0)
+        # A within-window reserved job occupies 3 nodes forever.
+        rayon.submit("hold", 3, 1000, 0.0, 2000.0)
+        cs.submit(Job("hold", UN, k=3, base_runtime_s=1000, submit_time=0.0,
+                      deadline=2000.0), accepted=True, now=0.0)
+        cs.cycle(0.0)
+        # New reserved job needs all 4; even killing 'be' leaves only 1.
+        rayon.submit("slo", 4, 10, 10.0, 3000.0)
+        cs.submit(Job("slo", UN, k=4, base_runtime_s=10, submit_time=10.0,
+                      deadline=3000.0), accepted=True, now=10.0)
+        decisions = cs.cycle(10.0)
+        assert decisions.preempted == []  # don't kill in vain
+
+
+class TestDemotion:
+    def test_expired_window_demotes_waiting_job(self):
+        cluster, rayon, cs = make_stack(nodes=4)
+        rayon.submit("slo", 2, 20, 0.0, 100.0)
+        job = Job("slo", UN, k=2, base_runtime_s=20, submit_time=0.0,
+                  deadline=100.0)
+        cs.submit(job, accepted=True, now=0.0)
+        # Block the cluster so the job cannot launch inside its window.
+        cs.state.start("external", cluster.node_names, 0.0, 500.0)
+        cs.cycle(0.0)
+        # Window [0, 20) long gone by t=30: job drops to the BE queue.
+        cs.cycle(30.0)
+        assert "slo" in cs._be_queue
+
+    def test_underestimated_running_job_becomes_preemptible(self):
+        cluster, rayon, cs = make_stack(nodes=4)
+        # Reservation believes 20s; the job actually needs much longer.
+        rayon.submit("under", 4, 20, 0.0, 200.0)
+        cs.submit(Job("under", UN, k=4, base_runtime_s=80, submit_time=0.0,
+                      deadline=200.0, estimate_error=-0.75),
+                  accepted=True, now=0.0)
+        cs.cycle(0.0)
+        # At t=30 the reservation window [0,20) expired; job still running.
+        rayon.submit("next", 4, 20, 30.0, 300.0)
+        cs.submit(Job("next", UN, k=4, base_runtime_s=20, submit_time=30.0,
+                      deadline=300.0), accepted=True, now=30.0)
+        decisions = cs.cycle(30.0)
+        assert decisions.preempted == ["under"]  # lost its guarantee
+
+
+class TestEndToEnd:
+    def test_cs_in_simulation(self):
+        cluster, rayon, cs = make_stack(nodes=4)
+        jobs = [
+            Job("s1", UN, k=2, base_runtime_s=20, submit_time=0.0,
+                deadline=100.0),
+            Job("s2", UN, k=2, base_runtime_s=20, submit_time=0.0,
+                deadline=100.0),
+            Job("b1", UN, k=1, base_runtime_s=10, submit_time=5.0),
+        ]
+        res = Simulation(cluster, cs, jobs, rayon=rayon).run()
+        assert res.metrics.slo_total_pct == 100.0
+        assert res.metrics.jobs_best_effort == 1
+        assert all(o.completed for o in res.outcomes.values())
+
+    def test_preempted_job_eventually_finishes(self):
+        cluster, rayon, cs = make_stack(nodes=4)
+        jobs = [
+            Job("be", UN, k=4, base_runtime_s=50, submit_time=0.0),
+            Job("slo", UN, k=4, base_runtime_s=20, submit_time=10.0,
+                deadline=60.0),
+        ]
+        res = Simulation(cluster, cs, jobs, rayon=rayon).run()
+        be, slo = res.outcomes["be"], res.outcomes["slo"]
+        assert slo.met_deadline
+        assert be.preemptions == 1
+        assert be.completed
+        # Restarted after the SLO job: 50s of work re-done.
+        assert be.finish_time >= 30.0 + 50.0

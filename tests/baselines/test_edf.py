@@ -1,0 +1,95 @@
+"""Tests for the EDF baseline scheduler."""
+
+import pytest
+
+from repro.baselines import EdfScheduler
+from repro.cluster import Cluster
+from repro.errors import SchedulerError
+from repro.sim import Job, Simulation, UnconstrainedType
+
+UN = UnconstrainedType()
+
+
+def make_edf(nodes=4, **kw):
+    cluster = Cluster.build(racks=1, nodes_per_rack=nodes)
+    return cluster, EdfScheduler(cluster, cycle_s=10.0, **kw)
+
+
+class TestOrdering:
+    def test_earliest_deadline_wins_contention(self):
+        cluster, edf = make_edf(nodes=4)
+        late = Job("late", UN, k=4, base_runtime_s=20, submit_time=0.0,
+                   deadline=200.0)
+        urgent = Job("urgent", UN, k=4, base_runtime_s=20, submit_time=0.0,
+                     deadline=50.0)
+        edf.submit(late, accepted=True, now=0.0)
+        edf.submit(urgent, accepted=True, now=0.0)
+        decisions = edf.cycle(0.0)
+        assert [a.job_id for a in decisions.allocations] == ["urgent"]
+
+    def test_fifo_tie_break(self):
+        cluster, edf = make_edf(nodes=4)
+        a = Job("a", UN, k=4, base_runtime_s=20, submit_time=0.0,
+                deadline=100.0)
+        b = Job("b", UN, k=4, base_runtime_s=20, submit_time=0.0,
+                deadline=100.0)
+        edf.submit(a, accepted=True, now=0.0)
+        edf.submit(b, accepted=True, now=0.0)
+        decisions = edf.cycle(0.0)
+        assert [x.job_id for x in decisions.allocations] == ["a"]
+
+    def test_slo_before_best_effort(self):
+        cluster, edf = make_edf(nodes=4)
+        be = Job("be", UN, k=4, base_runtime_s=20, submit_time=0.0)
+        slo = Job("slo", UN, k=4, base_runtime_s=20, submit_time=0.0,
+                  deadline=100.0)
+        edf.submit(be, accepted=False, now=0.0)
+        edf.submit(slo, accepted=True, now=0.0)
+        decisions = edf.cycle(0.0)
+        assert [x.job_id for x in decisions.allocations] == ["slo"]
+
+
+class TestCulling:
+    def test_hopeless_job_culled(self):
+        cluster, edf = make_edf()
+        dead = Job("dead", UN, k=2, base_runtime_s=100, submit_time=0.0,
+                   deadline=50.0)
+        edf.submit(dead, accepted=False, now=0.0)
+        decisions = edf.cycle(0.0)
+        assert decisions.culled == ["dead"]
+        assert edf.active_jobs == 0
+
+    def test_blind_mode_runs_hopeless_jobs(self):
+        cluster, edf = make_edf(drop_hopeless=False)
+        dead = Job("dead", UN, k=2, base_runtime_s=100, submit_time=0.0,
+                   deadline=50.0)
+        edf.submit(dead, accepted=False, now=0.0)
+        decisions = edf.cycle(0.0)
+        assert decisions.culled == []
+        assert len(decisions.allocations) == 1
+
+
+class TestLifecycle:
+    def test_too_big_job_rejected(self):
+        cluster, edf = make_edf(nodes=2)
+        with pytest.raises(SchedulerError):
+            edf.submit(Job("x", UN, k=3, base_runtime_s=10, submit_time=0.0),
+                       accepted=False, now=0.0)
+
+    def test_finish_unknown_raises(self):
+        cluster, edf = make_edf()
+        with pytest.raises(SchedulerError):
+            edf.job_finished("ghost", 0.0)
+
+    def test_end_to_end_simulation(self):
+        cluster, edf = make_edf(nodes=4)
+        jobs = [
+            Job("s1", UN, k=2, base_runtime_s=20, submit_time=0.0,
+                deadline=100.0),
+            Job("s2", UN, k=2, base_runtime_s=20, submit_time=0.0,
+                deadline=60.0),
+            Job("b1", UN, k=2, base_runtime_s=10, submit_time=5.0),
+        ]
+        res = Simulation(cluster, edf, jobs).run()
+        assert res.metrics.slo_total_pct == 100.0
+        assert all(o.completed for o in res.outcomes.values())

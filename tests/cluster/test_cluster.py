@@ -1,0 +1,85 @@
+"""Tests for nodes and the cluster container."""
+
+import pytest
+
+from repro.cluster import Cluster, Node
+from repro.errors import ClusterError
+
+
+class TestNode:
+    def test_valid(self):
+        n = Node("r0n0", "r0", frozenset({"gpu"}))
+        assert n.has_attr("gpu") and not n.has_attr("ssd")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ClusterError):
+            Node("", "r0")
+
+    def test_empty_rack_rejected(self):
+        with pytest.raises(ClusterError):
+            Node("a", "")
+
+    def test_attrs_must_be_frozenset(self):
+        with pytest.raises(ClusterError):
+            Node("a", "r0", {"gpu"})
+
+
+class TestClusterBuild:
+    def test_topology(self):
+        c = Cluster.build(racks=8, nodes_per_rack=32)
+        assert len(c) == 256
+        assert len(c.rack_names) == 8
+        assert len(c.rack_nodes("r3")) == 32
+
+    def test_gpu_racks(self):
+        c = Cluster.build(racks=4, nodes_per_rack=2, gpu_racks=2)
+        gpus = c.nodes_with_attr("gpu")
+        assert len(gpus) == 4
+        assert c.racks_of(gpus) == {"r0", "r1"}
+
+    def test_extra_attrs(self):
+        c = Cluster.build(racks=1, nodes_per_rack=2,
+                          extra_attrs={"r0n1": ["ssd"]})
+        assert c.nodes_with_attr("ssd") == frozenset({"r0n1"})
+
+    def test_bad_topology(self):
+        with pytest.raises(ClusterError):
+            Cluster.build(racks=0, nodes_per_rack=4)
+        with pytest.raises(ClusterError):
+            Cluster.build(racks=2, nodes_per_rack=2, gpu_racks=3)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([Node("a", "r0"), Node("a", "r1")])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([])
+
+
+class TestClusterQueries:
+    @pytest.fixture()
+    def cluster(self):
+        return Cluster.build(racks=2, nodes_per_rack=2, gpu_racks=1)
+
+    def test_membership_and_lookup(self, cluster):
+        assert "r0n0" in cluster
+        assert cluster.node("r0n0").rack == "r0"
+        with pytest.raises(ClusterError):
+            cluster.node("nope")
+
+    def test_node_names_frozenset(self, cluster):
+        assert cluster.node_names == frozenset({"r0n0", "r0n1", "r1n0", "r1n1"})
+
+    def test_unknown_rack(self, cluster):
+        with pytest.raises(ClusterError):
+            cluster.rack_nodes("r9")
+
+    def test_validate_names(self, cluster):
+        cluster.validate_names(["r0n0"])
+        with pytest.raises(ClusterError):
+            cluster.validate_names(["r0n0", "bogus"])
+
+    def test_iteration_yields_nodes(self, cluster):
+        names = {n.name for n in cluster}
+        assert names == cluster.node_names

@@ -1,0 +1,98 @@
+"""Tests for dynamic minimal partitioning, incl. hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, Partitioning
+from repro.errors import ClusterError
+
+
+@pytest.fixture()
+def cluster():
+    # 2 racks x 4 nodes, rack r0 GPU-enabled.
+    return Cluster.build(racks=2, nodes_per_rack=4, gpu_racks=1)
+
+
+class TestPartitioning:
+    def test_single_set_two_partitions(self, cluster):
+        gpu = cluster.nodes_with_attr("gpu")
+        p = Partitioning(cluster.node_names, [gpu])
+        assert p.num_partitions == 2
+        pids = p.partitions_of(gpu)
+        assert len(pids) == 1
+        assert pids[0].nodes == gpu
+
+    def test_whole_cluster_set_one_partition(self, cluster):
+        p = Partitioning(cluster.node_names, [cluster.node_names])
+        assert p.num_partitions == 1
+
+    def test_overlapping_sets_make_intersection_partitions(self, cluster):
+        gpu = cluster.nodes_with_attr("gpu")           # == rack r0
+        r0 = cluster.rack_nodes("r0")
+        r1 = cluster.rack_nodes("r1")
+        every = cluster.node_names
+        p = Partitioning(every, [gpu, r0, r1, every])
+        # gpu == r0, so partitions are {r0}, {r1}.
+        assert p.num_partitions == 2
+        assert {fs.nodes for fs in p.partitions_of(every)} == {r0, r1}
+
+    def test_paper_fig1_style(self):
+        """GPU on rack1 only; MPI wants rack1 or rack2; partitions minimal."""
+        c = Cluster.build(racks=2, nodes_per_rack=2, gpu_racks=1)
+        sets = [c.nodes_with_attr("gpu"), c.rack_nodes("r0"),
+                c.rack_nodes("r1"), c.node_names]
+        p = Partitioning(c.node_names, sets)
+        assert p.num_partitions == 2
+
+    def test_undeclared_set_rejected(self, cluster):
+        p = Partitioning(cluster.node_names, [cluster.node_names])
+        with pytest.raises(ClusterError):
+            p.partitions_of(cluster.rack_nodes("r0"))
+
+    def test_out_of_universe_set_rejected(self, cluster):
+        with pytest.raises(ClusterError):
+            Partitioning(cluster.node_names, [frozenset({"ghost"})])
+
+    def test_unreferenced_nodes_get_a_partition(self, cluster):
+        gpu = cluster.nodes_with_attr("gpu")
+        p = Partitioning(cluster.node_names, [gpu])
+        covered = frozenset().union(*(q.nodes for q in p.partitions))
+        assert covered == cluster.node_names
+
+    def test_partition_of_node(self, cluster):
+        gpu = cluster.nodes_with_attr("gpu")
+        p = Partitioning(cluster.node_names, [gpu])
+        some_gpu = next(iter(gpu))
+        assert some_gpu in p.partition_of_node(some_gpu).nodes
+        with pytest.raises(ClusterError):
+            p.partition_of_node("ghost")
+
+    def test_duplicate_sets_deduplicated(self, cluster):
+        gpu = cluster.nodes_with_attr("gpu")
+        p = Partitioning(cluster.node_names, [gpu, gpu, gpu])
+        assert len(p.equivalence_sets) == 1
+
+
+_universe = [f"n{i}" for i in range(10)]
+
+
+class TestPartitioningProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.frozensets(st.sampled_from(_universe), min_size=1),
+                    min_size=1, max_size=5))
+    def test_invariants(self, eq_sets):
+        universe = frozenset(_universe)
+        p = Partitioning(universe, eq_sets)
+        # 1. Partitions are disjoint and cover the universe.
+        seen: set[str] = set()
+        for part in p.partitions:
+            assert not (part.nodes & seen)
+            seen |= part.nodes
+        assert seen == universe
+        # 2. Every declared set is exactly a union of its partitions.
+        for es in p.equivalence_sets:
+            union = frozenset().union(*(q.nodes for q in p.partitions_of(es)))
+            assert union == es
+        # 3. Minimality: at most 2^|sets| non-empty signatures + leftover.
+        assert p.num_partitions <= 2 ** len(p.equivalence_sets) + 1

@@ -1,0 +1,100 @@
+"""Tests for space-time availability tracking."""
+
+import pytest
+
+from repro.cluster import ClusterState
+from repro.errors import ClusterError, SchedulerError
+
+UNIVERSE = frozenset({"a", "b", "c", "d"})
+
+
+@pytest.fixture()
+def state():
+    return ClusterState(UNIVERSE)
+
+
+class TestLifecycle:
+    def test_start_finish_roundtrip(self, state):
+        state.start("j1", frozenset({"a", "b"}), 0.0, 20.0)
+        assert state.is_running("j1")
+        assert state.free_nodes() == frozenset({"c", "d"})
+        freed = state.finish("j1")
+        assert freed == frozenset({"a", "b"})
+        assert state.free_nodes() == UNIVERSE
+
+    def test_double_start_rejected(self, state):
+        state.start("j1", frozenset({"a"}), 0.0, 10.0)
+        with pytest.raises(SchedulerError):
+            state.start("j1", frozenset({"b"}), 0.0, 10.0)
+
+    def test_node_conflict_rejected(self, state):
+        state.start("j1", frozenset({"a"}), 0.0, 10.0)
+        with pytest.raises(SchedulerError):
+            state.start("j2", frozenset({"a", "b"}), 0.0, 10.0)
+
+    def test_unknown_node_rejected(self, state):
+        with pytest.raises(ClusterError):
+            state.start("j1", frozenset({"zz"}), 0.0, 10.0)
+
+    def test_finish_unknown_job_rejected(self, state):
+        with pytest.raises(SchedulerError):
+            state.finish("nope")
+
+    def test_bad_expected_end_rejected(self, state):
+        with pytest.raises(SchedulerError):
+            state.start("j1", frozenset({"a"}), 10.0, 10.0)
+
+    def test_utilization(self, state):
+        assert state.utilization() == 0.0
+        state.start("j1", frozenset({"a", "b"}), 0.0, 10.0)
+        assert state.utilization() == pytest.approx(0.5)
+
+
+class TestExpectationAdjustment:
+    def test_extend_moves_end_up(self, state):
+        state.start("j1", frozenset({"a"}), 0.0, 10.0)
+        state.extend_expectation("j1", 30.0)
+        assert state.allocation_of("j1").expected_end == 30.0
+
+    def test_extend_never_moves_down(self, state):
+        state.start("j1", frozenset({"a"}), 0.0, 30.0)
+        state.extend_expectation("j1", 10.0)
+        assert state.allocation_of("j1").expected_end == 30.0
+
+    def test_extend_unknown_job(self, state):
+        with pytest.raises(SchedulerError):
+            state.extend_expectation("nope", 5.0)
+
+
+class TestAvailabilityProfile:
+    def test_empty_cluster_profile(self, state):
+        assert state.availability_profile(UNIVERSE, 3, 0.0, 10.0) == [4, 4, 4]
+
+    def test_busy_quanta_rounding(self, state):
+        state.start("j1", frozenset({"a"}), 0.0, 25.0)
+        busy = state.busy_quanta(now=0.0, quantum_s=10.0)
+        assert busy == {"a": 3}  # 25s -> slices 0,1,2
+
+    def test_profile_reflects_expected_release(self, state):
+        state.start("j1", frozenset({"a", "b"}), 0.0, 25.0)
+        prof = state.availability_profile(UNIVERSE, 4, 0.0, 10.0)
+        assert prof == [2, 2, 2, 4]
+
+    def test_profile_restricted_to_group(self, state):
+        state.start("j1", frozenset({"a"}), 0.0, 15.0)
+        prof = state.availability_profile(frozenset({"c", "d"}), 2, 0.0, 10.0)
+        assert prof == [2, 2]
+
+    def test_overdue_job_still_occupies_one_quantum(self, state):
+        state.start("j1", frozenset({"a"}), 0.0, 10.0)
+        # At now=50 the job is overdue but still running.
+        prof = state.availability_profile(UNIVERSE, 2, 50.0, 10.0)
+        assert prof == [3, 4]
+
+    def test_profile_advances_with_now(self, state):
+        state.start("j1", frozenset({"a"}), 0.0, 40.0)
+        prof = state.availability_profile(UNIVERSE, 4, 20.0, 10.0)
+        assert prof == [3, 3, 4, 4]
+
+    def test_zero_horizon(self, state):
+        assert state.availability_profile(UNIVERSE, 0, 0.0, 10.0) == []

@@ -1,0 +1,80 @@
+"""Tests for PlanAccumulator and Allocation."""
+
+import pytest
+
+from repro.cluster import ClusterState, Partitioning
+from repro.core import Allocation, PlanAccumulator
+from repro.errors import SchedulerError
+
+UNIVERSE = frozenset({"a", "b", "c", "d"})
+
+
+@pytest.fixture()
+def state():
+    return ClusterState(UNIVERSE)
+
+
+class TestAllocation:
+    def test_valid(self):
+        a = Allocation("j", frozenset({"a"}), 0.0, 10.0)
+        assert a.nodes == frozenset({"a"})
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(SchedulerError):
+            Allocation("j", frozenset(), 0.0, 10.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(SchedulerError):
+            Allocation("j", frozenset({"a"}), 10.0, 10.0)
+
+
+class TestPlanAccumulator:
+    def test_seeds_from_running_jobs(self, state):
+        state.start("r", frozenset({"a"}), 0.0, 25.0)
+        acc = PlanAccumulator(state, now=0.0, quantum_s=10.0)
+        assert not acc.is_free("a", 0, 1)
+        assert not acc.is_free("a", 2, 1)
+        assert acc.is_free("a", 3, 1)
+        assert acc.is_free("b", 0, 5)
+
+    def test_reserve_and_conflict(self, state):
+        acc = PlanAccumulator(state, 0.0, 10.0)
+        acc.reserve(["a"], 1, 2)
+        assert acc.is_free("a", 0, 1)
+        assert not acc.is_free("a", 1, 2)
+        with pytest.raises(SchedulerError):
+            acc.reserve(["a"], 2, 1)
+
+    def test_availability_profile_counts(self, state):
+        state.start("r", frozenset({"a"}), 0.0, 15.0)
+        acc = PlanAccumulator(state, 0.0, 10.0)
+        acc.reserve(["b"], 1, 1)
+        assert acc.availability_profile(UNIVERSE, 3, 0.0, 10.0) == [3, 2, 4]
+
+    def test_interval_free_count(self, state):
+        acc = PlanAccumulator(state, 0.0, 10.0)
+        acc.reserve(["a"], 0, 1)
+        acc.reserve(["b"], 1, 1)
+        # Whole interval [0,2): only c,d free both quanta.
+        assert acc.interval_free_count(UNIVERSE, 0, 2) == 2
+
+    def test_pick_reserves_chosen_nodes(self, state):
+        part = Partitioning(UNIVERSE, [UNIVERSE])
+        acc = PlanAccumulator(state, 0.0, 10.0)
+        nodes = acc.pick(part, {0: 2}, 0, 2)
+        assert len(nodes) == 2
+        for n in nodes:
+            assert not acc.is_free(n, 0, 2)
+
+    def test_pick_insufficient_raises(self, state):
+        part = Partitioning(UNIVERSE, [UNIVERSE])
+        acc = PlanAccumulator(state, 0.0, 10.0)
+        acc.reserve(["a", "b", "c"], 0, 1)
+        with pytest.raises(SchedulerError):
+            acc.pick(part, {0: 2}, 0, 1)
+
+    def test_pick_deterministic(self, state):
+        part = Partitioning(UNIVERSE, [UNIVERSE])
+        acc1 = PlanAccumulator(state, 0.0, 10.0)
+        acc2 = PlanAccumulator(state, 0.0, 10.0)
+        assert acc1.pick(part, {0: 2}, 0, 1) == acc2.pick(part, {0: 2}, 0, 1)

@@ -1,0 +1,190 @@
+"""Tests for the STRL->MILP compiler (Algorithm 1), anchored on the paper's
+worked examples (Sec. 5.1 / Fig. 4 and Fig. 1/3)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterState
+from repro.core import StrlCompiler
+from repro.errors import SchedulerError
+from repro.solver import SolveStatus, make_backend
+from repro.strl import Barrier, LnCk, Max, Min, NCk, Scale
+
+M3 = frozenset({"M1", "M2", "M3"})
+
+
+def solve(compiled, backend="pure"):
+    res = make_backend(backend).solve(compiled.model)
+    assert res.status.has_solution
+    return res
+
+
+@pytest.fixture()
+def state3():
+    return ClusterState(M3)
+
+
+class TestPaperMilpExample:
+    """Sec. 5.1: 3 jobs on 3 machines; only global + plan-ahead meets all."""
+
+    def batch(self):
+        # Job 1: 2 machines, 10s, deadline 10s -> must start at 0.
+        j1 = NCk(M3, k=2, start=0, duration=1, value=1.0)
+        # Job 2: 1 machine, 20s, deadline 40s -> start 0, 10, or 20.
+        j2 = Max(NCk(M3, 1, 0, 2, 1.0), NCk(M3, 1, 1, 2, 1.0),
+                 NCk(M3, 1, 2, 2, 1.0))
+        # Job 3: 3 machines, 10s, deadline 20s -> start 0 or 10.
+        j3 = Max(NCk(M3, 3, 0, 1, 1.0), NCk(M3, 3, 1, 1, 1.0))
+        return [("j1", j1), ("j2", j2), ("j3", j3)]
+
+    @pytest.mark.parametrize("backend", ["pure", "scipy"])
+    def test_all_three_jobs_scheduled(self, state3, backend):
+        compiled = StrlCompiler(state3, quantum_s=10).compile(self.batch())
+        res = solve(compiled, backend)
+        assert res.objective == pytest.approx(3.0)
+        assert compiled.scheduled_jobs(res.x) == {"j1", "j2", "j3"}
+
+    @pytest.mark.parametrize("backend", ["pure", "scipy"])
+    def test_paper_optimal_order(self, state3, backend):
+        """Fig. 4: job 1 at t=0, job 3 at t=10, job 2 at t=20."""
+        compiled = StrlCompiler(state3, quantum_s=10).compile(self.batch())
+        res = solve(compiled, backend)
+        starts = {pl.job_id: pl.start for pl in compiled.decode(res.x)}
+        assert starts == {"j1": 0, "j3": 1, "j2": 2}
+
+    def test_without_planahead_cannot_schedule_all(self, state3):
+        """Restricting every job to start=0 forces at least one SLO miss."""
+        batch = [("j1", NCk(M3, 2, 0, 1, 1.0)),
+                 ("j2", NCk(M3, 1, 0, 2, 1.0)),
+                 ("j3", NCk(M3, 3, 0, 1, 1.0))]
+        compiled = StrlCompiler(state3, quantum_s=10).compile(batch)
+        res = solve(compiled)
+        assert res.objective == pytest.approx(2.0)  # j1 + j2 only (2+1 <= 3)
+
+    def test_supply_constraint_spans_duration(self, state3):
+        """Job 2 starting at 0 holds its machine through slice 1 (Sec. 5.1)."""
+        batch = [("a", NCk(M3, 3, 0, 2, 1.0)),   # all machines, 2 quanta
+                 ("b", NCk(M3, 1, 1, 1, 1.0))]   # 1 machine at slice 1
+        compiled = StrlCompiler(state3, quantum_s=10).compile(batch)
+        res = solve(compiled)
+        # Conflict: only one can win; 'a' and 'b' both value 1 -> obj 1.
+        assert res.objective == pytest.approx(1.0)
+
+
+class TestSoftConstraints:
+    """Fig. 3: GPU preference expressed as max of two nCk options."""
+
+    def test_prefers_higher_value_option(self):
+        cluster = frozenset({"M1", "M2", "M3", "M4"})
+        gpu = frozenset({"M1", "M2"})
+        state = ClusterState(cluster)
+        expr = Max(NCk(gpu, 2, 0, 2, 4.0), NCk(cluster, 2, 0, 3, 3.0))
+        compiled = StrlCompiler(state, 10).compile([("gpu-job", expr)])
+        res = solve(compiled)
+        assert res.objective == pytest.approx(4.0)
+        [pl] = compiled.decode(res.x)
+        chosen_nodes = set()
+        for pid, count in pl.node_counts.items():
+            part = compiled.partitioning.partitions[pid]
+            assert part.nodes <= gpu
+            chosen_nodes |= part.nodes
+
+    def test_falls_back_when_gpu_busy(self):
+        cluster = frozenset({"M1", "M2", "M3", "M4"})
+        gpu = frozenset({"M1", "M2"})
+        state = ClusterState(cluster)
+        state.start("running", gpu, 0.0, 100.0)  # GPUs held for a long time
+        expr = Max(NCk(gpu, 2, 0, 2, 4.0), NCk(cluster, 2, 0, 3, 3.0))
+        compiled = StrlCompiler(state, 10).compile([("gpu-job", expr)])
+        res = solve(compiled)
+        assert res.objective == pytest.approx(3.0)
+
+
+class TestMinGang:
+    def test_anti_affinity_one_per_rack(self):
+        """Fig. 1 Availability job: min over racks places 1 task per rack."""
+        rack1 = frozenset({"M1", "M2"})
+        rack2 = frozenset({"M3", "M4"})
+        state = ClusterState(rack1 | rack2)
+        expr = Min(NCk(rack1, 1, 0, 3, 2.0), NCk(rack2, 1, 0, 3, 2.0))
+        compiled = StrlCompiler(state, 10).compile([("avail", expr)])
+        res = solve(compiled)
+        assert res.objective == pytest.approx(2.0)
+        placements = compiled.decode(res.x)
+        assert len(placements) == 2
+        assert {pl.total_nodes for pl in placements} == {1}
+
+    def test_min_unsatisfiable_half_yields_nothing(self):
+        rack1 = frozenset({"M1"})
+        rack2 = frozenset({"M2"})
+        state = ClusterState(rack1 | rack2)
+        state.start("blocker", rack2, 0.0, 100.0)
+        expr = Min(NCk(rack1, 1, 0, 1, 2.0), NCk(rack2, 1, 0, 1, 2.0))
+        compiled = StrlCompiler(state, 10).compile([("avail", expr)])
+        res = solve(compiled)
+        assert res.objective == pytest.approx(0.0)
+        assert compiled.decode(res.x) == []
+
+
+class TestOtherOperators:
+    def test_scale_amplifies(self, state3):
+        expr = Scale(NCk(M3, 1, 0, 1, 2.0), 3.0)
+        compiled = StrlCompiler(state3, 10).compile([("s", expr)])
+        res = solve(compiled)
+        assert res.objective == pytest.approx(6.0)
+
+    def test_barrier_passes_when_reachable(self, state3):
+        expr = Barrier(NCk(M3, 1, 0, 1, 5.0), 4.0)
+        compiled = StrlCompiler(state3, 10).compile([("b", expr)])
+        res = solve(compiled)
+        assert res.objective == pytest.approx(4.0)
+
+    def test_barrier_blocks_when_unreachable(self, state3):
+        expr = Barrier(NCk(M3, 1, 0, 1, 2.0), 4.0)
+        compiled = StrlCompiler(state3, 10).compile([("b", expr)])
+        res = solve(compiled)
+        assert res.objective == pytest.approx(0.0)
+
+    def test_lnck_partial_value(self, state3):
+        # 2 of 3 machines are busy; LnCk k=3 yields 1/3 value per machine.
+        state3.start("busy", frozenset({"M1", "M2"}), 0.0, 100.0)
+        expr = LnCk(M3, 3, 0, 1, 3.0)
+        compiled = StrlCompiler(state3, 10).compile([("l", expr)])
+        res = solve(compiled)
+        assert res.objective == pytest.approx(1.0)
+        [pl] = compiled.decode(res.x)
+        assert pl.total_nodes == 1
+
+    def test_lnck_takes_all_when_free(self, state3):
+        expr = LnCk(M3, 3, 0, 1, 3.0)
+        compiled = StrlCompiler(state3, 10).compile([("l", expr)])
+        res = solve(compiled)
+        assert res.objective == pytest.approx(3.0)
+
+
+class TestCompilerValidation:
+    def test_empty_batch_rejected(self, state3):
+        with pytest.raises(SchedulerError):
+            StrlCompiler(state3, 10).compile([])
+
+    def test_duplicate_job_ids_rejected(self, state3):
+        e = NCk(M3, 1, 0, 1, 1.0)
+        with pytest.raises(SchedulerError):
+            StrlCompiler(state3, 10).compile([("j", e), ("j", e)])
+
+    def test_stats_reported(self, state3):
+        e = Max(NCk(M3, 1, 0, 1, 1.0), NCk(M3, 1, 1, 1, 1.0))
+        compiled = StrlCompiler(state3, 10).compile([("j", e)])
+        assert compiled.stats["variables"] > 0
+        assert compiled.stats["constraints"] > 0
+        assert compiled.horizon == 2
+
+    def test_running_jobs_shrink_supply(self, state3):
+        state3.start("r", frozenset({"M1", "M2"}), 0.0, 15.0)
+        # 3-machine gang can only start after the running job releases:
+        # with quantum 10, busy through slices 0..1 -> start >= 2 needed.
+        batch = [("g", Max(NCk(M3, 3, 0, 1, 1.0), NCk(M3, 3, 2, 1, 1.0)))]
+        compiled = StrlCompiler(state3, 10).compile(batch)
+        res = solve(compiled)
+        [pl] = compiled.decode(res.x)
+        assert pl.start == 2

@@ -1,0 +1,128 @@
+"""Property-based tests for the STRL->MILP compiler.
+
+Invariants checked on random STRL batches:
+
+1. both MILP backends produce the same optimal objective;
+2. the objective never exceeds the batch's theoretical maximum value
+   (sum over jobs of ``max_value``);
+3. decoded placements never exceed per-partition per-quantum supply;
+4. every nCk placement allocates exactly its ``k`` nodes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterState
+from repro.core import StrlCompiler
+from repro.solver import make_backend, scipy_available
+from repro.strl import Max, Min, NCk
+
+NODES = [f"n{i}" for i in range(6)]
+UNIVERSE = frozenset(NODES)
+
+
+@st.composite
+def _leaf(draw):
+    size = draw(st.integers(1, 6))
+    nodes = frozenset(draw(st.permutations(NODES))[:size])
+    k = draw(st.integers(1, len(nodes)))
+    return NCk(nodes=nodes, k=k,
+               start=draw(st.integers(0, 3)),
+               duration=draw(st.integers(1, 3)),
+               value=float(draw(st.integers(1, 10))))
+
+
+@st.composite
+def _job_expr(draw):
+    kind = draw(st.sampled_from(["leaf", "max", "min"]))
+    if kind == "leaf":
+        return draw(_leaf())
+    if kind == "max":
+        return Max(*draw(st.lists(_leaf(), min_size=1, max_size=4)))
+    # Min over disjoint halves keeps AND-gangs satisfiable sometimes.
+    left = frozenset(NODES[:3])
+    right = frozenset(NODES[3:])
+    return Min(
+        NCk(left, draw(st.integers(1, 3)), 0, draw(st.integers(1, 2)), 2.0),
+        NCk(right, draw(st.integers(1, 3)), 0, draw(st.integers(1, 2)), 2.0))
+
+
+@st.composite
+def _batches(draw):
+    exprs = draw(st.lists(_job_expr(), min_size=1, max_size=4))
+    return [(f"job{i}", e) for i, e in enumerate(exprs)]
+
+
+def _supply_ok(compiled, x) -> bool:
+    """Recompute per-(partition, quantum) usage from the leaf records."""
+    usage: dict[tuple[int, int], int] = {}
+    for rec in compiled.leaf_records:
+        counts = rec.chosen_counts(x)
+        for pid, count in counts.items():
+            for t in range(rec.leaf.start, rec.leaf.start + rec.leaf.duration):
+                usage[(pid, t)] = usage.get((pid, t), 0) + count
+    for (pid, _t), used in usage.items():
+        if used > compiled.partitioning.partitions[pid].capacity:
+            return False
+    return True
+
+
+class TestCompilerInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(_batches())
+    def test_objective_bounded_and_feasible(self, batch):
+        state = ClusterState(UNIVERSE)
+        compiled = StrlCompiler(state, quantum_s=10).compile(batch)
+        res = make_backend("pure").solve(compiled.model)
+        assert res.status.has_solution
+        upper = sum(expr.max_value() for _, expr in batch)
+        assert res.objective <= upper + 1e-6
+        assert res.objective >= -1e-9
+        assert compiled.model.check_feasible(res.x)
+        assert _supply_ok(compiled, res.x)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_batches())
+    def test_backends_agree(self, batch):
+        if not scipy_available():
+            pytest.skip("scipy required")
+        state = ClusterState(UNIVERSE)
+        compiled = StrlCompiler(state, quantum_s=10).compile(batch)
+        pure = make_backend("pure").solve(compiled.model)
+        ref = make_backend("scipy").solve(compiled.model)
+        assert pure.objective == pytest.approx(ref.objective, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_batches())
+    def test_nck_placements_exact(self, batch):
+        state = ClusterState(UNIVERSE)
+        compiled = StrlCompiler(state, quantum_s=10).compile(batch)
+        res = make_backend("auto").solve(compiled.model)
+        for pl in compiled.decode(res.x):
+            assert pl.total_nodes >= 1
+
+        # Exact-k: every chosen nCk leaf record allocates exactly k.
+        for rec in compiled.leaf_records:
+            if isinstance(rec.leaf, NCk) and res.x[rec.indicator.index] > 0.5:
+                total = sum(rec.chosen_counts(res.x).values())
+                assert total == rec.leaf.k
+
+    @settings(max_examples=30, deadline=None)
+    @given(_batches(), st.integers(0, 3))
+    def test_busy_cluster_respects_reduced_supply(self, batch, busy_count):
+        state = ClusterState(UNIVERSE)
+        busy = sorted(UNIVERSE)[:busy_count]
+        if busy:
+            state.start("blocker", frozenset(busy), 0.0, 1e6)
+        compiled = StrlCompiler(state, quantum_s=10).compile(batch)
+        res = make_backend("auto").solve(compiled.model)
+        assert res.status.has_solution
+        # No placement may use a busy node's capacity: recompute usage
+        # against the reduced availability profile.
+        for rec in compiled.leaf_records:
+            for pid, count in rec.chosen_counts(res.x).items():
+                part = compiled.partitioning.partitions[pid]
+                free = len(part.nodes - frozenset(busy))
+                assert count <= free

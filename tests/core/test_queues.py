@@ -1,0 +1,48 @@
+"""Tests for the priority FIFO queues used by TetriSched-NG."""
+
+import pytest
+
+from repro.core import PriorityClass, PriorityQueues
+from repro.errors import SchedulerError
+
+
+class TestPriorityQueues:
+    def test_priority_then_fifo_order(self):
+        q = PriorityQueues()
+        q.push("be1", PriorityClass.BEST_EFFORT, 1)
+        q.push("slo1", PriorityClass.SLO_ACCEPTED, 2)
+        q.push("nores1", PriorityClass.SLO_NO_RESERVATION, 3)
+        q.push("slo2", PriorityClass.SLO_ACCEPTED, 4)
+        assert q.job_ids() == ["slo1", "slo2", "nores1", "be1"]
+
+    def test_remove(self):
+        q = PriorityQueues()
+        q.push("a", PriorityClass.BEST_EFFORT, "payload")
+        assert q.remove("a") == "payload"
+        assert "a" not in q
+        assert len(q) == 0
+
+    def test_remove_missing_raises(self):
+        q = PriorityQueues()
+        with pytest.raises(SchedulerError):
+            q.remove("ghost")
+
+    def test_duplicate_push_rejected(self):
+        q = PriorityQueues()
+        q.push("a", PriorityClass.BEST_EFFORT, 1)
+        with pytest.raises(SchedulerError):
+            q.push("a", PriorityClass.SLO_ACCEPTED, 2)
+
+    def test_counts(self):
+        q = PriorityQueues()
+        q.push("a", PriorityClass.BEST_EFFORT, 1)
+        q.push("b", PriorityClass.BEST_EFFORT, 1)
+        q.push("c", PriorityClass.SLO_ACCEPTED, 1)
+        counts = q.counts()
+        assert counts[PriorityClass.BEST_EFFORT] == 2
+        assert counts[PriorityClass.SLO_ACCEPTED] == 1
+        assert counts[PriorityClass.SLO_NO_RESERVATION] == 0
+
+    def test_priority_ordering_values(self):
+        assert PriorityClass.SLO_ACCEPTED < PriorityClass.SLO_NO_RESERVATION
+        assert PriorityClass.SLO_NO_RESERVATION < PriorityClass.BEST_EFFORT

@@ -1,0 +1,110 @@
+"""Tests for the Fig. 5 value functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.valuefn import (BASE_VALUE, SLO_ACCEPTED_MULTIPLIER,
+                           SLO_NO_RESERVATION_MULTIPLIER, GraceStepValue,
+                           LinearDecayValue, StepValue, best_effort_value,
+                           scale_value, slo_value)
+
+
+class TestStepValue:
+    def test_constant_until_deadline(self):
+        v = StepValue(1000.0, 50.0)
+        assert v(0.0) == 1000.0
+        assert v(50.0) == 1000.0
+        assert v(50.001) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0, 1e6), st.floats(0, 1e6))
+    def test_step_never_negative(self, deadline, t):
+        assert StepValue(5.0, deadline)(t) >= 0.0
+
+
+class TestLinearDecay:
+    def test_decays_linearly(self):
+        v = LinearDecayValue(1.0, release_time=0.0, decay_horizon=100.0)
+        assert v(0.0) == pytest.approx(1.0)
+        assert v(50.0) == pytest.approx(0.5)
+        assert v(90.0) == pytest.approx(0.1)
+
+    def test_floor_keeps_positive(self):
+        v = LinearDecayValue(1.0, 0.0, 100.0, floor=0.01)
+        assert v(100.0) == 0.01
+        assert v(1e6) == 0.01
+
+    def test_before_release_is_full_value(self):
+        v = LinearDecayValue(1.0, release_time=50.0, decay_horizon=100.0)
+        assert v(10.0) == pytest.approx(1.0)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            LinearDecayValue(1.0, 0.0, 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0, 1e4), st.floats(0, 1e4))
+    def test_monotone_nonincreasing(self, a, b):
+        v = best_effort_value(0.0)
+        lo, hi = sorted((a, b))
+        assert v(lo) >= v(hi)
+
+
+class TestPaperPriorities:
+    """Sec. 6.2.2: 1000x for accepted SLO, 25x for SLO w/o reservation."""
+
+    def test_accepted_multiplier(self):
+        v = slo_value(deadline=100.0, accepted=True)
+        assert v(50.0) == SLO_ACCEPTED_MULTIPLIER * BASE_VALUE
+
+    def test_no_reservation_multiplier(self):
+        v = slo_value(deadline=100.0, accepted=False)
+        assert v(50.0) == SLO_NO_RESERVATION_MULTIPLIER * BASE_VALUE
+
+    def test_priority_ordering(self):
+        accepted = slo_value(100.0, True)(0.0)
+        no_res = slo_value(100.0, False)(0.0)
+        be = best_effort_value(0.0)(0.0)
+        assert accepted > no_res > be
+        assert accepted == 1000.0 * be
+        assert no_res == 25.0 * be
+
+
+class TestGraceStepValue:
+    def test_three_regimes(self):
+        v = GraceStepValue(1000.0, deadline=100.0, grace=10.0,
+                           late_factor=0.25)
+        assert v(100.0) == 1000.0
+        assert v(105.0) == 250.0
+        assert v(110.0) == 250.0
+        assert v(110.1) == 0.0
+
+    def test_on_time_strictly_dominates_grace(self):
+        v = GraceStepValue(1000.0, 100.0, 10.0)
+        assert v(99.0) > v(101.0) > v(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraceStepValue(1.0, 10.0, grace=-1.0)
+        with pytest.raises(ValueError):
+            GraceStepValue(1.0, 10.0, grace=1.0, late_factor=2.0)
+
+    def test_zero_grace_is_plain_step(self):
+        v = GraceStepValue(7.0, 10.0, grace=0.0)
+        assert v(10.0) == 7.0
+        assert v(10.001) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0, 1e4), st.floats(0, 1e4))
+    def test_monotone_nonincreasing(self, a, b):
+        v = GraceStepValue(100.0, 50.0, 25.0)
+        lo, hi = sorted((a, b))
+        assert v(lo) >= v(hi)
+
+
+class TestScale:
+    def test_scale_value(self):
+        v = scale_value(StepValue(10.0, 100.0), 3.0)
+        assert v(50.0) == 30.0
+        assert v(200.0) == 0.0

@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments.ascii_chart import (ChartConfig, chart_sweep_metric,
+                                           render_series)
+from repro.experiments.sweeps import SweepResult
+
+
+class TestRenderSeries:
+    def test_basic_structure(self):
+        text = render_series([0, 1, 2], {"a": [0.0, 5.0, 10.0]},
+                             title="T", y_label="val")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "10.0" in lines[1]          # y max label on top row
+        assert "a" in text                  # legend
+        assert "y: val" in text
+
+    def test_markers_distinct_per_series(self):
+        text = render_series([0, 1], {"one": [1, 2], "two": [2, 1]})
+        assert "o=one" in text and "x=two" in text
+
+    def test_nan_points_skipped(self):
+        text = render_series([0, 1, 2], {"a": [1.0, math.nan, 3.0]})
+        assert "(no data)" not in text
+
+    def test_all_nan_yields_no_data(self):
+        text = render_series([0, 1], {"a": [math.nan, math.nan]},
+                             title="X")
+        assert "(no data)" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = render_series([0, 1, 2], {"a": [5.0, 5.0, 5.0]})
+        assert "o" in text
+
+    def test_single_x_value(self):
+        text = render_series([3], {"a": [7.0]})
+        assert "o" in text
+
+    def test_fixed_y_range(self):
+        cfg = ChartConfig(y_min=0, y_max=100)
+        text = render_series([0, 1], {"a": [40, 60]}, config=cfg)
+        assert "100.0" in text and "0.0" in text
+
+    def test_extreme_values_stay_in_grid(self):
+        cfg = ChartConfig(height=5, width=20)
+        text = render_series([0, 100], {"a": [1e6, -1e6]}, config=cfg)
+        for line in text.splitlines():
+            assert len(line) < 120
+
+
+class TestChartSweep:
+    def test_chart_from_sweep(self):
+        sweep = SweepResult(x_label="err", x_values=[0, 10],
+                            schedulers=["A", "B"])
+        sweep.series[("A", "slo_total_pct")] = [50.0, 60.0]
+        sweep.series[("B", "slo_total_pct")] = [40.0, 30.0]
+        text = chart_sweep_metric(sweep, "slo_total_pct", title="chart")
+        assert "o=A" in text and "x=B" in text
+        assert text.startswith("chart")

@@ -1,0 +1,92 @@
+"""Tests for the experiment runner and scheduler factory."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (RC80_SCALED, RC256_SCALED, ClusterSpec,
+                               RunSpec, build_scheduler, run_experiment)
+from repro.reservation import RayonReservationSystem
+from repro.workloads import GR_MIX, GS_HET
+
+
+def tiny_spec(**overrides):
+    defaults = dict(scheduler="TetriSched", composition=GR_MIX,
+                    cluster=ClusterSpec(racks=2, nodes_per_rack=4,
+                                        gpu_racks=1),
+                    num_jobs=10, backend="auto", target_utilization=1.2)
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+class TestClusterSpec:
+    def test_scaled_testbeds(self):
+        assert RC256_SCALED.size == 64
+        assert RC80_SCALED.size == 32
+        assert RC80_SCALED.gpu_racks == 2
+
+    def test_build(self):
+        c = ClusterSpec(2, 3, 1).build()
+        assert len(c) == 6
+        assert len(c.nodes_with_attr("gpu")) == 3
+
+
+class TestBuildScheduler:
+    @pytest.mark.parametrize("name,expected_cls_name", [
+        ("Rayon/CS", "CapacityScheduler"),
+        ("TetriSched", "TetriSchedAdapter"),
+        ("TetriSched-NH", "TetriSchedAdapter"),
+        ("TetriSched-NG", "TetriSchedAdapter"),
+        ("TetriSched-NP", "TetriSchedAdapter"),
+    ])
+    def test_known_names(self, name, expected_cls_name):
+        spec = tiny_spec(scheduler=name)
+        cluster = spec.cluster.build()
+        rayon = RayonReservationSystem(len(cluster))
+        sched = build_scheduler(spec, cluster, rayon)
+        assert type(sched).__name__ == expected_cls_name
+        assert sched.name == name
+
+    def test_unknown_name_rejected(self):
+        spec = tiny_spec(scheduler="FancySched")
+        cluster = spec.cluster.build()
+        with pytest.raises(ReproError):
+            build_scheduler(spec, cluster, RayonReservationSystem(8))
+
+    def test_variant_flags_applied(self):
+        cluster = tiny_spec().cluster.build()
+        rayon = RayonReservationSystem(len(cluster))
+        nh = build_scheduler(tiny_spec(scheduler="TetriSched-NH"), cluster,
+                             rayon)
+        assert not nh.scheduler.config.heterogeneity_aware
+        np_ = build_scheduler(tiny_spec(scheduler="TetriSched-NP"), cluster,
+                              RayonReservationSystem(len(cluster)))
+        assert np_.scheduler.config.plan_ahead_s == 0.0
+        ng = build_scheduler(tiny_spec(scheduler="TetriSched-NG"), cluster,
+                             RayonReservationSystem(len(cluster)))
+        assert not ng.scheduler.config.global_scheduling
+
+
+class TestRunExperiment:
+    def test_deterministic(self):
+        a = run_experiment(tiny_spec(seed=3))
+        b = run_experiment(tiny_spec(seed=3))
+        assert a.metrics.as_dict() == b.metrics.as_dict()
+
+    def test_all_jobs_accounted_for(self):
+        res = run_experiment(tiny_spec())
+        assert res.metrics.jobs_total == 10
+
+    def test_cs_stack_runs(self):
+        res = run_experiment(tiny_spec(scheduler="Rayon/CS"))
+        assert res.scheduler_name == "Rayon/CS"
+        assert res.metrics.jobs_total == 10
+
+    def test_het_composition_runs(self):
+        res = run_experiment(tiny_spec(composition=GS_HET, num_jobs=8))
+        assert res.metrics.jobs_total == 8
+
+    def test_with_override(self):
+        spec = tiny_spec()
+        spec2 = spec.with_(estimate_error=0.5)
+        assert spec2.estimate_error == 0.5
+        assert spec.estimate_error == 0.0

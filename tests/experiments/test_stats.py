@@ -1,0 +1,73 @@
+"""Tests for multi-seed statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.stats import (Aggregate, PairedComparison, aggregate,
+                                     paired_compare)
+
+
+class TestAggregate:
+    def test_basic(self):
+        a = aggregate([10.0, 20.0, 30.0])
+        assert a.mean == pytest.approx(20.0)
+        assert a.n == 3
+        assert a.std == pytest.approx(10.0)
+        assert a.lo < a.mean < a.hi
+
+    def test_nan_dropped(self):
+        a = aggregate([10.0, math.nan, 30.0])
+        assert a.n == 2
+        assert a.mean == pytest.approx(20.0)
+
+    def test_empty(self):
+        a = aggregate([math.nan])
+        assert a.n == 0 and math.isnan(a.mean)
+
+    def test_single_value(self):
+        a = aggregate([5.0])
+        assert a.n == 1 and a.std == 0.0 and math.isnan(a.ci95_half_width)
+
+    def test_str_format(self):
+        assert "±" in str(aggregate([1.0, 2.0, 3.0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=20))
+    def test_ci_contains_mean(self, values):
+        a = aggregate(values)
+        assert a.lo <= a.mean <= a.hi
+
+
+class TestPairedCompare:
+    def test_clear_difference_significant(self):
+        a = [90.0, 92.0, 91.0, 93.0]
+        b = [70.0, 71.0, 69.0, 72.0]
+        cmp = paired_compare(a, b)
+        assert cmp.mean_diff == pytest.approx(21.0)
+        assert cmp.significant
+
+    def test_noise_not_significant(self):
+        a = [50.0, 70.0, 60.0]
+        b = [60.0, 50.0, 70.0]
+        cmp = paired_compare(a, b)
+        assert not cmp.significant
+
+    def test_nan_pairs_dropped(self):
+        cmp = paired_compare([1.0, math.nan, 3.0], [0.0, 5.0, 1.0])
+        assert cmp.n == 2
+        assert cmp.mean_diff == pytest.approx(1.5)
+
+    def test_single_pair_never_significant(self):
+        cmp = paired_compare([2.0], [1.0])
+        assert cmp.n == 1 and not cmp.significant
+
+    def test_empty(self):
+        cmp = paired_compare([], [])
+        assert cmp.n == 0 and not cmp.significant
+
+    def test_str_marker(self):
+        sig = paired_compare([90.0] * 4, [70.0, 71.0, 69.0, 72.0])
+        assert str(sig).endswith("*")

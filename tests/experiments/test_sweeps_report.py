@@ -1,0 +1,78 @@
+"""Tests for sweeps, report formatting, and figure drivers (tiny sizes)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (ClusterSpec, RunSpec, estimate_error_sweep,
+                               format_sweep, format_sweep_metric, format_table,
+                               plan_ahead_sweep, shape_check, table1, table2)
+from repro.workloads import GR_MIX, GS_HET
+
+
+def tiny_spec(composition=GR_MIX):
+    return RunSpec(scheduler="TetriSched", composition=composition,
+                   cluster=ClusterSpec(racks=2, nodes_per_rack=3,
+                                       gpu_racks=1),
+                   num_jobs=8, backend="auto", target_utilization=1.2,
+                   plan_ahead_s=40.0)
+
+
+class TestSweeps:
+    def test_estimate_error_sweep_structure(self):
+        sweep = estimate_error_sweep(tiny_spec(), ["TetriSched", "Rayon/CS"],
+                                     [-20, 0, 20])
+        assert sweep.x_values == [-20, 0, 20]
+        for sched in ("TetriSched", "Rayon/CS"):
+            series = sweep.get(sched, "slo_total_pct")
+            assert len(series) == 3
+            assert all(math.isnan(v) or 0 <= v <= 100 for v in series)
+        assert ("TetriSched", -20) in sweep.raw
+
+    def test_plan_ahead_sweep_structure(self):
+        sweep = plan_ahead_sweep(tiny_spec(GS_HET), ["TetriSched"], [0, 40])
+        assert sweep.x_values == [0, 40]
+        assert len(sweep.get("TetriSched", "mean_be_latency_s")) == 2
+
+    def test_multiple_seeds_averaged(self):
+        sweep = estimate_error_sweep(tiny_spec(), ["TetriSched"], [0],
+                                     seeds=[0, 1])
+        assert len(sweep.raw[("TetriSched", 0)]) == 2
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long-header"], [[1, 2.5], [33, float("nan")]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "n/a" in text
+
+    def test_format_sweep_metric(self):
+        sweep = estimate_error_sweep(tiny_spec(), ["TetriSched"], [0])
+        text = format_sweep_metric(sweep, "slo_total_pct")
+        assert "SLO Attainment" in text
+        assert "TetriSched" in text
+
+    def test_format_sweep_title(self):
+        sweep = estimate_error_sweep(tiny_spec(), ["TetriSched"], [0])
+        text = format_sweep(sweep, ["slo_total_pct"], title="Figure X")
+        assert text.startswith("Figure X\n=")
+
+    def test_shape_check(self):
+        assert "[ok]" in shape_check("works", True)
+        assert "[DIVERGES]" in shape_check("broken", False)
+
+
+class TestTables:
+    def test_table1_text(self):
+        text = table1().text
+        assert "GR SLO" in text and "GS HET" in text
+        assert "100" in text
+
+    def test_table2_text(self):
+        text = table2().text
+        assert "TetriSched-NP" in text
+        # NP row disables only plan-ahead.
+        np_row = [l for l in text.splitlines() if "TetriSched-NP" in l][0]
+        assert np_row.count("off") == 1

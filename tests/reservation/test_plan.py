@@ -1,0 +1,129 @@
+"""Tests for the reservation capacity ledger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReservationError
+from repro.reservation import ReservationPlan
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ReservationError):
+            ReservationPlan(0)
+        with pytest.raises(ReservationError):
+            ReservationPlan(4, step_s=0)
+
+    def test_reserve_and_query(self):
+        plan = ReservationPlan(4, step_s=10)
+        plan.reserve("j1", 2, 0.0, 20.0)
+        assert plan.reserved_at(0.0) == 2
+        assert plan.reserved_at(15.0) == 2
+        assert plan.reserved_at(20.0) == 0
+        assert plan.headroom(0.0, 20.0) == 2
+
+    def test_overcommit_rejected(self):
+        plan = ReservationPlan(4, step_s=10)
+        plan.reserve("j1", 3, 0.0, 20.0)
+        with pytest.raises(ReservationError):
+            plan.reserve("j2", 2, 10.0, 30.0)
+
+    def test_duplicate_rejected(self):
+        plan = ReservationPlan(4, step_s=10)
+        plan.reserve("j1", 1, 0.0, 10.0)
+        with pytest.raises(ReservationError):
+            plan.reserve("j1", 1, 50.0, 60.0)
+
+    def test_snapping_is_conservative(self):
+        plan = ReservationPlan(4, step_s=10)
+        # [5, 15) covers steps 0 and 1 after snapping outward.
+        plan.reserve("j1", 4, 5.0, 15.0)
+        assert plan.reserved_at(0.0) == 4
+        assert plan.reserved_at(10.0) == 4
+        assert not plan.fits(1, 0.0, 10.0)
+
+    def test_window_accessor(self):
+        plan = ReservationPlan(4, step_s=10)
+        w = plan.reserve("j1", 2, 10.0, 20.0)
+        assert plan.window_of("j1") == w
+        assert w.duration_s == 20.0
+        with pytest.raises(ReservationError):
+            plan.window_of("ghost")
+
+
+class TestFindEarliestStart:
+    def test_empty_plan_starts_at_earliest(self):
+        plan = ReservationPlan(4, step_s=10)
+        assert plan.find_earliest_start(2, 20.0, 0.0, 100.0) == 0.0
+
+    def test_skips_busy_region(self):
+        plan = ReservationPlan(4, step_s=10)
+        plan.reserve("j1", 4, 0.0, 30.0)
+        assert plan.find_earliest_start(1, 10.0, 0.0, 100.0) == 30.0
+
+    def test_respects_deadline(self):
+        plan = ReservationPlan(4, step_s=10)
+        plan.reserve("j1", 4, 0.0, 30.0)
+        assert plan.find_earliest_start(1, 10.0, 0.0, 35.0) is None
+
+    def test_partial_capacity_overlap(self):
+        plan = ReservationPlan(4, step_s=10)
+        plan.reserve("j1", 2, 0.0, 40.0)
+        assert plan.find_earliest_start(2, 20.0, 0.0, 100.0) == 0.0
+        plan.reserve("j2", 2, 0.0, 20.0)
+        assert plan.find_earliest_start(2, 20.0, 0.0, 100.0) == 20.0
+
+    def test_too_big_request(self):
+        plan = ReservationPlan(4, step_s=10)
+        assert plan.find_earliest_start(5, 10.0, 0.0, 100.0) is None
+
+    def test_earliest_not_step_aligned(self):
+        plan = ReservationPlan(4, step_s=10)
+        start = plan.find_earliest_start(1, 10.0, 7.0, 100.0)
+        assert start is not None and start >= 7.0
+
+
+class TestRelease:
+    def test_full_release(self):
+        plan = ReservationPlan(4, step_s=10)
+        plan.reserve("j1", 4, 0.0, 40.0)
+        plan.release("j1")
+        assert plan.headroom(0.0, 40.0) == 4
+        assert not plan.has_reservation("j1")
+
+    def test_tail_release_on_early_completion(self):
+        plan = ReservationPlan(4, step_s=10)
+        plan.reserve("j1", 4, 0.0, 40.0)
+        plan.release("j1", at_s=20.0)
+        assert plan.reserved_at(25.0) == 0
+        # Note: released reservations are forgotten entirely as windows.
+        assert not plan.has_reservation("j1")
+
+    def test_release_keeps_other_reservations(self):
+        plan = ReservationPlan(4, step_s=10)
+        plan.reserve("j1", 2, 0.0, 20.0)
+        plan.reserve("j2", 2, 0.0, 20.0)
+        plan.release("j1")
+        assert plan.reserved_at(10.0) == 2
+
+
+class TestLedgerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 3),        # k
+                              st.integers(0, 8),         # start step
+                              st.integers(1, 4)),        # dur steps
+                    min_size=1, max_size=10))
+    def test_never_overcommits(self, reqs):
+        plan = ReservationPlan(4, step_s=10)
+        accepted = []
+        for i, (k, start, dur) in enumerate(reqs):
+            s, e = start * 10.0, (start + dur) * 10.0
+            if plan.fits(k, s, e):
+                plan.reserve(f"j{i}", k, s, e - s)
+                accepted.append((k, start, dur))
+        for t in range(0, 15):
+            load = sum(k for k, start, dur in accepted
+                       if start <= t < start + dur)
+            assert load == plan.reserved_at(t * 10.0)
+            assert load <= plan.capacity

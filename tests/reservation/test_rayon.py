@@ -1,0 +1,75 @@
+"""Tests for Rayon-style admission control."""
+
+import pytest
+
+from repro.errors import ReservationError
+from repro.reservation import RayonReservationSystem
+from repro.strl import Atom, Window
+
+
+@pytest.fixture()
+def rayon():
+    return RayonReservationSystem(capacity=4, step_s=10)
+
+
+class TestAdmission:
+    def test_accept_when_capacity_free(self, rayon):
+        d = rayon.submit("j1", k=2, duration_s=20, arrival_s=0, deadline_s=60)
+        assert d.accepted and d.start_s == 0.0
+        assert rayon.is_accepted("j1")
+
+    def test_reject_when_full(self, rayon):
+        rayon.submit("j1", k=4, duration_s=60, arrival_s=0, deadline_s=60)
+        d = rayon.submit("j2", k=1, duration_s=20, arrival_s=0, deadline_s=50)
+        assert not d.accepted
+        assert not rayon.is_accepted("j2")
+
+    def test_deferred_acceptance(self, rayon):
+        rayon.submit("j1", k=4, duration_s=30, arrival_s=0, deadline_s=100)
+        d = rayon.submit("j2", k=2, duration_s=20, arrival_s=0, deadline_s=100)
+        assert d.accepted and d.start_s == 30.0
+
+    def test_duplicate_submission_rejected(self, rayon):
+        rayon.submit("j1", k=1, duration_s=10, arrival_s=0, deadline_s=100)
+        with pytest.raises(ReservationError):
+            rayon.submit("j1", k=1, duration_s=10, arrival_s=0, deadline_s=100)
+
+    def test_never_submitted_is_not_accepted(self, rayon):
+        assert not rayon.is_accepted("ghost")
+        with pytest.raises(ReservationError):
+            rayon.decision_of("ghost")
+
+    def test_start_accessor_on_rejection(self, rayon):
+        rayon.submit("j1", k=4, duration_s=60, arrival_s=0, deadline_s=60)
+        d = rayon.submit("j2", k=4, duration_s=60, arrival_s=0, deadline_s=60)
+        with pytest.raises(ReservationError):
+            _ = d.start_s
+
+
+class TestRdlInterface:
+    def test_submit_rdl(self, rayon):
+        w = Window(0, 60, Atom("<16GB,8c>", k=2, gang=2, duration_s=20))
+        d = rayon.submit_rdl("j1", w, arrival_s=0.0)
+        assert d.accepted
+
+    def test_submit_rdl_respects_window_start(self, rayon):
+        w = Window(30, 100, Atom("b", k=2, gang=2, duration_s=20))
+        d = rayon.submit_rdl("j1", w, arrival_s=0.0)
+        assert d.accepted and d.start_s >= 30.0
+
+
+class TestCapacityGuarantees:
+    def test_guaranteed_capacity(self, rayon):
+        rayon.submit("j1", k=3, duration_s=20, arrival_s=0, deadline_s=60)
+        assert rayon.guaranteed_capacity_at(10.0) == 3
+        assert rayon.guaranteed_capacity_at(30.0) == 0
+
+    def test_early_completion_releases_tail(self, rayon):
+        rayon.submit("j1", k=3, duration_s=40, arrival_s=0, deadline_s=60)
+        rayon.on_job_complete("j1", at_s=20.0)
+        assert rayon.guaranteed_capacity_at(30.0) == 0
+
+    def test_completion_of_rejected_job_is_noop(self, rayon):
+        rayon.submit("j1", k=4, duration_s=60, arrival_s=0, deadline_s=60)
+        rayon.submit("j2", k=4, duration_s=60, arrival_s=0, deadline_s=60)
+        rayon.on_job_complete("j2", at_s=10.0)  # rejected job; no crash

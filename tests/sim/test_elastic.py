@@ -1,0 +1,103 @@
+"""Tests for elastic (malleable) jobs — the Sec. 4.1 space-time elasticity."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import TetriSchedConfig
+from repro.errors import WorkloadError
+from repro.sim import (ElasticType, Job, Simulation, TetriSchedAdapter,
+                       UnconstrainedType)
+from repro.workloads.serialization import job_from_dict, job_to_dict
+
+UN = UnconstrainedType()
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster.build(racks=1, nodes_per_rack=8)
+
+
+class TestElasticType:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ElasticType(min_k=0)
+        with pytest.raises(WorkloadError):
+            ElasticType(efficiency=0.0)
+        with pytest.raises(WorkloadError):
+            ElasticType(efficiency=1.5)
+
+    def test_options_cover_width_range(self, cluster):
+        opts = ElasticType(min_k=2).options(cluster, k=4, runtime_s=10.0)
+        widths = [o.k for o in opts]
+        assert widths == [4, 3, 2]  # widest (fastest) first
+
+    def test_work_conservation_perfect_scaling(self, cluster):
+        t = ElasticType(min_k=1, efficiency=1.0)
+        opts = {o.k: o.duration_s for o in t.options(cluster, 4, 10.0)}
+        # Work = 40 node-seconds at every width.
+        for width, dur in opts.items():
+            assert width * dur == pytest.approx(40.0)
+
+    def test_efficiency_penalty_below_full_width(self, cluster):
+        t = ElasticType(min_k=1, efficiency=0.8)
+        opts = {o.k: o.duration_s for o in t.options(cluster, 4, 10.0)}
+        assert opts[4] == pytest.approx(10.0)           # reference width
+        assert opts[2] == pytest.approx(20.0 / 0.8)     # penalized
+
+    def test_true_runtime_matches_options(self, cluster):
+        t = ElasticType(min_k=1, efficiency=0.9)
+        nodes3 = frozenset(sorted(cluster.node_names)[:3])
+        opts = {o.k: o.duration_s for o in t.options(cluster, 4, 10.0)}
+        assert t.true_runtime(cluster, nodes3, 10.0, 4) == pytest.approx(
+            opts[3])
+
+    def test_min_k_larger_than_k_collapses(self, cluster):
+        opts = ElasticType(min_k=9).options(cluster, k=4, runtime_s=10.0)
+        assert [o.k for o in opts] == [4]
+
+    def test_serialization_roundtrip(self):
+        job = Job("e", ElasticType(min_k=2, efficiency=0.75), k=6,
+                  base_runtime_s=10.0, submit_time=0.0)
+        back = job_from_dict(job_to_dict(job))
+        assert back.job_type == ElasticType(min_k=2, efficiency=0.75)
+
+
+class TestElasticScheduling:
+    def adapter(self, cluster):
+        return TetriSchedAdapter(cluster, TetriSchedConfig(
+            quantum_s=10, cycle_s=10, plan_ahead_s=60))
+
+    def test_idle_cluster_gives_full_width(self, cluster):
+        job = Job("e", ElasticType(min_k=1), k=8, base_runtime_s=20,
+                  submit_time=0.0, deadline=200.0)
+        res = Simulation(cluster, self.adapter(cluster), [job]).run()
+        o = res.outcomes["e"]
+        assert len(o.nodes) == 8                       # full width
+        assert o.finish_time == pytest.approx(20.0)
+
+    def test_busy_cluster_shrinks_width(self, cluster):
+        """Under contention the elastic job takes fewer nodes and runs
+        longer instead of waiting for the full gang."""
+        rigid = Job("rigid", UN, k=6, base_runtime_s=40, submit_time=0.0,
+                    deadline=45.0)  # must start now
+        elastic = Job("e", ElasticType(min_k=1), k=8, base_runtime_s=10,
+                      submit_time=0.0, deadline=300.0)
+        res = Simulation(cluster, self.adapter(cluster),
+                         [rigid, elastic]).run()
+        rigid_out = res.outcomes["rigid"]
+        e = res.outcomes["e"]
+        assert rigid_out.met_deadline
+        assert e.start_time == 0.0                     # no waiting
+        assert len(e.nodes) == 2                       # remaining capacity
+        # Work conservation: 8*10 node-seconds on 2 nodes -> 40s.
+        assert e.finish_time - e.start_time == pytest.approx(40.0)
+
+    def test_elastic_meets_deadline_by_widening(self, cluster):
+        """A tight deadline forces a wide allocation even if narrow ones
+        exist in the option list."""
+        elastic = Job("e", ElasticType(min_k=1), k=8, base_runtime_s=10,
+                      submit_time=0.0, deadline=15.0)
+        res = Simulation(cluster, self.adapter(cluster), [elastic]).run()
+        o = res.outcomes["e"]
+        assert o.met_deadline
+        assert len(o.nodes) == 8

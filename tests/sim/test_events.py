@@ -1,0 +1,65 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.JOB_ARRIVAL, "b")
+        q.push(1.0, EventKind.JOB_ARRIVAL, "a")
+        q.push(9.0, EventKind.JOB_ARRIVAL, "c")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_same_time_kind_priority(self):
+        """Completions fire before cycles at the same instant, so freed
+        nodes are visible to the cycle; arrivals fire first of all."""
+        q = EventQueue()
+        q.push(5.0, EventKind.SCHEDULER_CYCLE, "cycle")
+        q.push(5.0, EventKind.JOB_COMPLETION, "done")
+        q.push(5.0, EventKind.JOB_ARRIVAL, "new")
+        assert [q.pop().payload for _ in range(3)] == ["new", "done", "cycle"]
+
+    def test_same_time_same_kind_fifo(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.JOB_ARRIVAL, "first")
+        q.push(1.0, EventKind.JOB_ARRIVAL, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_cancellation(self):
+        q = EventQueue()
+        ev = q.push(1.0, EventKind.JOB_COMPLETION, "x")
+        q.push(2.0, EventKind.JOB_COMPLETION, "y")
+        q.cancel(ev)
+        assert len(q) == 1
+        assert q.pop().payload == "y"
+        assert q.pop() is None
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        ev = q.push(1.0, EventKind.JOB_ARRIVAL)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 0
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push(-1.0, EventKind.JOB_ARRIVAL)
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, EventKind.JOB_ARRIVAL)
+        q.push(3.0, EventKind.JOB_ARRIVAL)
+        q.cancel(ev)
+        assert q.peek_time() == 3.0
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, EventKind.JOB_ARRIVAL)
+        assert q and len(q) == 1

@@ -1,0 +1,131 @@
+"""Tests for fault injection: job failures, retries, abandonment."""
+
+import pytest
+
+from repro.baselines import CapacityScheduler
+from repro.cluster import Cluster
+from repro.core import TetriSchedConfig
+from repro.errors import SimulationError
+from repro.reservation import RayonReservationSystem
+from repro.sim import (ExecutionTrace, FaultModel, Job, Simulation,
+                       TetriSchedAdapter, UnconstrainedType)
+from repro.sim.trace import FAILURE
+
+UN = UnconstrainedType()
+
+
+class AlwaysFail(FaultModel):
+    """Deterministic fault model: every attempt up to N fails at 50%."""
+
+    def __init__(self, fail_attempts: int, retry_limit: int = 10):
+        super().__init__(failure_prob=0.5, retry_limit=retry_limit, seed=0)
+        self.fail_attempts = fail_attempts
+
+    def draw(self, job_id, attempt):
+        from repro.sim.faults import FaultDecision
+        if attempt < self.fail_attempts:
+            return FaultDecision(fails=True, at_fraction=0.5)
+        return FaultDecision(fails=False)
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FaultModel(failure_prob=1.0)
+        with pytest.raises(SimulationError):
+            FaultModel(failure_prob=0.1, retry_limit=-1)
+
+    def test_deterministic_across_instances(self):
+        a = FaultModel(0.5, seed=7).draw("job1", 0)
+        b = FaultModel(0.5, seed=7).draw("job1", 0)
+        assert a == b
+
+    def test_different_attempts_differ_eventually(self):
+        fm = FaultModel(0.5, seed=7)
+        draws = {fm.draw("job1", i).fails for i in range(20)}
+        assert draws == {True, False}
+
+    def test_zero_probability_never_fails(self):
+        fm = FaultModel(0.0)
+        assert not any(fm.draw(f"j{i}", 0).fails for i in range(50))
+
+    def test_failure_fraction_in_range(self):
+        fm = FaultModel(0.9, seed=3)
+        for i in range(50):
+            d = fm.draw(f"j{i}", 0)
+            if d.fails:
+                assert 0.1 <= d.at_fraction <= 0.9
+
+
+class TestRetries:
+    def make_sim(self, faults, jobs=None):
+        cluster = Cluster.build(racks=1, nodes_per_rack=4)
+        adapter = TetriSchedAdapter(cluster, TetriSchedConfig(
+            quantum_s=10, cycle_s=10, plan_ahead_s=40))
+        jobs = jobs or [Job("j", UN, k=2, base_runtime_s=20,
+                            submit_time=0.0, deadline=500.0)]
+        trace = ExecutionTrace()
+        return Simulation(cluster, adapter, jobs, trace=trace,
+                          faults=faults), trace
+
+    def test_failed_job_retries_and_completes(self):
+        sim, trace = self.make_sim(AlwaysFail(fail_attempts=2))
+        res = sim.run()
+        o = res.outcomes["j"]
+        assert o.failures == 2
+        assert o.completed
+        assert res.metrics.failures == 2
+        # Failure events recorded; occupancy intervals stay closed.
+        assert len(trace.of_kind(FAILURE)) == 2
+        trace.check_no_double_booking()
+
+    def test_retry_limit_abandons_job(self):
+        sim, trace = self.make_sim(AlwaysFail(fail_attempts=99,
+                                              retry_limit=2))
+        res = sim.run()
+        o = res.outcomes["j"]
+        assert not o.completed
+        assert o.failures == 3  # initial + 2 retries, all failed
+        # Simulation terminates even though the job never finishes.
+        assert res.end_time < 1000
+
+    def test_no_faults_is_baseline(self):
+        sim, _ = self.make_sim(None)
+        res = sim.run()
+        assert res.outcomes["j"].failures == 0
+        assert res.outcomes["j"].finish_time == pytest.approx(20.0)
+
+    def test_failed_work_is_lost(self):
+        """A job that fails at 50% re-runs from scratch."""
+        sim, trace = self.make_sim(AlwaysFail(fail_attempts=1))
+        res = sim.run()
+        o = res.outcomes["j"]
+        # Attempt 1: 0..10 (fails at 50% of 20s). Retried at next cycle
+        # (t=10), runs the full 20s -> finishes at 30.
+        assert o.finish_time == pytest.approx(30.0)
+
+    def test_faults_with_capacity_scheduler(self):
+        cluster = Cluster.build(racks=1, nodes_per_rack=4)
+        rayon = RayonReservationSystem(4, step_s=10)
+        cs = CapacityScheduler(cluster, rayon, cycle_s=10)
+        jobs = [Job("j", UN, k=2, base_runtime_s=20, submit_time=0.0,
+                    deadline=500.0)]
+        trace = ExecutionTrace()
+        res = Simulation(cluster, cs, jobs, rayon=rayon, trace=trace,
+                         faults=AlwaysFail(fail_attempts=1)).run()
+        o = res.outcomes["j"]
+        assert o.failures == 1 and o.completed
+        trace.check_no_double_booking()
+
+    def test_mixed_workload_under_faults_terminates(self):
+        jobs = [Job(f"j{i}", UN, k=1 + i % 3, base_runtime_s=15 + i,
+                    submit_time=2.0 * i,
+                    deadline=(400.0 if i % 2 else None) and 2.0 * i + 400)
+                for i in range(10)]
+        sim, trace = self.make_sim(FaultModel(0.3, retry_limit=2, seed=5),
+                                   jobs=jobs)
+        res = sim.run()
+        trace.check_no_double_booking()
+        # Everything either completed or was abandoned after retries.
+        for o in res.outcomes.values():
+            assert o.completed or o.failures == 3

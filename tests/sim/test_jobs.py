@@ -1,0 +1,113 @@
+"""Tests for jobs and placement-dependent runtime models."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import WorkloadError
+from repro.sim import GpuType, Job, MpiType, UnconstrainedType
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster.build(racks=2, nodes_per_rack=4, gpu_racks=1)
+
+
+class TestJobValidation:
+    def test_valid_job(self):
+        j = Job("j", UnconstrainedType(), k=2, base_runtime_s=10,
+                submit_time=0.0)
+        assert not j.is_slo
+
+    def test_bad_k(self):
+        with pytest.raises(WorkloadError):
+            Job("j", UnconstrainedType(), k=0, base_runtime_s=10,
+                submit_time=0.0)
+
+    def test_bad_runtime(self):
+        with pytest.raises(WorkloadError):
+            Job("j", UnconstrainedType(), k=1, base_runtime_s=0,
+                submit_time=0.0)
+
+    def test_bad_estimate_error(self):
+        with pytest.raises(WorkloadError):
+            Job("j", UnconstrainedType(), k=1, base_runtime_s=10,
+                submit_time=0.0, estimate_error=-1.0)
+
+    def test_estimated_runtime(self):
+        j = Job("j", UnconstrainedType(), k=1, base_runtime_s=100,
+                submit_time=0.0, estimate_error=0.5)
+        assert j.estimated_runtime_s == pytest.approx(150.0)
+        j2 = Job("j2", UnconstrainedType(), k=1, base_runtime_s=100,
+                 submit_time=0.0, estimate_error=-0.5)
+        assert j2.estimated_runtime_s == pytest.approx(50.0)
+
+    def test_slo_flag(self):
+        j = Job("j", UnconstrainedType(), k=1, base_runtime_s=10,
+                submit_time=0.0, deadline=50.0)
+        assert j.is_slo
+
+
+class TestUnconstrained:
+    def test_single_option(self, cluster):
+        opts = UnconstrainedType().options(cluster, 3, 60.0)
+        assert len(opts) == 1
+        assert opts[0].nodes == cluster.node_names
+        assert opts[0].duration_s == 60.0
+
+    def test_runtime_placement_independent(self, cluster):
+        t = UnconstrainedType()
+        assert t.true_runtime(cluster, frozenset({"r0n0"}), 60.0, 1) == 60.0
+        assert t.true_runtime(cluster, frozenset({"r1n0"}), 60.0, 1) == 60.0
+
+
+class TestGpu:
+    def test_two_options_preferred_first(self, cluster):
+        opts = GpuType(slowdown=1.5).options(cluster, 2, 60.0)
+        assert opts[0].nodes == cluster.nodes_with_attr("gpu")
+        assert opts[0].duration_s == 60.0
+        assert opts[1].nodes == cluster.node_names
+        assert opts[1].duration_s == pytest.approx(90.0)
+
+    def test_no_gpu_option_when_gang_too_big(self, cluster):
+        opts = GpuType().options(cluster, 5, 60.0)  # only 4 GPU nodes
+        assert len(opts) == 1
+        assert opts[0].nodes == cluster.node_names
+
+    def test_true_runtime(self, cluster):
+        t = GpuType(slowdown=2.0)
+        gpu_pair = frozenset({"r0n0", "r0n1"})
+        mixed = frozenset({"r0n0", "r1n0"})
+        assert t.true_runtime(cluster, gpu_pair, 60.0, 2) == 60.0
+        assert t.true_runtime(cluster, mixed, 60.0, 2) == 120.0
+
+    def test_bad_slowdown(self):
+        with pytest.raises(WorkloadError):
+            GpuType(slowdown=0.5)
+
+
+class TestMpi:
+    def test_rack_options_plus_fallback(self, cluster):
+        opts = MpiType(slowdown=1.5).options(cluster, 3, 60.0)
+        # One option per rack (both racks fit 3) + spread fallback.
+        assert len(opts) == 3
+        assert opts[-1].label == "spread"
+        assert opts[-1].duration_s == pytest.approx(90.0)
+
+    def test_rack_too_small_skipped(self, cluster):
+        opts = MpiType().options(cluster, 5, 60.0)  # racks hold 4
+        assert len(opts) == 1
+        assert opts[0].label == "spread"
+
+    def test_true_runtime_rack_local(self, cluster):
+        t = MpiType(slowdown=1.5)
+        local = frozenset({"r0n0", "r0n1", "r0n2"})
+        spread = frozenset({"r0n0", "r1n0"})
+        assert t.true_runtime(cluster, local, 60.0, 3) == 60.0
+        assert t.true_runtime(cluster, spread, 60.0, 2) == pytest.approx(90.0)
+
+    def test_estimated_options_scale_durations(self, cluster):
+        j = Job("j", MpiType(slowdown=1.5), k=2, base_runtime_s=40,
+                submit_time=0.0, estimate_error=0.5)
+        opts = j.estimated_options(cluster)
+        assert opts[0].duration_s == pytest.approx(60.0)     # rack option
+        assert opts[-1].duration_s == pytest.approx(90.0)    # spread

@@ -1,0 +1,105 @@
+"""Tests for metrics aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import JobOutcome, LatencyTrace, MetricsCollector
+
+
+def outcome(job_id, is_slo=True, accepted=True, submit=0.0, deadline=100.0,
+            finish=None, **kw):
+    return JobOutcome(job_id=job_id, is_slo=is_slo, accepted=accepted,
+                      submit_time=submit,
+                      deadline=deadline if is_slo else None,
+                      finish_time=finish, **kw)
+
+
+class TestJobOutcome:
+    def test_met_deadline(self):
+        assert outcome("a", finish=90.0).met_deadline
+        assert not outcome("a", finish=110.0).met_deadline
+        assert not outcome("a").met_deadline  # never completed
+
+    def test_be_never_counts_as_slo(self):
+        o = outcome("b", is_slo=False, finish=10.0)
+        assert not o.met_deadline
+
+    def test_latency(self):
+        assert outcome("a", submit=5.0, finish=25.0).latency == 20.0
+        assert outcome("a").latency is None
+
+
+class TestMetricsCollector:
+    def test_duplicate_registration_rejected(self):
+        mc = MetricsCollector()
+        mc.register(outcome("a"))
+        with pytest.raises(ValueError):
+            mc.register(outcome("a"))
+
+    def test_report_partitions_jobs(self):
+        mc = MetricsCollector()
+        mc.register(outcome("s1", accepted=True, finish=50.0))    # hit
+        mc.register(outcome("s2", accepted=True, finish=150.0))   # miss
+        mc.register(outcome("s3", accepted=False, finish=50.0))   # hit, no-res
+        mc.register(outcome("s4", accepted=False))                # never ran
+        mc.register(outcome("b1", is_slo=False, finish=30.0))
+        mc.register(outcome("b2", is_slo=False, submit=10.0, finish=50.0))
+        r = mc.report()
+        assert r.jobs_total == 6
+        assert r.jobs_slo == 4
+        assert r.jobs_accepted == 2
+        assert r.jobs_best_effort == 2
+        assert r.slo_accepted_pct == pytest.approx(50.0)
+        assert r.slo_no_reservation_pct == pytest.approx(50.0)
+        assert r.slo_total_pct == pytest.approx(50.0)
+        assert r.mean_be_latency_s == pytest.approx(35.0)
+
+    def test_empty_groups_are_nan(self):
+        mc = MetricsCollector()
+        mc.register(outcome("b", is_slo=False, accepted=False, finish=10.0))
+        r = mc.report()
+        assert math.isnan(r.slo_total_pct)
+        assert math.isnan(r.slo_accepted_pct)
+
+    def test_unfinished_be_excluded_from_latency(self):
+        mc = MetricsCollector()
+        mc.register(outcome("b1", is_slo=False, accepted=False, finish=10.0))
+        mc.register(outcome("b2", is_slo=False, accepted=False))
+        r = mc.report()
+        assert r.mean_be_latency_s == pytest.approx(10.0)
+        assert r.be_completed == 1
+
+    def test_preemptions_counted(self):
+        mc = MetricsCollector()
+        mc.register(outcome("a", preemptions=2))
+        mc.register(outcome("b", preemptions=1))
+        assert mc.report().preemptions == 3
+
+
+class TestLatencyTrace:
+    def test_summary_stats(self):
+        tr = LatencyTrace()
+        for v in [0.1, 0.2, 0.3, 0.4]:
+            tr.record(v, v / 2)
+        s = tr.summary()
+        assert s["cycle_mean"] == pytest.approx(0.25)
+        assert s["solver_mean"] == pytest.approx(0.125)
+        assert s["cycle_max"] == pytest.approx(0.4)
+
+    def test_empty_summary_is_nan(self):
+        s = LatencyTrace().summary()
+        assert math.isnan(s["cycle_mean"])
+
+    def test_cdf(self):
+        tr = LatencyTrace()
+        tr.record(0.3, 0.1)
+        tr.record(0.1, 0.1)
+        xs, fr = tr.cdf("cycle")
+        np.testing.assert_allclose(xs, [0.1, 0.3])
+        np.testing.assert_allclose(fr, [0.5, 1.0])
+
+    def test_empty_cdf(self):
+        xs, fr = LatencyTrace().cdf()
+        assert xs.size == 0 and fr.size == 0

@@ -1,0 +1,118 @@
+"""Tests for execution traces: recording, round-trip, Gantt, utilization."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import TetriSchedConfig
+from repro.errors import SimulationError
+from repro.sim import (ExecutionTrace, Job, Simulation, TetriSchedAdapter,
+                       UnconstrainedType)
+from repro.sim.trace import (ARRIVAL, COMPLETION, CULL, LAUNCH, PREEMPTION,
+                             TraceEvent)
+
+UN = UnconstrainedType()
+
+
+def make_trace():
+    tr = ExecutionTrace()
+    tr.record(0.0, ARRIVAL, "a")
+    tr.record(0.0, LAUNCH, "a", nodes=("n1", "n2"))
+    tr.record(5.0, ARRIVAL, "b")
+    tr.record(20.0, COMPLETION, "a")
+    tr.record(20.0, LAUNCH, "b", nodes=("n1",))
+    tr.record(30.0, COMPLETION, "b")
+    return tr
+
+
+class TestRecording:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceEvent(0.0, "explode", "j")
+
+    def test_of_kind_and_for_job(self):
+        tr = make_trace()
+        assert len(tr.of_kind(LAUNCH)) == 2
+        assert len(tr.for_job("a")) == 3
+
+    def test_jsonl_roundtrip(self):
+        tr = make_trace()
+        clone = ExecutionTrace.from_jsonl(tr.to_jsonl())
+        assert clone.events == tr.events
+
+    def test_jsonl_skips_blank_lines(self):
+        tr = ExecutionTrace.from_jsonl("\n\n")
+        assert tr.events == []
+
+
+class TestIntervals:
+    def test_intervals_from_launch_completion(self):
+        tr = make_trace()
+        ivs = tr.intervals()
+        assert ("a", "n1", 0.0, 20.0) in ivs
+        assert ("a", "n2", 0.0, 20.0) in ivs
+        assert ("b", "n1", 20.0, 30.0) in ivs
+
+    def test_preemption_closes_interval(self):
+        tr = ExecutionTrace()
+        tr.record(0.0, LAUNCH, "a", nodes=("n1",))
+        tr.record(10.0, PREEMPTION, "a")
+        assert tr.intervals() == [("a", "n1", 0.0, 10.0)]
+
+    def test_unclosed_intervals_dropped(self):
+        tr = ExecutionTrace()
+        tr.record(0.0, LAUNCH, "a", nodes=("n1",))
+        assert tr.intervals() == []
+
+
+class TestAnalyses:
+    def test_mean_utilization(self):
+        tr = make_trace()
+        # Work: a = 2 nodes x 20s, b = 1 node x 10s = 50 node-s over
+        # 2 nodes x 30s window... but universe has 2 nodes -> 50/60.
+        assert tr.mean_utilization(2) == pytest.approx(50 / 60)
+
+    def test_mean_utilization_empty(self):
+        assert ExecutionTrace().mean_utilization(4) == 0.0
+
+    def test_utilization_timeline(self):
+        tr = make_trace()
+        samples = tr.utilization_timeline(total_nodes=2, step_s=10.0)
+        assert samples[0] == (0.0, 1.0)       # both nodes busy with 'a'
+        assert samples[2] == (20.0, 0.5)      # only 'b' on n1
+
+    def test_timeline_validation(self):
+        with pytest.raises(SimulationError):
+            make_trace().utilization_timeline(0, 10)
+        with pytest.raises(SimulationError):
+            make_trace().utilization_timeline(2, 0)
+
+    def test_gantt_rendering(self):
+        tr = make_trace()
+        chart = tr.gantt(["n1", "n2"], quantum_s=10.0)
+        lines = chart.splitlines()
+        assert lines[0].startswith("n1")
+        assert "aab" in lines[0].replace(" ", "").replace("|", "")
+        assert "aa." in lines[1].replace(" ", "").replace("|", "")
+
+    def test_gantt_validation(self):
+        with pytest.raises(SimulationError):
+            make_trace().gantt(["n1"], quantum_s=0)
+
+
+class TestSimulationIntegration:
+    def test_trace_captures_full_lifecycle(self):
+        cluster = Cluster.build(racks=1, nodes_per_rack=3)
+        tr = ExecutionTrace()
+        jobs = [Job("a", UN, 2, 20, 0.0, deadline=100.0),
+                Job("dead", UN, 2, 50, 0.0, deadline=10.0)]
+        sched = TetriSchedAdapter(cluster, TetriSchedConfig(
+            quantum_s=10, cycle_s=10, plan_ahead_s=40))
+        Simulation(cluster, sched, jobs, trace=tr).run()
+        kinds = [e.kind for e in tr.events]
+        assert kinds.count(ARRIVAL) == 2
+        assert kinds.count(LAUNCH) == 1
+        assert kinds.count(COMPLETION) == 1
+        assert kinds.count(CULL) == 1
+        launch = tr.of_kind(LAUNCH)[0]
+        assert launch.job_id == "a"
+        assert len(launch.nodes) == 2

@@ -1,0 +1,138 @@
+"""Unit + property tests for the branch-and-bound MILP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.solver import (BranchBoundOptions, BranchBoundSolver, Model,
+                          SolveStatus, make_backend)
+from repro.solver.scipy_backend import scipy_available
+
+
+def knapsack_model(values, weights, capacity):
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(len(values))]
+    m.add_constraint(sum(w * x for w, x in zip(weights, xs)), "<=", capacity)
+    m.set_objective(sum(v * x for v, x in zip(values, xs)), sense="maximize")
+    return m, xs
+
+
+class TestBranchBound:
+    def test_knapsack_optimum(self):
+        m, xs = knapsack_model([10, 13, 7], [3, 4, 2], 5)
+        res = BranchBoundSolver().solve(m)
+        assert res.status == SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(17.0)  # items 0 and 2
+
+    def test_pure_lp_model_solves_without_branching(self):
+        m = Model()
+        x = m.add_continuous("x", ub=4)
+        m.set_objective(x, sense="maximize")
+        res = BranchBoundSolver().solve(m)
+        assert res.status == SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(4.0)
+
+    def test_infeasible_milp(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x, ">=", 2)
+        res = BranchBoundSolver().solve(m)
+        assert res.status == SolveStatus.INFEASIBLE
+
+    def test_minimization_sense(self):
+        m = Model()
+        x = m.add_integer("x", lb=0, ub=9)
+        m.add_constraint(x, ">=", 3)
+        m.set_objective(x, sense="minimize")
+        res = BranchBoundSolver().solve(m)
+        assert res.objective == pytest.approx(3.0)
+
+    def test_warm_start_accepted(self):
+        m, xs = knapsack_model([10, 13, 7], [3, 4, 2], 5)
+        ws = np.array([1.0, 0.0, 1.0])
+        res = BranchBoundSolver().solve(m, warm_start=ws)
+        assert res.status == SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(17.0)
+
+    def test_infeasible_warm_start_ignored(self):
+        m, xs = knapsack_model([10, 13, 7], [3, 4, 2], 5)
+        ws = np.array([1.0, 1.0, 1.0])  # violates capacity
+        res = BranchBoundSolver().solve(m, warm_start=ws)
+        assert res.objective == pytest.approx(17.0)
+
+    def test_node_limit_returns_incumbent_or_none(self):
+        m, _ = knapsack_model(list(range(1, 9)), [3] * 8, 11)
+        res = BranchBoundSolver(BranchBoundOptions(node_limit=1)).solve(m)
+        assert res.status in (SolveStatus.FEASIBLE, SolveStatus.OPTIMAL,
+                              SolveStatus.NO_SOLUTION)
+
+    def test_gap_option_allows_early_stop(self):
+        m, _ = knapsack_model([5, 4, 3, 6, 7], [4, 3, 2, 5, 6], 10)
+        res = BranchBoundSolver(BranchBoundOptions(rel_gap=0.5)).solve(m)
+        assert res.status.has_solution
+        # Must be within 50% of the true optimum (12).
+        assert res.objective >= 0.5 * 12 - 1e-9
+
+    def test_integer_equality(self):
+        m = Model()
+        x = m.add_integer("x", ub=10)
+        y = m.add_integer("y", ub=10)
+        m.add_constraint(x + 2 * y, "==", 7)
+        m.set_objective(x + y, sense="minimize")
+        res = BranchBoundSolver().solve(m)
+        assert res.status == SolveStatus.OPTIMAL
+        # y=3, x=1 -> 4
+        assert res.objective == pytest.approx(4.0)
+
+    def test_value_of_accessor(self):
+        m, xs = knapsack_model([10, 13, 7], [3, 4, 2], 5)
+        res = BranchBoundSolver().solve(m)
+        assert res.value_of(xs[0]) == pytest.approx(1.0)
+        assert res.value_of(xs[1]) == pytest.approx(0.0)
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy required")
+class TestBackendsAgree:
+    """Differential testing: pure B&B vs HiGHS MILP on random knapsacks."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_knapsacks(self, data):
+        n = data.draw(st.integers(1, 7))
+        values = data.draw(st.lists(st.integers(1, 12), min_size=n, max_size=n))
+        weights = data.draw(st.lists(st.integers(1, 6), min_size=n, max_size=n))
+        cap = data.draw(st.integers(0, 15))
+        m1, _ = knapsack_model(values, weights, cap)
+        m2, _ = knapsack_model(values, weights, cap)
+        pure = make_backend("pure").solve(m1)
+        ref = make_backend("scipy").solve(m2)
+        assert pure.status.has_solution and ref.status.has_solution
+        assert pure.objective == pytest.approx(ref.objective, abs=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_random_integer_programs(self, data):
+        """General small IPs with >= and == rows, both senses."""
+        n = data.draw(st.integers(2, 5))
+        m1, m2 = Model(), Model()
+        for mod in (m1, m2):
+            xs = [mod.add_integer(f"x{i}", ub=6) for i in range(n)]
+        xs1 = m1.variables
+        xs2 = m2.variables
+        coefs = data.draw(st.lists(st.integers(0, 4), min_size=n, max_size=n))
+        assume(any(coefs))  # all-zero rows make constant constraints
+        rhs = data.draw(st.integers(0, 12))
+        sense = data.draw(st.sampled_from(["<=", ">="]))
+        obj = data.draw(st.lists(st.integers(-3, 3), min_size=n, max_size=n))
+        for mod, xs in ((m1, xs1), (m2, xs2)):
+            mod.add_constraint(sum(c * x for c, x in zip(coefs, xs)), sense, rhs)
+            # Keep >= cases bounded via the ub=6 variable bounds.
+            mod.set_objective(sum(c * x for c, x in zip(obj, xs)),
+                              sense="maximize")
+        pure = make_backend("pure").solve(m1)
+        ref = make_backend("scipy").solve(m2)
+        assert pure.status.has_solution == ref.status.has_solution
+        if pure.status.has_solution:
+            assert pure.objective == pytest.approx(ref.objective, abs=1e-6)
+            assert m1.check_feasible(pure.x)

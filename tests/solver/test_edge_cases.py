@@ -1,0 +1,123 @@
+"""Edge-case coverage for the solver substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import (BranchBoundOptions, BranchBoundSolver, LinExpr,
+                          Model, SolveStatus, make_backend, solve_lp)
+from repro.solver.backend import BACKEND_NAMES
+from repro.solver.simplex import solve_lp as simplex_lp
+
+
+class TestSimplexEdges:
+    def test_iteration_limit_raises(self):
+        # Any nontrivial LP with max_iter=1 must hit the limit cleanly.
+        with pytest.raises(SolverError):
+            solve_lp([1, 1, 1],
+                     a_ub=[[1, 2, 3], [3, 1, 2], [2, 3, 1]],
+                     b_ub=[10, 10, 10],
+                     a_eq=[[1, 1, 1]], b_eq=[5],
+                     max_iter=1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            solve_lp([1, 1], a_ub=[[1, 1]], b_ub=[1, 2])
+
+    def test_single_variable_equality(self):
+        r = solve_lp([1], a_eq=[[2]], b_eq=[6])
+        assert r.x[0] == pytest.approx(3.0)
+
+    def test_zero_objective(self):
+        r = solve_lp([0, 0], a_ub=[[1, 1]], b_ub=[4])
+        assert r.status == SolveStatus.OPTIMAL
+        assert r.objective == pytest.approx(0.0)
+
+    def test_tight_equality_at_bounds(self):
+        # x + y == 8 with x,y <= 4 forces x = y = 4.
+        r = solve_lp([1, 2], a_eq=[[1, 1]], b_eq=[8], ub=[4, 4])
+        assert r.status == SolveStatus.OPTIMAL
+        np.testing.assert_allclose(r.x, [4, 4], atol=1e-7)
+
+    def test_equality_infeasible_beyond_bounds(self):
+        r = solve_lp([1], a_eq=[[1]], b_eq=[9], ub=[4])
+        assert r.status == SolveStatus.INFEASIBLE
+
+
+class TestBackendRegistry:
+    def test_all_documented_names_construct(self):
+        for name in BACKEND_NAMES:
+            make_backend(name)  # no raise (scipy present in test env)
+
+    def test_unknown_name(self):
+        with pytest.raises(SolverError):
+            make_backend("cplex")
+
+    def test_auto_resolves(self):
+        backend = make_backend("auto")
+        m = Model()
+        x = m.add_binary("x")
+        m.set_objective(x, sense="maximize")
+        assert backend.solve(m).objective == pytest.approx(1.0)
+
+
+class TestBranchBoundEdges:
+    def test_model_without_constraints(self):
+        m = Model()
+        x = m.add_integer("x", ub=7)
+        m.set_objective(x, sense="maximize")
+        res = BranchBoundSolver().solve(m)
+        assert res.objective == pytest.approx(7.0)
+
+    def test_objective_constant_carried(self):
+        m = Model()
+        x = m.add_integer("x", ub=3)
+        m.set_objective(x + 100, sense="maximize")
+        res = BranchBoundSolver().solve(m)
+        assert res.objective == pytest.approx(103.0)
+
+    def test_all_fixed_variables(self):
+        m = Model()
+        x = m.add_integer("x", lb=2, ub=2)
+        m.set_objective(x, sense="minimize")
+        res = BranchBoundSolver().solve(m)
+        assert res.objective == pytest.approx(2.0)
+
+    def test_fractional_bounds_on_integer_var(self):
+        m = Model()
+        x = m.add_integer("x", lb=0.5, ub=3.7)
+        m.set_objective(x, sense="maximize")
+        res = BranchBoundSolver().solve(m)
+        assert res.objective == pytest.approx(3.0)
+
+    def test_negative_integer_domain(self):
+        m = Model()
+        x = m.add_integer("x", lb=-5, ub=5)
+        m.add_constraint(2 * x, ">=", -7)  # x >= -3.5 -> -3
+        m.set_objective(x, sense="minimize")
+        res = BranchBoundSolver().solve(m)
+        assert res.objective == pytest.approx(-3.0)
+
+    def test_continuous_and_integer_mix(self):
+        m = Model()
+        x = m.add_integer("x", ub=10)
+        y = m.add_continuous("y", ub=10)
+        m.add_constraint(x + y, "<=", 7.5)
+        m.set_objective(2 * x + y, sense="maximize")
+        res = BranchBoundSolver().solve(m)
+        # x=7 (integer), y=0.5.
+        assert res.objective == pytest.approx(14.5)
+
+
+class TestLinExprEdges:
+    def test_expr_plus_expr_cancellation_in_sum(self):
+        m = Model()
+        x = m.add_continuous("x")
+        e = (x + 1) + (-1 * x - 1)
+        assert e.is_constant and e.constant == 0.0
+
+    def test_repr_forms(self):
+        m = Model()
+        x = m.add_continuous("x")
+        assert "x0" in repr(2 * x)
+        assert repr(LinExpr(constant=3.0)) == "LinExpr(3)"

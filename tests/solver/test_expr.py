@@ -1,0 +1,98 @@
+"""Unit tests for linear expressions and variables."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.solver import LinExpr, Model, linear_sum
+from repro.solver.expr import as_expr
+
+
+@pytest.fixture()
+def model():
+    return Model("t")
+
+
+class TestVariable:
+    def test_binary_bounds_forced(self, model):
+        b = model.add_binary("b")
+        assert (b.lb, b.ub) == (0.0, 1.0)
+        assert b.is_integral
+
+    def test_integer_requires_lower_bound(self, model):
+        with pytest.raises(ModelError):
+            model._add_var("z", None, 5, "integer")
+
+    def test_bad_bounds_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.add_continuous("x", lb=3, ub=1)
+
+    def test_duplicate_name_rejected(self, model):
+        model.add_continuous("x")
+        with pytest.raises(ModelError):
+            model.add_continuous("x")
+
+    def test_negation(self, model):
+        x = model.add_continuous("x")
+        e = -x
+        assert e.coefficient(x) == -1.0
+
+
+class TestLinExpr:
+    def test_addition_of_vars(self, model):
+        x, y = model.add_continuous("x"), model.add_continuous("y")
+        e = x + y + 2
+        assert e.coefficient(x) == 1.0
+        assert e.coefficient(y) == 1.0
+        assert e.constant == 2.0
+
+    def test_scalar_multiplication(self, model):
+        x = model.add_continuous("x")
+        e = 3 * (2 * x + 1)
+        assert e.coefficient(x) == 6.0
+        assert e.constant == 3.0
+
+    def test_subtraction_cancels_terms(self, model):
+        x = model.add_continuous("x")
+        e = (2 * x + 5) - (2 * x)
+        assert e.is_constant
+        assert e.constant == 5.0
+
+    def test_rsub(self, model):
+        x = model.add_continuous("x")
+        e = 10 - x
+        assert e.coefficient(x) == -1.0
+        assert e.constant == 10.0
+
+    def test_mul_by_zero_empties(self, model):
+        x = model.add_continuous("x")
+        e = (x + 3) * 0
+        assert e.is_constant and e.constant == 0.0
+
+    def test_add_term_inplace(self, model):
+        x = model.add_continuous("x")
+        e = LinExpr()
+        e.add_term(x, 2).add_term(x, -2)
+        assert x.index not in e.coeffs
+
+    def test_linear_sum_matches_operator_sum(self, model):
+        xs = [model.add_continuous(f"x{i}") for i in range(5)]
+        via_helper = linear_sum(2 * x for x in xs)
+        via_ops = sum((2 * x for x in xs), LinExpr())
+        assert via_helper.coeffs == via_ops.coeffs
+
+    def test_linear_sum_with_numbers_and_vars(self, model):
+        x = model.add_continuous("x")
+        e = linear_sum([x, 1, 2.5, 2 * x])
+        assert e.coefficient(x) == 3.0
+        assert e.constant == 3.5
+
+    def test_linear_sum_rejects_garbage(self):
+        with pytest.raises(ModelError):
+            linear_sum(["nope"])
+
+    def test_as_expr_coercions(self, model):
+        x = model.add_continuous("x")
+        assert as_expr(x).coefficient(x) == 1.0
+        assert as_expr(4.0).constant == 4.0
+        with pytest.raises(ModelError):
+            as_expr(object())

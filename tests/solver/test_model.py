@@ -1,0 +1,105 @@
+"""Unit tests for the MILP model container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.solver import EQ, GE, LE, MAXIMIZE, MINIMIZE, Model
+
+
+@pytest.fixture()
+def model():
+    return Model("t")
+
+
+class TestConstraints:
+    def test_rhs_normalization(self, model):
+        x = model.add_continuous("x")
+        con = model.add_constraint(x + 3, LE, 10)
+        assert con.rhs == 7.0
+        assert con.expr.constant == 0.0
+
+    def test_variables_on_both_sides(self, model):
+        x, y = model.add_continuous("x"), model.add_continuous("y")
+        con = model.add_constraint(x, LE, y + 1)
+        assert con.expr.coefficient(x) == 1.0
+        assert con.expr.coefficient(y) == -1.0
+        assert con.rhs == 1.0
+
+    def test_constant_true_constraint_allowed(self, model):
+        model.add_constraint(3, LE, 5)  # no variables, trivially true
+
+    def test_constant_false_constraint_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.add_constraint(5, LE, 3)
+
+    def test_bad_sense(self, model):
+        x = model.add_continuous("x")
+        with pytest.raises(ModelError):
+            model.add_constraint(x, "<", 3)
+
+    def test_violation(self, model):
+        x = model.add_continuous("x")
+        con_le = model.add_constraint(x, LE, 5)
+        con_ge = model.add_constraint(x, GE, 2)
+        con_eq = model.add_constraint(x, EQ, 3)
+        pt = np.array([7.0])
+        assert con_le.violation(pt) == pytest.approx(2.0)
+        assert con_ge.violation(pt) == 0.0
+        assert con_eq.violation(pt) == pytest.approx(4.0)
+
+
+class TestStandardArrays:
+    def test_maximize_negates_costs(self, model):
+        x = model.add_continuous("x")
+        model.set_objective(5 * x, sense=MAXIMIZE)
+        sa = model.to_standard_arrays()
+        assert sa.c[x.index] == -5.0
+        assert sa.obj_sign == -1.0
+
+    def test_ge_rows_become_le(self, model):
+        x = model.add_continuous("x")
+        model.add_constraint(x, GE, 2)
+        sa = model.to_standard_arrays()
+        assert sa.a_ub[0, x.index] == -1.0
+        assert sa.b_ub[0] == -2.0
+
+    def test_eq_rows_separate(self, model):
+        x = model.add_continuous("x")
+        model.add_constraint(x, EQ, 4)
+        sa = model.to_standard_arrays()
+        assert sa.a_eq.shape == (1, 1)
+        assert sa.a_ub.shape == (0, 1)
+
+    def test_integrality_mask(self, model):
+        model.add_continuous("x")
+        model.add_integer("n")
+        model.add_binary("b")
+        sa = model.to_standard_arrays()
+        assert sa.integrality.tolist() == [False, True, True]
+
+    def test_objective_value_includes_constant(self, model):
+        x = model.add_continuous("x")
+        model.set_objective(2 * x + 7, sense=MINIMIZE)
+        assert model.objective_value(np.array([3.0])) == pytest.approx(13.0)
+
+
+class TestFeasibilityCheck:
+    def test_bounds_and_integrality(self, model):
+        n = model.add_integer("n", lb=0, ub=5)
+        model.add_constraint(n, LE, 4)
+        assert model.check_feasible(np.array([3.0]))
+        assert not model.check_feasible(np.array([3.5]))   # fractional
+        assert not model.check_feasible(np.array([6.0]))   # above ub
+        assert not model.check_feasible(np.array([4.5]))   # violates row
+
+    def test_stats(self, model):
+        x = model.add_binary("x")
+        y = model.add_integer("y")
+        model.add_constraint(x + y, LE, 3)
+        s = model.stats()
+        assert s["variables"] == 2
+        assert s["binary_variables"] == 1
+        assert s["integer_variables"] == 2
+        assert s["constraints"] == 1
+        assert s["nonzeros"] == 2

@@ -1,0 +1,130 @@
+"""Tests for the presolve reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import (BranchBoundOptions, BranchBoundSolver, Model,
+                          SolveStatus, make_backend, scipy_available)
+from repro.solver.presolve import presolve
+
+
+def arrays_of(model):
+    return model.to_standard_arrays()
+
+
+class TestReductions:
+    def test_singleton_row_becomes_bound(self):
+        m = Model()
+        x = m.add_continuous("x", ub=100)
+        m.add_constraint(2 * x, "<=", 10)
+        res = presolve(arrays_of(m))
+        assert not res.infeasible
+        assert res.arrays.a_ub.shape[0] == 0
+        assert res.arrays.ub[0] == pytest.approx(5.0)
+
+    def test_negative_singleton_tightens_lower_bound(self):
+        m = Model()
+        x = m.add_continuous("x", lb=0, ub=100)
+        m.add_constraint(-1 * x, "<=", -3)  # x >= 3
+        res = presolve(arrays_of(m))
+        assert res.arrays.lb[0] == pytest.approx(3.0)
+
+    def test_redundant_row_dropped(self):
+        m = Model()
+        x = m.add_continuous("x", ub=2)
+        y = m.add_continuous("y", ub=2)
+        m.add_constraint(x + y, "<=", 100)  # never binding
+        res = presolve(arrays_of(m))
+        assert res.rows_dropped == 1
+        assert res.arrays.a_ub.shape[0] == 0
+
+    def test_binding_row_kept(self):
+        m = Model()
+        x = m.add_continuous("x", ub=2)
+        y = m.add_continuous("y", ub=2)
+        m.add_constraint(x + y, "<=", 3)
+        res = presolve(arrays_of(m))
+        assert res.arrays.a_ub.shape[0] == 1
+
+    def test_infeasible_row_detected(self):
+        m = Model()
+        x = m.add_continuous("x", ub=2)
+        m.add_constraint(-1 * x, "<=", -5)  # x >= 5 vs ub 2
+        res = presolve(arrays_of(m))
+        assert res.infeasible
+
+    def test_integer_bounds_rounded(self):
+        m = Model()
+        x = m.add_integer("x", lb=0, ub=100)
+        m.add_constraint(2 * x, "<=", 7)  # x <= 3.5 -> 3
+        res = presolve(arrays_of(m))
+        assert res.arrays.ub[0] == pytest.approx(3.0)
+
+    def test_equalities_untouched(self):
+        m = Model()
+        x = m.add_continuous("x", ub=5)
+        m.add_constraint(x, "==", 3)
+        res = presolve(arrays_of(m))
+        assert res.arrays.a_eq.shape[0] == 1
+
+    def test_input_not_mutated(self):
+        m = Model()
+        x = m.add_integer("x", lb=0, ub=100)
+        m.add_constraint(2 * x, "<=", 7)
+        sa = arrays_of(m)
+        ub_before = sa.ub.copy()
+        presolve(sa)
+        np.testing.assert_array_equal(sa.ub, ub_before)
+
+
+class TestSolverIntegration:
+    def knapsack(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(5)]
+        m.add_constraint(sum((i + 1) * x for i, x in enumerate(xs)),
+                         "<=", 7)
+        m.set_objective(sum((5 - i) * x for i, x in enumerate(xs)),
+                        sense="maximize")
+        return m
+
+    def test_presolve_preserves_optimum(self):
+        with_p = BranchBoundSolver(BranchBoundOptions(presolve=True)).solve(
+            self.knapsack())
+        without_p = BranchBoundSolver(BranchBoundOptions(
+            presolve=False)).solve(self.knapsack())
+        assert with_p.objective == pytest.approx(without_p.objective)
+        assert "presolve_rows_dropped" in with_p.stats
+
+    def test_presolve_detects_infeasible_without_search(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x, ">=", 2)
+        res = BranchBoundSolver(BranchBoundOptions(presolve=True)).solve(m)
+        assert res.status == SolveStatus.INFEASIBLE
+        assert res.nodes == 0
+
+    @pytest.mark.skipif(not scipy_available(), reason="scipy required")
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_presolved_solves_match_higgs(self, data):
+        n = data.draw(st.integers(2, 5))
+        m = Model()
+        xs = [m.add_integer(f"x{i}", ub=8) for i in range(n)]
+        rows = data.draw(st.integers(1, 3))
+        for r in range(rows):
+            coefs = data.draw(st.lists(st.integers(-3, 4), min_size=n,
+                                       max_size=n))
+            rhs = data.draw(st.integers(0, 20))
+            expr = sum(c * x for c, x in zip(coefs, xs))
+            if any(coefs):
+                m.add_constraint(expr, "<=", rhs)
+        obj = data.draw(st.lists(st.integers(-3, 3), min_size=n, max_size=n))
+        m.set_objective(sum(c * x for c, x in zip(obj, xs)),
+                        sense="maximize")
+        ours = BranchBoundSolver(BranchBoundOptions(presolve=True)).solve(m)
+        ref = make_backend("scipy").solve(m)
+        assert ours.status.has_solution == ref.status.has_solution
+        if ours.status.has_solution:
+            assert ours.objective == pytest.approx(ref.objective, abs=1e-6)

@@ -1,0 +1,120 @@
+"""Unit + property tests for the two-phase simplex LP solver.
+
+Property tests cross-check against scipy's HiGHS LP solver on random
+problems — the strongest correctness evidence we can get offline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import SolveStatus, solve_lp
+from repro.solver.scipy_backend import scipy_available, solve_lp_scipy
+
+
+class TestBasicLPs:
+    def test_simple_maximization(self):
+        # max x + 2y  s.t. x+y<=4, x<=2  ->  (0,4), obj -8 in min form
+        r = solve_lp([-1, -2], a_ub=[[1, 1], [1, 0]], b_ub=[4, 2])
+        assert r.status == SolveStatus.OPTIMAL
+        assert r.objective == pytest.approx(-8.0)
+        np.testing.assert_allclose(r.x, [0, 4], atol=1e-7)
+
+    def test_equality_constraint(self):
+        # min x + y  s.t. x + y == 3, x,y >= 0
+        r = solve_lp([1, 1], a_eq=[[1, 1]], b_eq=[3])
+        assert r.status == SolveStatus.OPTIMAL
+        assert r.objective == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        r = solve_lp([1], a_ub=[[1], [-1]], b_ub=[1, -3])  # x<=1 and x>=3
+        assert r.status == SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        r = solve_lp([-1])  # min -x, x >= 0, no other rows
+        assert r.status == SolveStatus.UNBOUNDED
+
+    def test_bounds_only(self):
+        r = solve_lp([1, -1], lb=[2, 0], ub=[5, 3])
+        assert r.status == SolveStatus.OPTIMAL
+        np.testing.assert_allclose(r.x, [2, 3], atol=1e-7)
+
+    def test_crossed_bounds_infeasible(self):
+        r = solve_lp([1], lb=[4], ub=[2])
+        assert r.status == SolveStatus.INFEASIBLE
+
+    def test_free_variable_split(self):
+        # min x s.t. x >= -5 expressed through a row (x itself free).
+        r = solve_lp([1], a_ub=[[-1]], b_ub=[5], lb=[-np.inf])
+        assert r.status == SolveStatus.OPTIMAL
+        assert r.objective == pytest.approx(-5.0)
+
+    def test_negative_lower_bounds_shift(self):
+        # min x + y with lb=-2; optimum at both lower bounds.
+        r = solve_lp([1, 1], lb=[-2, -2], ub=[3, 3])
+        assert r.objective == pytest.approx(-4.0)
+
+    def test_degenerate_problem(self):
+        # Classic degenerate vertex: multiple rows intersecting.
+        r = solve_lp([-1, -1],
+                     a_ub=[[1, 0], [0, 1], [1, 1]],
+                     b_ub=[1, 1, 1])
+        assert r.status == SolveStatus.OPTIMAL
+        assert r.objective == pytest.approx(-1.0)
+
+    def test_redundant_equalities(self):
+        # Duplicate equality rows: phase 1 must drop the redundancy.
+        r = solve_lp([1, 2], a_eq=[[1, 1], [1, 1]], b_eq=[2, 2])
+        assert r.status == SolveStatus.OPTIMAL
+        assert r.objective == pytest.approx(2.0)
+
+    def test_zero_rhs_rows(self):
+        r = solve_lp([1, -1], a_ub=[[-1, 1]], b_ub=[0], ub=[4, 4])
+        # y <= x; min x - y -> x == y -> 0
+        assert r.objective == pytest.approx(0.0)
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy required for cross-check")
+class TestAgainstHiGHS:
+    """Random-LP differential testing of our simplex vs scipy/HiGHS."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_inequality_lps(self, data):
+        n = data.draw(st.integers(1, 5), label="n")
+        m = data.draw(st.integers(1, 6), label="m")
+        coef = st.integers(-4, 4)
+        c = np.array(data.draw(st.lists(coef, min_size=n, max_size=n)), float)
+        a = np.array(data.draw(
+            st.lists(st.lists(coef, min_size=n, max_size=n),
+                     min_size=m, max_size=m)), float)
+        b = np.array(data.draw(
+            st.lists(st.integers(0, 10), min_size=m, max_size=m)), float)
+        ub = np.full(n, 10.0)  # keep everything bounded -> always optimal
+
+        ours = solve_lp(c, a_ub=a, b_ub=b, ub=ub)
+        ref = solve_lp_scipy(c, a_ub=a, b_ub=b, ub=ub)
+        assert ours.status == ref.status
+        if ours.status == SolveStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+            # Our point must actually be feasible.
+            assert np.all(a @ ours.x <= b + 1e-6)
+            assert np.all(ours.x >= -1e-9) and np.all(ours.x <= ub + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_equality_lps(self, data):
+        n = data.draw(st.integers(2, 5), label="n")
+        coef = st.integers(-3, 3)
+        c = np.array(data.draw(st.lists(coef, min_size=n, max_size=n)), float)
+        row = np.array(data.draw(st.lists(st.integers(0, 3), min_size=n,
+                                          max_size=n)), float)
+        rhs = float(data.draw(st.integers(0, 8)))
+        ub = np.full(n, 10.0)
+        ours = solve_lp(c, a_eq=row.reshape(1, -1), b_eq=[rhs], ub=ub)
+        ref = solve_lp_scipy(c, a_eq=row.reshape(1, -1), b_eq=[rhs], ub=ub)
+        assert ours.status == ref.status
+        if ours.status == SolveStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+            assert row @ ours.x == pytest.approx(rhs, abs=1e-6)

@@ -1,0 +1,107 @@
+"""Tests for STRL analyses: stats, simplify, deadline culling."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.strl import (Barrier, Max, Min, NCk, Scale, Sum, cull_by_horizon,
+                        simplify, stats)
+from tests.strl.test_parser import _exprs
+
+NODES = frozenset({"M1", "M2", "M3", "M4"})
+
+
+def leaf(start=0, dur=2, v=4.0, nodes=NODES, k=2):
+    return NCk(nodes=nodes, k=k, start=start, duration=dur, value=v)
+
+
+class TestStats:
+    def test_counts(self):
+        e = Sum(Max(leaf(), leaf(start=1)), Scale(leaf(), 2.0))
+        s = stats(e)
+        assert s["size"] == 6
+        assert s["leaves"] == 3
+        assert s["max_ops"] == 1
+        assert s["sum_ops"] == 1
+        assert s["scale_ops"] == 1
+        assert s["horizon"] == 3
+        assert s["equivalence_sets"] == 1
+        assert s["referenced_nodes"] == 4
+
+
+class TestSimplify:
+    def test_single_child_operators_collapse(self):
+        assert simplify(Max(leaf())) == leaf()
+        assert simplify(Min(leaf())) == leaf()
+        assert simplify(Sum(leaf())) == leaf()
+
+    def test_nested_max_flattens(self):
+        e = Max(Max(leaf(), leaf(start=1)), leaf(start=2))
+        s = simplify(e)
+        assert isinstance(s, Max)
+        assert len(s.subexprs) == 3
+
+    def test_scale_one_disappears(self):
+        assert simplify(Scale(leaf(), 1.0)) == leaf()
+
+    def test_scale_of_scale_composes(self):
+        s = simplify(Scale(Scale(leaf(v=2.0), 3.0), 2.0))
+        # Folded into the leaf value: 2 * 3 * 2 = 12.
+        assert isinstance(s, NCk)
+        assert s.value == pytest.approx(12.0)
+
+    def test_scale_folds_into_leaf(self):
+        s = simplify(Scale(leaf(v=3.0), 2.0))
+        assert isinstance(s, NCk) and s.value == 6.0
+
+    def test_barrier_child_simplified(self):
+        s = simplify(Barrier(Max(leaf()), 2.0))
+        assert isinstance(s, Barrier)
+        assert s.subexpr == leaf()
+
+    @settings(max_examples=100, deadline=None)
+    @given(_exprs())
+    def test_simplify_preserves_max_value_and_shrinks(self, expr):
+        s = simplify(expr)
+        assert s.size <= expr.size
+        assert s.max_value() == pytest.approx(expr.max_value())
+
+    @settings(max_examples=50, deadline=None)
+    @given(_exprs())
+    def test_simplify_is_idempotent(self, expr):
+        once = simplify(expr)
+        assert simplify(once) == once
+
+
+class TestCulling:
+    def test_leaf_past_horizon_dies(self):
+        assert cull_by_horizon(leaf(start=2, dur=2), horizon=3) is None
+
+    def test_leaf_at_horizon_survives(self):
+        assert cull_by_horizon(leaf(start=1, dur=2), horizon=3) is not None
+
+    def test_max_keeps_survivors(self):
+        e = Max(leaf(start=0, dur=2), leaf(start=5, dur=2))
+        culled = cull_by_horizon(e, horizon=3)
+        assert isinstance(culled, NCk)
+        assert culled.start == 0
+
+    def test_min_dies_if_any_child_dies(self):
+        e = Min(leaf(start=0, dur=1), leaf(start=5, dur=2))
+        assert cull_by_horizon(e, horizon=3) is None
+
+    def test_sum_prunes_children(self):
+        e = Sum(leaf(start=0, dur=1), leaf(start=9, dur=1))
+        culled = cull_by_horizon(e, horizon=3)
+        assert isinstance(culled, NCk)
+
+    def test_scale_and_barrier_propagate(self):
+        assert cull_by_horizon(Scale(leaf(start=9, dur=1), 2.0), 3) is None
+        kept = cull_by_horizon(Barrier(leaf(start=0, dur=1), 2.0), 3)
+        assert isinstance(kept, Barrier)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_exprs())
+    def test_culled_horizon_never_exceeds_limit(self, expr):
+        culled = cull_by_horizon(expr, horizon=4)
+        if culled is not None:
+            assert culled.horizon() <= 4

@@ -1,0 +1,106 @@
+"""Unit tests for the STRL AST."""
+
+import pytest
+
+from repro.errors import StrlError
+from repro.strl import Barrier, LnCk, Max, Min, NCk, Scale, Sum
+
+NODES = frozenset({"M1", "M2", "M3", "M4"})
+
+
+def leaf(k=2, start=0, dur=2, v=4.0, nodes=NODES):
+    return NCk(nodes=nodes, k=k, start=start, duration=dur, value=v)
+
+
+class TestLeafValidation:
+    def test_valid_leaf(self):
+        e = leaf()
+        assert e.k == 2 and e.value == 4.0
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(StrlError):
+            NCk(frozenset(), 1, 0, 1, 1.0)
+
+    def test_non_frozenset_rejected(self):
+        with pytest.raises(StrlError):
+            NCk({"M1"}, 1, 0, 1, 1.0)  # plain set, not frozenset
+
+    def test_k_larger_than_set_rejected(self):
+        with pytest.raises(StrlError):
+            leaf(k=5)
+
+    def test_nonpositive_k_rejected(self):
+        with pytest.raises(StrlError):
+            leaf(k=0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(StrlError):
+            leaf(start=-1)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(StrlError):
+            leaf(dur=0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(StrlError):
+            leaf(v=-1.0)
+
+    def test_lnck_validates_too(self):
+        with pytest.raises(StrlError):
+            LnCk(NODES, 9, 0, 1, 1.0)
+
+
+class TestOperators:
+    def test_max_requires_children(self):
+        with pytest.raises(StrlError):
+            Max()
+
+    def test_operators_accept_iterable(self):
+        e = Max([leaf(), leaf(start=1)])
+        assert len(e.subexprs) == 2
+
+    def test_scale_negative_factor_rejected(self):
+        with pytest.raises(StrlError):
+            Scale(leaf(), -2.0)
+
+    def test_barrier_negative_threshold_rejected(self):
+        with pytest.raises(StrlError):
+            Barrier(leaf(), -1.0)
+
+    def test_non_node_child_rejected(self):
+        with pytest.raises(StrlError):
+            Sum(leaf(), "nope")
+
+    def test_nodes_are_hashable_and_equal(self):
+        assert leaf() == leaf()
+        assert hash(Max(leaf(), leaf(start=1))) == hash(Max(leaf(), leaf(start=1)))
+
+
+class TestTreeQueries:
+    def test_walk_and_size(self):
+        e = Max(leaf(), Min(leaf(start=1), leaf(start=2)))
+        assert e.size == 5
+        assert len(list(e.leaves())) == 3
+
+    def test_horizon(self):
+        e = Max(leaf(start=0, dur=2), leaf(start=3, dur=4))
+        assert e.horizon() == 7
+
+    def test_horizon_of_leaf(self):
+        assert leaf(start=1, dur=2).horizon() == 3
+
+    def test_referenced_nodes(self):
+        gpu = frozenset({"M1", "M2"})
+        e = Max(leaf(nodes=gpu), leaf())
+        assert e.referenced_nodes() == NODES
+
+    def test_max_value_semantics(self):
+        e = Max(leaf(v=4.0), leaf(v=3.0))
+        assert e.max_value() == 4.0
+        assert Min(leaf(v=4.0), leaf(v=3.0)).max_value() == 3.0
+        assert Sum(leaf(v=4.0), leaf(v=3.0)).max_value() == 7.0
+        assert Scale(leaf(v=4.0), 2.5).max_value() == 10.0
+
+    def test_barrier_max_value(self):
+        assert Barrier(leaf(v=4.0), 3.0).max_value() == 3.0
+        assert Barrier(leaf(v=2.0), 3.0).max_value() == 0.0

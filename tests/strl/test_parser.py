@@ -1,0 +1,118 @@
+"""Parser/printer tests, including a hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StrlParseError
+from repro.strl import Barrier, LnCk, Max, Min, NCk, Scale, Sum, parse, to_text
+
+NODES = frozenset({"M1", "M2", "M3", "M4"})
+
+
+class TestParse:
+    def test_parse_nck(self):
+        e = parse("(nCk (set M1 M2) :k 2 :start 0 :dur 2 :v 4)")
+        assert e == NCk(frozenset({"M1", "M2"}), 2, 0, 2, 4.0)
+
+    def test_parse_keywords_any_order(self):
+        e = parse("(nCk (set M1) :v 1.5 :dur 3 :k 1 :start 2)")
+        assert e == NCk(frozenset({"M1"}), 1, 2, 3, 1.5)
+
+    def test_parse_lnck(self):
+        e = parse("(LnCk (set A B C) :k 2 :start 0 :dur 1 :v 2)")
+        assert isinstance(e, LnCk)
+
+    def test_parse_paper_soft_constraint_example(self):
+        # Fig. 3: GPU job choice.
+        text = """
+        (max (nCk (set M1 M2) :k 2 :start 0 :dur 2 :v 4)
+             (nCk (set M1 M2 M3 M4) :k 2 :start 0 :dur 3 :v 3))
+        """
+        e = parse(text)
+        assert isinstance(e, Max)
+        assert len(e.subexprs) == 2
+        assert e.max_value() == 4.0
+
+    def test_parse_min_scale_barrier(self):
+        e = parse("(barrier 2 (scale 3 (min (nCk (set A) :k 1 :start 0 :dur 1 :v 1))))")
+        assert isinstance(e, Barrier)
+        assert isinstance(e.subexpr, Scale)
+        assert isinstance(e.subexpr.subexpr, Min)
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "(nCk (set) :k 1 :start 0 :dur 1 :v 1)",          # empty set
+        "(nCk (set A) :k 1 :start 0 :dur 1)",             # missing :v
+        "(nCk (set A) k 1 :start 0 :dur 1 :v 1)",         # bare keyword
+        "(frob (set A))",                                  # unknown op
+        "(max)",                                           # no children
+        "(nCk (set A) :k 1.5 :start 0 :dur 1 :v 1)",      # fractional k
+        "(nCk (set A) :k x :start 0 :dur 1 :v 1)",        # non-numeric
+        "(nCk (set A) :k 1 :start 0 :dur 1 :v 1) extra",  # trailing tokens
+        "(scale nope (nCk (set A) :k 1 :start 0 :dur 1 :v 1))",
+    ])
+    def test_parse_errors(self, bad):
+        with pytest.raises(StrlParseError):
+            parse(bad)
+
+
+class TestPrinter:
+    def test_flat_text(self):
+        e = Max(NCk(frozenset({"M1"}), 1, 0, 1, 1.0),
+                NCk(frozenset({"M2"}), 1, 0, 1, 2.0))
+        text = to_text(e)
+        assert text.startswith("(max (nCk")
+
+    def test_pretty_text_parses(self):
+        e = Sum(Max(NCk(NODES, 2, 0, 2, 4.0)),
+                Scale(NCk(NODES, 1, 1, 1, 1.0), 2.0))
+        pretty = to_text(e, indent=2)
+        assert "\n" in pretty
+        assert parse(pretty) == e
+
+    def test_integral_values_printed_without_decimal(self):
+        e = NCk(NODES, 2, 0, 2, 4.0)
+        assert ":v 4" in to_text(e)
+
+
+# -- hypothesis round-trip ---------------------------------------------------
+
+_names = st.sampled_from(["M1", "M2", "M3", "M4", "N5", "N6"])
+_sets = st.frozensets(_names, min_size=1, max_size=4)
+
+
+@st.composite
+def _leaves(draw):
+    nodes = draw(_sets)
+    k = draw(st.integers(1, len(nodes)))
+    cls = draw(st.sampled_from([NCk, LnCk]))
+    return cls(nodes=nodes, k=k,
+               start=draw(st.integers(0, 5)),
+               duration=draw(st.integers(1, 5)),
+               value=float(draw(st.integers(0, 100))) / 4)
+
+
+def _exprs():
+    return st.recursive(
+        _leaves(),
+        lambda inner: st.one_of(
+            st.builds(lambda cs: Max(*cs), st.lists(inner, min_size=1, max_size=3)),
+            st.builds(lambda cs: Min(*cs), st.lists(inner, min_size=1, max_size=3)),
+            st.builds(lambda cs: Sum(*cs), st.lists(inner, min_size=1, max_size=3)),
+            st.builds(Scale, inner, st.integers(0, 5).map(float)),
+            st.builds(Barrier, inner, st.integers(0, 5).map(float)),
+        ),
+        max_leaves=8)
+
+
+class TestRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(_exprs())
+    def test_parse_inverts_print(self, expr):
+        assert parse(to_text(expr)) == expr
+
+    @settings(max_examples=60, deadline=None)
+    @given(_exprs())
+    def test_pretty_parse_inverts_print(self, expr):
+        assert parse(to_text(expr, indent=4)) == expr

@@ -1,0 +1,76 @@
+"""Tests for STRL text visualizations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.strl import Barrier, LnCk, Max, Min, NCk, Scale, Sum
+from repro.strl.visualize import ascii_tree, spacetime_grid
+from tests.strl.test_parser import _exprs
+
+NODES = frozenset({"M1", "M2", "M3", "M4"})
+
+
+def leaf(start=0, dur=2, v=4.0, k=2, nodes=NODES):
+    return NCk(nodes=nodes, k=k, start=start, duration=dur, value=v)
+
+
+class TestAsciiTree:
+    def test_single_leaf(self):
+        text = ascii_tree(leaf())
+        assert "nCk k=2" in text
+        assert "v=4" in text
+
+    def test_operator_tree_structure(self):
+        e = Max(leaf(), Min(leaf(start=1), leaf(start=2)))
+        text = ascii_tree(e)
+        lines = text.splitlines()
+        assert lines[0].startswith("max")
+        assert sum(1 for l in lines if "├─" in l or "└─" in l) == 4
+        assert "min (all of 2)" in text
+
+    def test_scale_and_barrier_labels(self):
+        text = ascii_tree(Barrier(Scale(leaf(), 2.5), 3.0))
+        assert "barrier ≥3" in text
+        assert "scale ×2.5" in text
+
+    def test_large_sets_truncated(self):
+        big = frozenset(f"n{i}" for i in range(20))
+        text = ascii_tree(NCk(big, 5, 0, 1, 1.0))
+        assert "…" in text
+
+    def test_lnck_label(self):
+        text = ascii_tree(LnCk(NODES, 3, 0, 1, 2.0))
+        assert text.startswith("LnCk")
+
+    @settings(max_examples=40, deadline=None)
+    @given(_exprs())
+    def test_one_line_per_node(self, expr):
+        assert len(ascii_tree(expr).splitlines()) == expr.size
+
+
+class TestSpacetimeGrid:
+    def test_footprint_cells(self):
+        e = Max(leaf(start=0, dur=2), leaf(start=2, dur=1))
+        grid = spacetime_grid(e)
+        lines = grid.splitlines()
+        assert lines[0].strip().startswith("t:")
+        assert lines[1].endswith("##.")
+        assert lines[2].endswith("..#")
+
+    def test_one_row_per_leaf(self):
+        e = Sum(leaf(), leaf(start=1), leaf(start=2))
+        grid = spacetime_grid(e)
+        assert len(grid.splitlines()) == 4  # header + 3 leaves
+
+    def test_explicit_horizon_pads(self):
+        grid = spacetime_grid(leaf(start=0, dur=1), horizon=5)
+        assert grid.splitlines()[1].endswith("#....")
+
+    @settings(max_examples=40, deadline=None)
+    @given(_exprs())
+    def test_grid_width_consistent(self, expr):
+        grid = spacetime_grid(expr)
+        rows = grid.splitlines()[1:]
+        hashes_per_leaf = [row.count("#") for row in rows]
+        durations = [l.duration for l in expr.leaves()]
+        assert hashes_per_leaf == durations

@@ -1,0 +1,72 @@
+"""Public-API and documentation tests.
+
+* every name in ``repro.__all__`` (and each subpackage's) actually resolves;
+* module doctests run (the examples in docstrings must stay correct).
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+DOCTEST_MODULES = [
+    "repro",
+    "repro.solver.expr",
+    "repro.solver.model",
+    "repro.solver.branch_bound",
+    "repro.cluster.cluster",
+    "repro.cluster.state",
+    "repro.reservation.rayon",
+    "repro.core.scheduler",
+]
+
+PACKAGES = [
+    "repro", "repro.solver", "repro.strl", "repro.cluster", "repro.core",
+    "repro.reservation", "repro.baselines", "repro.sim", "repro.workloads",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        mod = importlib.import_module(package)
+        assert hasattr(mod, "__all__") or package == "repro.experiments"
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{package}.{name} missing"
+
+    def test_version(self):
+        import repro
+        assert repro.__version__
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+    def test_module_doctests(self, module_name):
+        mod = importlib.import_module(module_name)
+        results = doctest.testmod(mod, verbose=False)
+        assert results.failed == 0, f"{results.failed} doctest failures"
+
+
+class TestPublicSurface:
+    def test_quickstart_flow(self):
+        """The README quickstart, executed."""
+        from repro import (Cluster, JobRequest, PriorityClass, SpaceOption,
+                           TetriSched, TetriSchedConfig)
+        from repro.valuefn import StepValue
+
+        cluster = Cluster.build(racks=2, nodes_per_rack=4, gpu_racks=1)
+        sched = TetriSched(cluster, TetriSchedConfig(
+            quantum_s=10, cycle_s=10, plan_ahead_s=96))
+        sched.submit(JobRequest(
+            job_id="gpu-job",
+            options=(SpaceOption(cluster.nodes_with_attr("gpu"), k=2,
+                                 duration_s=20, label="gpu"),
+                     SpaceOption(cluster.node_names, k=2, duration_s=30,
+                                 label="anywhere")),
+            value_fn=StepValue(1000.0, deadline=100.0),
+            priority=PriorityClass.SLO_ACCEPTED, submit_time=0.0,
+            deadline=100.0))
+        result = sched.run_cycle(now=0.0)
+        assert len(result.allocations) == 1
+        assert result.allocations[0].nodes <= cluster.nodes_with_attr("gpu")

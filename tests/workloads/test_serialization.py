@@ -1,0 +1,81 @@
+"""Tests for workload JSON serialization."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import WorkloadError
+from repro.sim import GpuType, Job, MpiType, UnconstrainedType
+from repro.workloads import GS_HET, GridmixConfig, generate_workload
+from repro.workloads.serialization import (dump_workload, job_from_dict,
+                                           job_to_dict, load_workload,
+                                           load_workload_file,
+                                           save_workload_file)
+
+
+def sample_jobs():
+    return [
+        Job("u", UnconstrainedType(), 2, 30.0, 0.0),
+        Job("g", GpuType(slowdown=2.0), 3, 40.0, 5.0, deadline=100.0),
+        Job("m", MpiType(slowdown=1.5), 4, 50.0, 10.0, deadline=200.0,
+            estimate_error=-0.5),
+    ]
+
+
+class TestRoundTrip:
+    def test_dump_load_roundtrip(self):
+        jobs = sample_jobs()
+        loaded = load_workload(dump_workload(jobs))
+        assert len(loaded) == 3
+        for orig, back in zip(jobs, loaded):
+            assert back.job_id == orig.job_id
+            assert type(back.job_type) is type(orig.job_type)
+            assert back.k == orig.k
+            assert back.base_runtime_s == orig.base_runtime_s
+            assert back.deadline == orig.deadline
+            assert back.estimate_error == orig.estimate_error
+
+    def test_slowdown_preserved(self):
+        g = Job("g", GpuType(slowdown=2.0), 1, 10.0, 0.0)
+        back = job_from_dict(job_to_dict(g))
+        assert back.job_type.slowdown == 2.0
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "wl.json"
+        save_workload_file(sample_jobs(), path)
+        loaded = load_workload_file(path)
+        assert [j.job_id for j in loaded] == ["u", "g", "m"]
+
+    def test_generated_workload_roundtrip(self):
+        cluster = Cluster.build(racks=2, nodes_per_rack=4, gpu_racks=1)
+        jobs = generate_workload(GS_HET, cluster,
+                                 GridmixConfig(num_jobs=20, seed=9))
+        loaded = load_workload(dump_workload(jobs))
+        assert [(j.job_id, j.k, j.submit_time) for j in loaded] == \
+            [(j.job_id, j.k, j.submit_time) for j in jobs]
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(WorkloadError):
+            load_workload("{nope")
+
+    def test_wrong_version(self):
+        with pytest.raises(WorkloadError):
+            load_workload('{"version": 99, "jobs": []}')
+
+    def test_missing_field(self):
+        with pytest.raises(WorkloadError):
+            job_from_dict({"job_id": "x"})
+
+    def test_unknown_type(self):
+        with pytest.raises(WorkloadError):
+            job_from_dict({"job_id": "x", "type": {"name": "quantum"},
+                           "k": 1, "base_runtime_s": 1.0, "submit_time": 0.0})
+
+    def test_unserializable_type(self):
+        class Weird:
+            name = "weird"
+        job = Job("w", UnconstrainedType(), 1, 1.0, 0.0)
+        object.__setattr__(job, "job_type", Weird())
+        with pytest.raises(WorkloadError):
+            job_to_dict(job)
