@@ -12,6 +12,11 @@ Commands
 ``solve``
     Parse an STRL expression file, compile it against a synthetic cluster
     (Algorithm 1), solve the MILP, and print the chosen placements.
+``profile``
+    Run one experiment with the observability layer (:mod:`repro.obs`)
+    enabled: emits the structured JSONL event stream and prints a summary
+    table of per-phase cycle timings, solver work counters (B&B nodes, LP
+    iterations, presolve reductions) and the warm-start hit rate.
 """
 
 from __future__ import annotations
@@ -97,6 +102,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--cluster", type=_cluster_spec, default="2x2:1")
     p_solve.add_argument("--quantum", type=float, default=10.0)
     p_solve.add_argument("--backend", default="auto")
+
+    p_prof = sub.add_parser(
+        "profile", help="run one experiment with observability enabled")
+    p_prof.add_argument("--scheduler", default="TetriSched",
+                        choices=SCHEDULER_NAMES)
+    p_prof.add_argument("--workload", default="GS HET",
+                        choices=sorted(COMPOSITIONS))
+    p_prof.add_argument("--cluster", type=_cluster_spec, default="2x4:1",
+                        help="RACKSxNODES[:GPU_RACKS], e.g. 4x8:2")
+    p_prof.add_argument("--jobs", type=int, default=12)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--util", type=float, default=1.3)
+    p_prof.add_argument("--plan-ahead", type=float, default=60.0)
+    p_prof.add_argument("--quantum", type=float, default=10.0)
+    p_prof.add_argument("--backend", default="auto")
+    p_prof.add_argument("--out", default="profile.jsonl",
+                        help="JSONL event-stream output path")
     return parser
 
 
@@ -177,6 +199,35 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro import obs
+    from repro.experiments.report import format_profile
+    spec = RunSpec(scheduler=args.scheduler,
+                   composition=COMPOSITIONS[args.workload],
+                   cluster=args.cluster, num_jobs=args.jobs, seed=args.seed,
+                   target_utilization=args.util,
+                   plan_ahead_s=args.plan_ahead, quantum_s=args.quantum,
+                   cycle_s=args.quantum, backend=args.backend)
+    sink = obs.JsonlSink()
+    obs.set_enabled(True, sink=sink)
+    try:
+        result = run_experiment(spec)
+    finally:
+        obs.set_enabled(False)
+    out = pathlib.Path(args.out)
+    if out.parent != pathlib.Path():
+        out.parent.mkdir(parents=True, exist_ok=True)
+    sink.dump(out)
+    print(f"[{len(sink)} events -> {out}]")
+    print(result)
+    print()
+    print(format_profile(
+        result.profile,
+        title=f"Profile: {args.scheduler} / {args.workload} "
+              f"({spec.cluster.size} nodes, {args.jobs} jobs)"))
+    return 0
+
+
 def _cmd_solve(args) -> int:
     text = pathlib.Path(args.file).read_text()
     expr = parse_strl(text)
@@ -216,6 +267,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_workload(args)
         if args.command == "solve":
             return _cmd_solve(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -107,6 +107,25 @@ class PlanAccumulator:
                         f"node {n!r} double-reserved at quantum {t}")
                 busy.add(t)
 
+    def unreserve(self, nodes: Iterable[str], start: int,
+                  duration: int) -> None:
+        """Roll back a prior :meth:`reserve`/:meth:`pick` of these nodes.
+
+        Used by the greedy (-NG) cycle to undo a job's earlier successful
+        picks when a later placement of the same job turns out to be
+        unassignable; without the rollback, the partial reservations would
+        leak and every subsequent job in the cycle would see
+        phantom-occupied capacity.
+        """
+        span = range(start, start + duration)
+        for n in nodes:
+            busy = self._busy[n]
+            for t in span:
+                if t not in busy:
+                    raise SchedulerError(
+                        f"node {n!r} was not reserved at quantum {t}")
+                busy.remove(t)
+
     def pick(self, partitioning: Partitioning, node_counts: dict[int, int],
              start: int, duration: int) -> frozenset[str]:
         """Pick and reserve concrete nodes for a placement.

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.cluster import Cluster
 from repro.cluster.state import ClusterState
 from repro.core.allocation import Allocation, PlanAccumulator
@@ -123,6 +124,34 @@ class CycleStats:
     milp_constraints: int = 0
     objective: float = 0.0
     solves: int = 0
+    #: Branch-and-bound nodes explored across this cycle's solves.
+    solver_nodes: int = 0
+    #: LP-relaxation (simplex) iterations across this cycle's solves.
+    lp_iterations: int = 0
+    #: Whether a warm start was attempted / produced a feasible seed.
+    warm_start_attempted: bool = False
+    warm_start_hit: bool = False
+
+
+@dataclass
+class SolveTelemetry:
+    """Solver-side numbers one cycle accumulates (shared by both modes)."""
+
+    solver_latency_s: float = 0.0
+    solves: int = 0
+    milp_variables: int = 0
+    milp_constraints: int = 0
+    objective: float = 0.0
+    solver_nodes: int = 0
+    lp_iterations: int = 0
+    warm_start_attempted: bool = False
+    warm_start_hit: bool = False
+
+    def absorb(self, res) -> None:
+        """Fold one :class:`~repro.solver.result.MILPResult` in."""
+        self.solves += 1
+        self.solver_nodes += res.nodes
+        self.lp_iterations += int(res.stats.get("lp_iterations", 0))
 
 
 @dataclass
@@ -189,44 +218,46 @@ class TetriSched:
         cfg = self.config
         result = CycleResult()
 
-        # 1. Generate STRL per pending job; cull jobs with no remaining value.
-        exprs: list[tuple[str, StrlNode]] = []
-        requests: dict[str, JobRequest] = {}
-        for job_id, req in list(self.queues.items()):
-            expr = self._generate(req, now)
-            if expr is None:
-                self.queues.remove(job_id)
-                result.culled.append(job_id)
-                continue
-            exprs.append((job_id, expr))
-            requests[job_id] = req
+        with obs.span("cycle"):
+            # 1. Generate STRL per pending job; cull jobs with no remaining
+            # value.
+            exprs: list[tuple[str, StrlNode]] = []
+            requests: dict[str, JobRequest] = {}
+            with obs.span("generate"):
+                for job_id, req in list(self.queues.items()):
+                    expr = self._generate(req, now)
+                    if expr is None:
+                        self.queues.remove(job_id)
+                        result.culled.append(job_id)
+                        continue
+                    exprs.append((job_id, expr))
+                    requests[job_id] = req
 
-        solver_latency = 0.0
-        solves = 0
-        milp_vars = milp_cons = 0
-        objective = 0.0
-        if exprs:
-            if cfg.global_scheduling:
-                (allocs, solver_latency, solves, milp_vars, milp_cons,
-                 objective) = self._cycle_global(exprs, requests, now,
-                                                 result)
-            else:
-                (allocs, solver_latency, solves, milp_vars, milp_cons,
-                 objective) = self._cycle_greedy(exprs, requests, now)
-            result.allocations = allocs
-            for alloc in allocs:
-                req = self.queues.remove(alloc.job_id)
-                self._launched[alloc.job_id] = req
-                self.state.start(alloc.job_id, alloc.nodes, alloc.start_time,
-                                 alloc.expected_end)
+            tel = SolveTelemetry()
+            if exprs:
+                if cfg.global_scheduling:
+                    allocs = self._cycle_global(exprs, requests, now, result,
+                                                tel)
+                else:
+                    allocs = self._cycle_greedy(exprs, requests, now, tel)
+                result.allocations = allocs
+                for alloc in allocs:
+                    req = self.queues.remove(alloc.job_id)
+                    self._launched[alloc.job_id] = req
+                    self.state.start(alloc.job_id, alloc.nodes,
+                                     alloc.start_time, alloc.expected_end)
 
         stats = CycleStats(
             now=now, pending=self.pending_count,
             launched=len(result.allocations), culled=len(result.culled),
-            solver_latency_s=solver_latency,
+            solver_latency_s=tel.solver_latency_s,
             cycle_latency_s=time.monotonic() - t_cycle,
-            milp_variables=milp_vars, milp_constraints=milp_cons,
-            objective=objective, solves=solves)
+            milp_variables=tel.milp_variables,
+            milp_constraints=tel.milp_constraints,
+            objective=tel.objective, solves=tel.solves,
+            solver_nodes=tel.solver_nodes, lp_iterations=tel.lp_iterations,
+            warm_start_attempted=tel.warm_start_attempted,
+            warm_start_hit=tel.warm_start_hit)
         self.cycle_history.append(stats)
         result.stats = stats
         return result
@@ -271,21 +302,37 @@ class TetriSched:
                 penalty=self.config.preemption_penalty))
         return candidates
 
-    def _cycle_global(self, exprs, requests, now, result: CycleResult):
-        compiler = StrlCompiler(self.state, self.config.quantum_s, now)
-        preemptible = (self._preemption_candidates()
-                       if self.config.enable_preemption else [])
-        compiled = compiler.compile(exprs, preemptible=preemptible)
-        warm = self._build_warm_start(compiled, now) if self.config.warm_start else None
+    def _cycle_global(self, exprs, requests, now, result: CycleResult,
+                      tel: SolveTelemetry) -> list[Allocation]:
+        with obs.span("compile"):
+            compiler = StrlCompiler(self.state, self.config.quantum_s, now)
+            preemptible = (self._preemption_candidates()
+                           if self.config.enable_preemption else [])
+            compiled = compiler.compile(exprs, preemptible=preemptible)
+        tel.milp_variables = compiled.stats["variables"]
+        tel.milp_constraints = compiled.stats["constraints"]
+
+        warm = None
+        if self.config.warm_start:
+            tel.warm_start_attempted = True
+            with obs.span("warm_start"):
+                warm = self._build_warm_start(compiled, now)
+            # Hit/miss accounting flows through CycleStats (the simulator
+            # folds it into the run profile), not the obs registry, so the
+            # two layers never double-count.
+            tel.warm_start_hit = warm is not None
+
         t0 = time.monotonic()
-        res = self._backend.solve(compiled.model, warm_start=warm)
-        solver_latency = time.monotonic() - t0
+        with obs.span("solve"):
+            res = self._backend.solve(compiled.model, warm_start=warm)
+        tel.solver_latency_s = time.monotonic() - t0
+        tel.absorb(res)
         if not res.status.has_solution:
             # All-zero (schedule nothing) is always feasible, so this should
             # only happen under a very tight solver budget.
             self._prev_plan = []
-            return [], solver_latency, 1, compiled.stats["variables"], \
-                compiled.stats["constraints"], 0.0
+            return []
+        tel.objective = res.objective
 
         # Apply preemption decisions before materializing placements: the
         # freed nodes are part of the supply the solution relied on.
@@ -295,19 +342,22 @@ class TetriSched:
             self.queues.push(victim_id, req.priority, req)
             result.preempted.append(victim_id)
 
-        placements = compiled.decode(res.x)
-        self._prev_plan = [(rec.job_id, rec.leaf)
-                           for rec in compiled.leaf_records
-                           if rec.chosen_counts(res.x)]
-        self._prev_now = now
+        with obs.span("decode"):
+            placements = compiled.decode(res.x)
+            self._prev_plan = [(rec.job_id, rec.leaf)
+                               for rec in compiled.leaf_records
+                               if rec.chosen_counts(res.x)]
+            self._prev_now = now
 
-        acc = PlanAccumulator(self.state, now, self.config.quantum_s)
-        allocs = self._materialize(placements, compiled, acc, requests, now)
-        return (allocs, solver_latency, 1, compiled.stats["variables"],
-                compiled.stats["constraints"], res.objective)
+        with obs.span("materialize"):
+            acc = PlanAccumulator(self.state, now, self.config.quantum_s)
+            allocs = self._materialize(placements, compiled, acc, requests,
+                                       now)
+        return allocs
 
     # -- greedy (-NG) scheduling -------------------------------------------------------
-    def _cycle_greedy(self, exprs, requests, now):
+    def _cycle_greedy(self, exprs, requests, now,
+                      tel: SolveTelemetry) -> list[Allocation]:
         """One-at-a-time scheduling in priority order (TetriSched-NG).
 
         Uses the full MILP formulation per job; each job's supply reflects
@@ -318,48 +368,57 @@ class TetriSched:
         order = {job_id: i for i, job_id in enumerate(self.queues.job_ids())}
         exprs_sorted = sorted(exprs, key=lambda kv: order[kv[0]])
         allocs: list[Allocation] = []
-        solver_latency = 0.0
-        solves = 0
-        milp_vars = milp_cons = 0
-        objective = 0.0
         for job_id, expr in exprs_sorted:
-            compiler = StrlCompiler(acc, self.config.quantum_s, now)
-            compiled = compiler.compile([(job_id, expr)])
-            milp_vars += compiled.stats["variables"]
-            milp_cons += compiled.stats["constraints"]
+            with obs.span("compile"):
+                compiler = StrlCompiler(acc, self.config.quantum_s, now)
+                compiled = compiler.compile([(job_id, expr)])
+            tel.milp_variables += compiled.stats["variables"]
+            tel.milp_constraints += compiled.stats["constraints"]
             t0 = time.monotonic()
-            res = self._backend.solve(compiled.model)
-            solver_latency += time.monotonic() - t0
-            solves += 1
+            with obs.span("solve"):
+                res = self._backend.solve(compiled.model)
+            tel.solver_latency_s += time.monotonic() - t0
+            tel.absorb(res)
             if not res.status.has_solution or res.x is None:
                 continue
-            objective += res.objective
-            placements = compiled.decode(res.x)
+            tel.objective += res.objective
+            with obs.span("decode"):
+                placements = compiled.decode(res.x)
             # Reserve *all* chosen placements (incl. deferred) in the
             # accumulator so later jobs see them; launch only start == 0.
+            # Picks are transactional per job: if any placement turns out
+            # unassignable, every reservation already made for this job is
+            # rolled back so later jobs don't see phantom-occupied capacity.
             job_allocs: list[tuple[frozenset[str], int]] = []
+            picked: list[tuple[frozenset[str], int, int]] = []
             pick_failed = False
-            for pl in placements:
-                try:
-                    nodes = acc.pick(compiled.partitioning, pl.node_counts,
-                                     pl.start, pl.duration)
-                except SchedulerError:
-                    # Fragmentation made this tentative placement
-                    # unassignable (possible for multi-leaf Min gangs that
-                    # the per-leaf interval caps cannot fully protect).
-                    # Skip; the job is re-planned next cycle.
-                    pick_failed = True
-                    continue
-                if pl.start == 0:
-                    job_allocs.append((nodes, pl.duration))
-            if pick_failed:
-                continue  # never launch a partial gang
-            for nodes, dur in job_allocs:
-                allocs = self._merge_launch(
-                    allocs, job_id, nodes,
-                    now, now + dur * self.config.quantum_s)
+            with obs.span("materialize"):
+                for pl in placements:
+                    try:
+                        nodes = acc.pick(compiled.partitioning,
+                                         pl.node_counts, pl.start,
+                                         pl.duration)
+                    except SchedulerError:
+                        # Fragmentation made this tentative placement
+                        # unassignable (possible for multi-leaf Min gangs
+                        # that the per-leaf interval caps cannot fully
+                        # protect).  Skip; the job is re-planned next cycle.
+                        pick_failed = True
+                        break
+                    picked.append((nodes, pl.start, pl.duration))
+                    if pl.start == 0:
+                        job_allocs.append((nodes, pl.duration))
+                if pick_failed:
+                    for nodes, start, duration in picked:
+                        acc.unreserve(nodes, start, duration)
+                    obs.count("scheduler.greedy.pick_rollbacks")
+                    continue  # never launch a partial gang
+                for nodes, dur in job_allocs:
+                    allocs = self._merge_launch(
+                        allocs, job_id, nodes,
+                        now, now + dur * self.config.quantum_s)
         self._prev_plan = []
-        return allocs, solver_latency, solves, milp_vars, milp_cons, objective
+        return allocs
 
     # -- shared helpers -----------------------------------------------------------------
     def _materialize(self, placements, compiled: CompiledBatch,

@@ -20,7 +20,8 @@ import numpy as np
 
 from repro.baselines.variants import TABLE2_CONFIGS
 from repro.experiments.ascii_chart import chart_sweep_metric
-from repro.experiments.report import format_sweep, format_table
+from repro.experiments.report import (format_sweep, format_table,
+                                      solver_work_table)
 from repro.experiments.runner import (RC80_SCALED, RC256_SCALED, RunSpec,
                                       run_experiment)
 from repro.experiments.sweeps import (SweepResult, estimate_error_sweep,
@@ -219,6 +220,18 @@ def fig12(scale: str = "bench") -> FigureResult:
         else:
             cdf_rows.append([sched, 0.0, 0.0, 0.0])
     blocks.append(format_table(["Scheduler", "p50", "p90", "p99"], cdf_rows))
+
+    # (d): solver *work* from the per-run profiles — machine-independent
+    # counters explaining the latency curves above (repro.obs).
+    blocks += [
+        "",
+        "Figure 12(d): solver work — MILP variables per cycle",
+        solver_work_table(sweep, PLAN_AHEADS_S, "solver.milp_variables"),
+        "",
+        "Figure 12(e): solver work — B&B nodes per solve",
+        solver_work_table(sweep, PLAN_AHEADS_S, "solver.bnb.nodes",
+                          per="solver.solves"),
+    ]
     text = "\n".join(blocks)
     return FigureResult("fig12", text, sweep, extras={"cdfs": cdfs})
 

@@ -6,6 +6,8 @@ import math
 from typing import Iterable, Sequence
 
 from repro.experiments.sweeps import SweepResult
+from repro.obs.profile import RunProfile
+from repro.obs.report import render_profile
 
 #: Human-readable labels for metric keys.
 METRIC_LABELS = {
@@ -66,3 +68,29 @@ def format_sweep(sweep: SweepResult, metrics: Sequence[str],
 def shape_check(description: str, condition: bool) -> str:
     """One-line pass/fail annotation for a paper-shape assertion."""
     return f"  [{'ok' if condition else 'DIVERGES'}] {description}"
+
+
+def format_profile(profile: RunProfile, title: str = "Run profile") -> str:
+    """Render a per-run observability profile (see :mod:`repro.obs`)."""
+    return render_profile(profile, title=title)
+
+
+def solver_work_table(sweep: SweepResult, x_values: Sequence,
+                      counter: str, per: str = "cycles") -> str:
+    """Solver-work counters per x-value: ``counter`` normalized by ``per``.
+
+    Reads the :class:`~repro.obs.profile.RunProfile` attached to every raw
+    run of the sweep, so figures can report solver effort (MILP size, B&B
+    nodes, LP iterations) rather than only machine-dependent wall-clock.
+    """
+    headers = [sweep.x_label] + [_fmt(float(x)) for x in x_values]
+    rows = []
+    for scheduler in sweep.schedulers:
+        row = [scheduler]
+        for x in x_values:
+            runs = sweep.raw[(scheduler, x)]
+            total = sum(r.profile.counter(counter) for r in runs)
+            denom = sum(r.profile.counter(per) for r in runs)
+            row.append(total / denom if denom else 0.0)
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,36 @@
+"""``repro.obs`` — observability for scheduler and solver internals.
+
+Lightweight hierarchical timers (:class:`Span`), counters, structured JSONL
+event emission and a text report renderer, behind a process-global
+:class:`Registry` that is a no-op until explicitly enabled:
+
+>>> from repro import obs
+>>> reg = obs.set_enabled(True)
+>>> with obs.span("cycle"):
+...     with obs.span("solve"):
+...         obs.count("solver.solves")
+>>> reg.snapshot()["timers"]["cycle/solve"]["count"]
+1
+>>> _ = obs.set_enabled(False)
+
+The scheduler core, solver backends and simulator are pre-instrumented;
+``python -m repro profile`` runs an experiment with the registry enabled
+and emits the JSONL event stream plus a summary table.
+"""
+
+from repro.obs.events import (EVENT_SCHEMA, JsonlSink, ObsEventError,
+                              iter_kinds, read_jsonl, read_jsonl_file,
+                              validate_event)
+from repro.obs.profile import RunProfile
+from repro.obs.registry import (Counter, Registry, Span, TimerStat, count,
+                                emit, enabled, get_registry, set_enabled,
+                                snapshot_delta, span)
+from repro.obs.report import render_profile, render_snapshot
+
+__all__ = [
+    "Counter", "EVENT_SCHEMA", "JsonlSink", "ObsEventError", "Registry",
+    "RunProfile", "Span", "TimerStat", "count", "emit", "enabled",
+    "get_registry", "iter_kinds", "read_jsonl", "read_jsonl_file",
+    "render_profile", "render_snapshot", "set_enabled", "snapshot_delta",
+    "span", "validate_event",
+]

@@ -1,0 +1,107 @@
+"""Structured JSONL event emission and round-tripping.
+
+Events complement the aggregate timers/counters in
+:mod:`repro.obs.registry`: where a counter answers "how many B&B nodes did
+this run explore?", the event stream answers "when did the incumbent
+improve, and what was the gap at that moment?".  Each event is one JSON
+object per line with a small mandatory envelope:
+
+* ``kind`` — dotted event type, e.g. ``"solver.incumbent"``;
+* ``seq`` — 1-based emission order within the registry session;
+* ``t`` — seconds since the registry session started (monotonic clock);
+
+plus arbitrary JSON-serializable payload fields.  ``validate_event``
+checks the envelope so archived profiles can be schema-checked in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.errors import ReproError
+
+#: Envelope fields every event must carry (name -> required type).
+EVENT_SCHEMA = {"kind": str, "seq": int, "t": (int, float)}
+
+
+class ObsEventError(ReproError):
+    """An event record violates the envelope schema."""
+
+
+def validate_event(record: dict) -> dict:
+    """Check the event envelope; returns the record for chaining."""
+    if not isinstance(record, dict):
+        raise ObsEventError(f"event must be a JSON object, got {type(record)}")
+    for name, types in EVENT_SCHEMA.items():
+        if name not in record:
+            raise ObsEventError(f"event missing required field {name!r}")
+        if not isinstance(record[name], types):
+            raise ObsEventError(
+                f"event field {name!r} has type {type(record[name]).__name__},"
+                f" expected {types}")
+    if not record["kind"]:
+        raise ObsEventError("event kind must be non-empty")
+    return record
+
+
+class JsonlSink:
+    """Collects event records; serializes to JSON lines.
+
+    Records are buffered in memory; :meth:`dump` / :meth:`to_jsonl` write
+    them out.  An optional ``stream`` receives each line eagerly as well,
+    so long runs can be tailed.
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.records: list[dict] = []
+        self.stream = stream
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+        if self.stream is not None:
+            self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_kind(self, kind: str) -> list[dict]:
+        return [r for r in self.records if r.get("kind") == kind]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(r, sort_keys=True) for r in self.records)
+
+    def dump(self, path) -> None:
+        with open(path, "w") as fh:
+            for record in self.records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(text: str, validate: bool = True) -> list[dict]:
+    """Parse a JSONL event stream back into records (inverse of dumping)."""
+    records = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsEventError(f"line {line_no}: invalid JSON: {exc}") from None
+        if validate:
+            validate_event(record)
+        records.append(record)
+    return records
+
+
+def read_jsonl_file(path, validate: bool = True) -> list[dict]:
+    with open(path) as fh:
+        return read_jsonl(fh.read(), validate=validate)
+
+
+def iter_kinds(records: Iterable[dict]) -> dict[str, int]:
+    """Histogram of event kinds (handy for summaries and tests)."""
+    out: dict[str, int] = {}
+    for record in records:
+        kind = record.get("kind", "?")
+        out[kind] = out.get(kind, 0) + 1
+    return out

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.cluster.cluster import Cluster
 from repro.errors import SimulationError
+from repro.obs.profile import RunProfile
 from repro.reservation.rayon import RayonReservationSystem
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.faults import FaultModel
@@ -46,6 +48,10 @@ class SimulationResult:
     end_time: float
     cycles: int
     scheduler_name: str
+    #: Per-run observability profile: always carries the cheap counters
+    #: (solver work, warm-start hit/miss, event counts); phase timers are
+    #: filled in when the obs registry is enabled for the run.
+    profile: RunProfile = field(default_factory=RunProfile)
 
     def __str__(self) -> str:
         m = self.metrics
@@ -104,6 +110,7 @@ class Simulation:
         self.metrics = MetricsCollector()
         self._attempts: dict[str, int] = {}
         self.latency = LatencyTrace()
+        self.profile = RunProfile()
         self._events = EventQueue()
         self._completion_events: dict[str, Event] = {}
         self._unfinalized = 0
@@ -113,6 +120,9 @@ class Simulation:
 
     # -- main loop -------------------------------------------------------------
     def run(self) -> SimulationResult:
+        registry = obs.get_registry()
+        obs_before = registry.snapshot() if registry.enabled else None
+
         for job in self.jobs.values():
             self._events.push(job.submit_time, EventKind.JOB_ARRIVAL, job)
             self._future_arrivals += 1
@@ -126,6 +136,7 @@ class Simulation:
             if ev.time > self.max_time_s:
                 break
             self._now = ev.time
+            self.profile.bump(f"sim.events.{ev.kind.name.lower()}")
             if ev.kind == EventKind.JOB_ARRIVAL:
                 self._on_arrival(ev.payload)
             elif ev.kind == EventKind.JOB_COMPLETION:
@@ -135,12 +146,16 @@ class Simulation:
             else:
                 self._on_cycle()
 
+        if obs_before is not None:
+            self.profile.merge_delta(
+                obs.snapshot_delta(obs_before, registry.snapshot()))
         return SimulationResult(
             metrics=self.metrics.report(),
             outcomes=self.metrics.outcomes,
             latency=self.latency,
             end_time=self._now, cycles=self._cycles,
-            scheduler_name=self.scheduler.name)
+            scheduler_name=self.scheduler.name,
+            profile=self.profile)
 
     # -- event handlers -----------------------------------------------------------
     def _on_arrival(self, job: Job) -> None:
@@ -237,6 +252,7 @@ class Simulation:
             if self.trace is not None:
                 self.trace.record(self._now, CULL, job_id)
 
+        self._profile_cycle(decisions)
         if decisions.stats is not None:
             self.latency.record(decisions.stats.cycle_latency_s,
                                 decisions.stats.solver_latency_s)
@@ -245,3 +261,28 @@ class Simulation:
         if self._unfinalized > 0 and self._now < self.max_time_s:
             self._events.push(self._now + self.scheduler.cycle_s,
                               EventKind.SCHEDULER_CYCLE)
+
+    def _profile_cycle(self, decisions) -> None:
+        """Fold one cycle's decisions into the run profile (cheap, always on)."""
+        profile = self.profile
+        profile.bump("cycles")
+        stats = decisions.stats
+        if stats is not None:
+            profile.bump("solver.solves", stats.solves)
+            profile.bump("solver.bnb.nodes", stats.solver_nodes)
+            profile.bump("solver.lp.iterations", stats.lp_iterations)
+            profile.bump("solver.milp_variables", stats.milp_variables)
+            profile.bump("solver.milp_constraints", stats.milp_constraints)
+            if stats.warm_start_attempted:
+                profile.bump("scheduler.warm_start.attempts")
+                profile.bump("scheduler.warm_start.hits",
+                             1.0 if stats.warm_start_hit else 0.0)
+        profile.bump("scheduler.launched", len(decisions.allocations))
+        profile.bump("scheduler.culled", len(decisions.culled))
+        profile.bump("scheduler.preempted", len(decisions.preempted))
+        obs.emit("sim.cycle", now=self._now, cycle=self._cycles,
+                 launched=len(decisions.allocations),
+                 culled=len(decisions.culled),
+                 queue_depth=len(self._events),
+                 pending=getattr(self.scheduler, "active_jobs", None),
+                 unfinalized=self._unfinalized)

@@ -45,8 +45,16 @@ class JobOutcome:
 
     @property
     def met_deadline(self) -> bool:
-        """SLO attainment for this job (False when it never completed)."""
+        """SLO attainment for this job (False when it never completed).
+
+        An SLO job without a deadline cannot *meet* one: it counts as a
+        miss rather than crashing the aggregation.  (Such jobs only arise
+        from hand-built workloads — the generators always stamp SLO
+        deadlines — so the conservative reading keeps attainment
+        percentages honest instead of inflating them.)
+        """
         return (self.is_slo and self.completed
+                and self.deadline is not None
                 and self.finish_time <= self.deadline + 1e-9)
 
     @property
@@ -152,7 +160,16 @@ class LatencyTrace:
         return out
 
     def cdf(self, which: str = "cycle") -> tuple[np.ndarray, np.ndarray]:
-        """Empirical CDF points (sorted latencies, cumulative fractions)."""
+        """Empirical CDF points (sorted latencies, cumulative fractions).
+
+        ``which`` selects the series: ``"cycle"`` or ``"solver"``; anything
+        else raises ``ValueError`` (historically it silently fell back to
+        the solver series, which masked typos in figure code).
+        """
+        if which not in ("cycle", "solver"):
+            raise ValueError(
+                f"unknown latency series {which!r}; expected 'cycle' or "
+                f"'solver'")
         xs = (self.cycle_latencies_s if which == "cycle"
               else self.solver_latencies_s)
         arr = np.sort(np.asarray(xs))

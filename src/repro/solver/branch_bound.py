@@ -27,6 +27,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.solver.model import Model
 from repro.solver.result import LPResult, MILPResult, SolveStatus
 from repro.solver.simplex import solve_lp as simplex_solve_lp
@@ -90,6 +91,9 @@ class BranchBoundSolver:
                 "presolve_rows_dropped": reduction.rows_dropped,
                 "presolve_bounds_tightened": reduction.bounds_tightened,
             }
+            obs.count("solver.presolve.rows_dropped", reduction.rows_dropped)
+            obs.count("solver.presolve.bounds_tightened",
+                      reduction.bounds_tightened)
             if reduction.infeasible:
                 return MILPResult(SolveStatus.INFEASIBLE, None, math.nan,
                                   solve_time=time.monotonic() - t0,
@@ -100,17 +104,28 @@ class BranchBoundSolver:
 
         incumbent: np.ndarray | None = None
         incumbent_obj = math.inf  # minimization orientation
+        lp_iterations = 0
+        nodes_pruned = 0
+        incumbents = 0
+        nodes_processed = 0
+
+        def note_incumbent(source: str, gap: float | None = None) -> None:
+            nonlocal incumbents
+            incumbents += 1
+            obs.emit("solver.incumbent", source=source,
+                     objective=sa.obj_sign * incumbent_obj + sa.obj_constant,
+                     gap=gap, nodes=nodes_processed)
 
         if warm_start is not None:
             ws = np.asarray(warm_start, dtype=float)
             if ws.shape[0] == n and model.check_feasible(ws):
                 incumbent = ws.copy()
                 incumbent_obj = float(sa.c @ ws)
+                note_incumbent("warm-start")
 
         counter = itertools.count()
         root = _Node(-math.inf, next(counter), sa.lb.copy(), sa.ub.copy())
         heap: list[_Node] = [root]
-        nodes_processed = 0
         best_bound = -math.inf
         infeasible_everywhere = True
 
@@ -135,11 +150,14 @@ class BranchBoundSolver:
             if node.bound >= incumbent_obj - abs(incumbent_obj) * opts.rel_gap - 1e-12:
                 # Cannot improve on the incumbent by more than the gap.
                 best_bound = max(best_bound, node.bound)
+                nodes_pruned += 1
                 continue
             nodes_processed += 1
 
             lp = lp_at(node)
+            lp_iterations += lp.iterations
             if lp.status == SolveStatus.INFEASIBLE:
+                nodes_pruned += 1
                 continue
             if lp.status == SolveStatus.UNBOUNDED:
                 # With a finite incumbent the true MILP may still be bounded,
@@ -152,6 +170,7 @@ class BranchBoundSolver:
             infeasible_everywhere = False
             assert lp.x is not None
             if lp.objective >= incumbent_obj - 1e-12:
+                nodes_pruned += 1
                 continue  # bound dominated
 
             frac = np.abs(lp.x[int_idx] - np.round(lp.x[int_idx])) if int_idx.size else np.zeros(0)
@@ -162,6 +181,7 @@ class BranchBoundSolver:
                     incumbent = lp.x.copy()
                     incumbent[int_idx] = np.round(incumbent[int_idx])
                     incumbent_obj = float(sa.c @ incumbent)
+                    note_incumbent("lp-integral", gap=gap_now())
                 continue
 
             if opts.rounding_heuristic:
@@ -172,6 +192,7 @@ class BranchBoundSolver:
                         _to_model_space(cand)):
                     incumbent = cand.copy()
                     incumbent_obj = float(sa.c @ cand)
+                    note_incumbent("rounding", gap=gap_now())
 
             # Most-fractional branching.
             pick = int(int_idx[fractional[np.argmax(frac[fractional])]])
@@ -192,14 +213,20 @@ class BranchBoundSolver:
                 break
 
         solve_time = time.monotonic() - t0
+        search_stats = dict(presolve_stats)
+        search_stats.update({"lp_iterations": lp_iterations,
+                             "nodes_pruned": nodes_pruned,
+                             "incumbents": incumbents})
+        obs.count("solver.bnb.pruned", nodes_pruned)
+        obs.count("solver.bnb.incumbents", incumbents)
         if incumbent is None:
             if infeasible_everywhere and not heap:
                 return MILPResult(SolveStatus.INFEASIBLE, None, math.nan,
                                   nodes=nodes_processed, solve_time=solve_time,
-                                  stats=presolve_stats)
+                                  stats=search_stats)
             return MILPResult(SolveStatus.NO_SOLUTION, None, math.nan,
                               nodes=nodes_processed, solve_time=solve_time,
-                              stats=presolve_stats)
+                              stats=search_stats)
 
         open_bound = min((h.bound for h in heap), default=incumbent_obj)
         open_bound = max(open_bound, best_bound) if best_bound > -math.inf else open_bound
@@ -208,11 +235,14 @@ class BranchBoundSolver:
         # Convert back to the model's objective sense.
         model_obj = sa.obj_sign * incumbent_obj + sa.obj_constant
         model_bound = sa.obj_sign * open_bound + sa.obj_constant
+        obs.emit("solver.solve", status="optimal" if proven else "feasible",
+                 objective=model_obj, gap=gap, nodes=nodes_processed,
+                 lp_iterations=lp_iterations, time_ms=1000.0 * solve_time)
         return MILPResult(
             status=SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE,
             x=incumbent, objective=model_obj, bound=model_bound, gap=gap,
             nodes=nodes_processed, solve_time=solve_time,
-            stats=presolve_stats)
+            stats=search_stats)
 
 
 def _to_model_space(x: np.ndarray) -> np.ndarray:

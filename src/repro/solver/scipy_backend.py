@@ -14,6 +14,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SolverError
 from repro.solver.model import Model
 from repro.solver.result import LPResult, MILPResult, SolveStatus
@@ -124,7 +125,9 @@ class ScipyMILPSolver:
         obj = sa.obj_sign * float(sa.c @ x) + sa.obj_constant
         gap = float(getattr(res, "mip_gap", 0.0) or 0.0)
         status = SolveStatus.OPTIMAL if res.status == 0 else SolveStatus.FEASIBLE
+        nodes = int(getattr(res, "mip_node_count", 0) or 0)
+        obs.emit("solver.solve", status=status.value, objective=obj, gap=gap,
+                 nodes=nodes, time_ms=1000.0 * solve_time)
         return MILPResult(status=status, x=x, objective=obj,
-                          bound=obj, gap=gap,
-                          nodes=int(getattr(res, "mip_node_count", 0) or 0),
+                          bound=obj, gap=gap, nodes=nodes,
                           solve_time=solve_time)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SolverError
 from repro.solver.result import LPResult, SolveStatus
 
@@ -204,6 +205,13 @@ def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None,
 
     Arrays may be ``None``/empty.  ``lb`` defaults to 0, ``ub`` to +inf.
     """
+    with obs.span("solver.lp"):
+        result = _solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub, max_iter)
+    obs.count("solver.lp.solves")
+    return result
+
+
+def _solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub, max_iter: int) -> LPResult:
     c = np.atleast_1d(np.asarray(c, dtype=float))
     n = c.shape[0]
     a_ub = np.zeros((0, n)) if a_ub is None else np.atleast_2d(np.asarray(a_ub, float))

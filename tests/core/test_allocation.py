@@ -78,3 +78,25 @@ class TestPlanAccumulator:
         acc1 = PlanAccumulator(state, 0.0, 10.0)
         acc2 = PlanAccumulator(state, 0.0, 10.0)
         assert acc1.pick(part, {0: 2}, 0, 1) == acc2.pick(part, {0: 2}, 0, 1)
+
+    def test_unreserve_releases_capacity(self, state):
+        part = Partitioning(UNIVERSE, [UNIVERSE])
+        acc = PlanAccumulator(state, 0.0, 10.0)
+        nodes = acc.pick(part, {0: 2}, 0, 2)
+        acc.unreserve(nodes, 0, 2)
+        for n in nodes:
+            assert acc.is_free(n, 0, 2)
+        # The freed quanta are reservable again.
+        acc.reserve(sorted(nodes), 0, 2)
+
+    def test_unreserve_partial_span_keeps_rest(self, state):
+        acc = PlanAccumulator(state, 0.0, 10.0)
+        acc.reserve(["a"], 0, 3)
+        acc.unreserve(frozenset({"a"}), 2, 1)
+        assert not acc.is_free("a", 0, 2)
+        assert acc.is_free("a", 2, 1)
+
+    def test_unreserve_unreserved_raises(self, state):
+        acc = PlanAccumulator(state, 0.0, 10.0)
+        with pytest.raises(SchedulerError):
+            acc.unreserve(frozenset({"a"}), 0, 1)

@@ -79,6 +79,44 @@ class TestTentativeReservations:
         assert result.stats.milp_variables > 0
 
 
+class TestPickRollback:
+    def test_failed_pick_releases_earlier_reservations(self, monkeypatch):
+        """Regression: a mid-job pick failure must roll back the job's
+        earlier reservations instead of leaving phantom-occupied capacity
+        that starves every later job in the cycle."""
+        import repro.core.compiler as compiler_mod
+        from repro.core.compiler import PlannedPlacement
+
+        real_decode = compiler_mod.CompiledBatch.decode
+
+        def leaky_decode(self, x):
+            placements = real_decode(self, x)
+            # After "doomed"'s real (assignable) placement, inject one that
+            # cannot be assigned, as fragmentation can produce for
+            # multi-leaf gangs.
+            if any(pl.job_id == "doomed" for pl in placements):
+                placements.append(PlannedPlacement(
+                    job_id="doomed", start=0, duration=1,
+                    node_counts={0: 99}, value=1.0))
+            return placements
+
+        monkeypatch.setattr(compiler_mod.CompiledBatch, "decode",
+                            leaky_decode)
+
+        cluster = Cluster.build(racks=1, nodes_per_rack=2)
+        sched = greedy_sched(cluster)
+        # Both jobs want the whole cluster now; deadline admits only start 0.
+        sched.submit(request(cluster, "doomed", k=2, dur=10, deadline=10))
+        sched.submit(request(cluster, "victim", k=2, dur=10, deadline=10,
+                             priority=PriorityClass.SLO_NO_RESERVATION))
+        result = sched.run_cycle(0.0)
+        launched = {a.job_id for a in result.allocations}
+        # "doomed" must not launch a partial gang; "victim" must still get
+        # the nodes "doomed"'s rolled-back picks had tentatively held.
+        assert "doomed" not in launched
+        assert "victim" in launched
+
+
 class TestGreedyHeterogeneous:
     def test_mpi_jobs_rack_local_in_greedy_mode(self):
         cluster = Cluster.build(racks=2, nodes_per_rack=4)

@@ -88,6 +88,35 @@ class TestSolveCommand:
         assert "unknown nodes" in capsys.readouterr().err
 
 
+class TestProfileCommand:
+    def test_profile_emits_schema_valid_jsonl_and_summary(self, tmp_path,
+                                                          capsys):
+        out = tmp_path / "profile.jsonl"
+        rc = main(["profile", "--workload", "GS HET", "--cluster", "2x4:1",
+                   "--jobs", "8", "--plan-ahead", "40", "--out", str(out)])
+        assert rc == 0
+        # Every emitted event must satisfy the envelope schema.
+        from repro.obs import iter_kinds, read_jsonl_file
+        records = read_jsonl_file(out)  # validates each record
+        kinds = iter_kinds(records)
+        assert kinds.get("sim.cycle", 0) > 0
+        assert kinds.get("solver.solve", 0) > 0
+        # Summary table: solver work counters + phase timings + hit rate.
+        text = capsys.readouterr().out
+        assert f"events -> {out}" in text
+        assert "MILP solves" in text
+        assert "Phase timings" in text
+        assert "cycle/solve" in text
+        assert "warm-start hit rate" in text
+
+    def test_profile_leaves_observability_disabled(self, tmp_path):
+        from repro.obs import get_registry
+        main(["profile", "--workload", "GS HET", "--cluster", "1x4",
+              "--jobs", "4", "--plan-ahead", "40",
+              "--out", str(tmp_path / "p.jsonl")])
+        assert get_registry().enabled is False
+
+
 class TestFiguresCommand:
     def test_tables_only(self, tmp_path, capsys):
         rc = main(["figures", "table1", "table2", "--out", str(tmp_path)])

@@ -1,0 +1,96 @@
+"""Tests for JSONL event emission, validation and round-tripping."""
+
+import io
+
+import pytest
+
+from repro.obs import (JsonlSink, ObsEventError, Registry, iter_kinds,
+                       read_jsonl, read_jsonl_file, validate_event)
+
+
+@pytest.fixture()
+def registry():
+    sink = JsonlSink()
+    return Registry(enabled=True, sink=sink), sink
+
+
+class TestEmission:
+    def test_envelope_and_payload(self, registry):
+        reg, sink = registry
+        reg.emit("solver.solve", objective=1.5, nodes=3)
+        reg.emit("sim.cycle", cycle=0)
+        assert len(sink) == 2
+        first, second = sink.records
+        assert first["kind"] == "solver.solve"
+        assert first["seq"] == 1 and second["seq"] == 2
+        assert first["t"] >= 0.0
+        assert first["objective"] == 1.5 and first["nodes"] == 3
+        for record in sink.records:
+            validate_event(record)
+
+    def test_disabled_emits_nothing(self):
+        sink = JsonlSink()
+        reg = Registry(enabled=False, sink=sink)
+        reg.emit("solver.solve", objective=1.0)
+        assert len(sink) == 0
+
+    def test_no_sink_is_noop(self):
+        Registry(enabled=True).emit("solver.solve")  # must not raise
+
+    def test_eager_stream(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream=stream)
+        reg = Registry(enabled=True, sink=sink)
+        reg.emit("a")
+        reg.emit("b")
+        assert stream.getvalue().count("\n") == 2
+
+
+class TestRoundTrip:
+    def test_to_jsonl_and_back(self, registry):
+        reg, sink = registry
+        reg.emit("solver.incumbent", source="rounding", gap=0.25)
+        reg.emit("solver.solve", status="optimal")
+        records = read_jsonl(sink.to_jsonl())
+        assert records == sink.records
+        assert iter_kinds(records) == {"solver.incumbent": 1,
+                                       "solver.solve": 1}
+
+    def test_dump_and_read_file(self, registry, tmp_path):
+        reg, sink = registry
+        reg.emit("sim.cycle", cycle=0, launched=2)
+        path = tmp_path / "profile.jsonl"
+        sink.dump(path)
+        records = read_jsonl_file(path)
+        assert records == sink.records
+
+    def test_blank_lines_skipped(self):
+        text = '{"kind": "a", "seq": 1, "t": 0.0}\n\n'
+        assert len(read_jsonl(text)) == 1
+
+
+class TestValidation:
+    def test_missing_field(self):
+        with pytest.raises(ObsEventError, match="missing required field"):
+            validate_event({"kind": "a", "seq": 1})
+
+    def test_wrong_type(self):
+        with pytest.raises(ObsEventError, match="expected"):
+            validate_event({"kind": "a", "seq": "one", "t": 0.0})
+
+    def test_empty_kind(self):
+        with pytest.raises(ObsEventError, match="non-empty"):
+            validate_event({"kind": "", "seq": 1, "t": 0.0})
+
+    def test_not_an_object(self):
+        with pytest.raises(ObsEventError, match="JSON object"):
+            validate_event([1, 2, 3])
+
+    def test_invalid_json_line(self):
+        with pytest.raises(ObsEventError, match="line 1"):
+            read_jsonl("{not json}")
+
+    def test_read_jsonl_validates(self):
+        with pytest.raises(ObsEventError):
+            read_jsonl('{"seq": 1, "t": 0.0}')
+        assert read_jsonl('{"seq": 1, "t": 0.0}', validate=False)

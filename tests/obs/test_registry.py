@@ -1,0 +1,138 @@
+"""Tests for the observability registry: spans, counters, no-op mode."""
+
+import pytest
+
+from repro.obs import (Registry, RunProfile, get_registry, set_enabled,
+                       snapshot_delta)
+from repro.obs.registry import _NULL_SPAN
+
+
+@pytest.fixture()
+def registry():
+    return Registry(enabled=True)
+
+
+class TestSpans:
+    def test_single_span_aggregates(self, registry):
+        for _ in range(3):
+            with registry.span("cycle"):
+                pass
+        stat = registry.snapshot()["timers"]["cycle"]
+        assert stat["count"] == 3
+        assert stat["total_s"] >= 0.0
+        assert stat["max_s"] >= stat["mean_s"]
+
+    def test_nesting_builds_paths(self, registry):
+        with registry.span("cycle"):
+            with registry.span("solve"):
+                pass
+            with registry.span("solve"):
+                pass
+        timers = registry.snapshot()["timers"]
+        assert timers["cycle"]["count"] == 1
+        assert timers["cycle/solve"]["count"] == 2
+        assert "solve" not in timers  # only the nested path exists
+
+    def test_stack_unwinds_on_exception(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.span("outer"):
+                with registry.span("inner"):
+                    raise RuntimeError("boom")
+        # A later span must not inherit the crashed path.
+        with registry.span("after"):
+            pass
+        timers = registry.snapshot()["timers"]
+        assert "after" in timers
+        assert "outer/after" not in timers
+
+    def test_inner_time_bounded_by_outer(self, registry):
+        import time
+        with registry.span("outer"):
+            with registry.span("inner"):
+                time.sleep(0.01)
+        timers = registry.snapshot()["timers"]
+        assert timers["outer"]["total_s"] >= timers["outer/inner"]["total_s"]
+
+
+class TestCounters:
+    def test_aggregation(self, registry):
+        registry.count("solver.nodes", 5)
+        registry.count("solver.nodes", 7)
+        registry.count("other")
+        snap = registry.snapshot()["counters"]
+        assert snap["solver.nodes"] == 12
+        assert snap["other"] == 1
+
+    def test_counter_value_default(self, registry):
+        assert registry.counter_value("missing") == 0.0
+
+
+class TestDisabledMode:
+    def test_span_is_shared_null_object(self):
+        registry = Registry(enabled=False)
+        assert registry.span("a") is _NULL_SPAN
+        assert registry.span("b") is _NULL_SPAN
+
+    def test_nothing_recorded(self):
+        registry = Registry(enabled=False)
+        with registry.span("cycle"):
+            registry.count("n", 3)
+            registry.emit("kind", x=1)
+        snap = registry.snapshot()
+        assert snap["timers"] == {}
+        assert snap["counters"] == {}
+
+    def test_global_registry_disabled_by_default(self):
+        assert get_registry().enabled is False
+
+    def test_set_enabled_round_trip(self):
+        reg = set_enabled(True)
+        try:
+            assert reg is get_registry()
+            reg.count("x")
+            assert reg.counter_value("x") == 1
+        finally:
+            set_enabled(False)
+        assert get_registry().enabled is False
+
+
+class TestSnapshotDelta:
+    def test_delta_isolates_window(self, registry):
+        registry.count("a", 2)
+        with registry.span("s"):
+            pass
+        before = registry.snapshot()
+        registry.count("a", 3)
+        registry.count("b", 1)
+        with registry.span("s"):
+            pass
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"] == {"a": 3, "b": 1}
+        assert delta["timers"]["s"]["count"] == 1
+
+    def test_profile_merge(self, registry):
+        before = registry.snapshot()
+        registry.count("a", 2)
+        with registry.span("s"):
+            pass
+        profile = RunProfile()
+        profile.bump("a", 1)
+        profile.merge_delta(snapshot_delta(before, registry.snapshot()))
+        assert profile.counter("a") == 3
+        assert profile.timers["s"]["count"] == 1
+
+
+class TestRunProfile:
+    def test_warm_start_hit_rate(self):
+        profile = RunProfile()
+        assert profile.warm_start_hit_rate != profile.warm_start_hit_rate  # nan
+        profile.bump("scheduler.warm_start.attempts", 4)
+        profile.bump("scheduler.warm_start.hits", 3)
+        assert profile.warm_start_hit_rate == 0.75
+
+    def test_nodes_per_solve(self):
+        profile = RunProfile()
+        assert profile.nodes_per_solve == 0.0
+        profile.bump("solver.solves", 4)
+        profile.bump("solver.bnb.nodes", 10)
+        assert profile.nodes_per_solve == 2.5

@@ -26,6 +26,12 @@ class TestJobOutcome:
         o = outcome("b", is_slo=False, finish=10.0)
         assert not o.met_deadline
 
+    def test_slo_without_deadline_is_a_miss(self):
+        """Regression: a completed SLO job with no deadline used to raise
+        TypeError (None <= float); it must simply count as a miss."""
+        o = outcome("s", deadline=None, finish=10.0)
+        assert o.met_deadline is False
+
     def test_latency(self):
         assert outcome("a", submit=5.0, finish=25.0).latency == 20.0
         assert outcome("a").latency is None
@@ -103,3 +109,11 @@ class TestLatencyTrace:
     def test_empty_cdf(self):
         xs, fr = LatencyTrace().cdf()
         assert xs.size == 0 and fr.size == 0
+
+    def test_cdf_unknown_series_raises(self):
+        """Regression: an unknown series name used to silently fall back to
+        solver latencies instead of raising."""
+        tr = LatencyTrace()
+        tr.record(0.3, 0.1)
+        with pytest.raises(ValueError, match="unknown latency series"):
+            tr.cdf("typo")
