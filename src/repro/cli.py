@@ -17,6 +17,11 @@ Commands
     enabled: emits the structured JSONL event stream and prints a summary
     table of per-phase cycle timings, solver work counters (B&B nodes, LP
     iterations, presolve reductions) and the warm-start hit rate.
+``bench-cycle``
+    Run fixed-seed scheduling cycles through the three pipeline
+    configurations (dense oracle / sparse / decomposed), write
+    ``BENCH_cycle.json`` with per-stage timings and component counts, and
+    exit nonzero if the configurations disagree on the objective.
 """
 
 from __future__ import annotations
@@ -119,6 +124,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--backend", default="auto")
     p_prof.add_argument("--out", default="profile.jsonl",
                         help="JSONL event-stream output path")
+
+    p_bench = sub.add_parser(
+        "bench-cycle",
+        help="benchmark dense/sparse/decomposed cycle pipelines")
+    p_bench.add_argument("--backend", default="pure")
+    p_bench.add_argument("--plan-ahead", type=float, default=96.0)
+    p_bench.add_argument("--racks", type=int, default=4)
+    p_bench.add_argument("--nodes-per-rack", type=int, default=4)
+    p_bench.add_argument("--jobs-per-rack", type=int, default=2)
+    p_bench.add_argument("--cycles", type=int, default=2)
+    p_bench.add_argument("--quantum", type=float, default=8.0)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--out", default="results/BENCH_cycle.json",
+                         help="JSON report output path")
     return parser
 
 
@@ -228,6 +247,27 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_bench_cycle(args) -> int:
+    import json
+
+    from repro.experiments.bench import bench_cycle, format_bench
+    report = bench_cycle(
+        backend=args.backend, plan_ahead_s=args.plan_ahead, racks=args.racks,
+        nodes_per_rack=args.nodes_per_rack, jobs_per_rack=args.jobs_per_rack,
+        cycles=args.cycles, quantum_s=args.quantum, seed=args.seed)
+    out = pathlib.Path(args.out)
+    if out.parent != pathlib.Path():
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(format_bench(report))
+    print(f"[report -> {out}]")
+    if not report["objective_match"]:
+        print("FAIL: pipeline configurations disagree on the objective",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_solve(args) -> int:
     text = pathlib.Path(args.file).read_text()
     expr = parse_strl(text)
@@ -269,6 +309,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_solve(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "bench-cycle":
+            return _cmd_bench_cycle(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

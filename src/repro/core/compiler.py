@@ -125,6 +125,20 @@ class CompiledBatch:
         return {job_id for job_id, ind in self.job_indicators.items()
                 if x[ind.index] > 0.5}
 
+    def jobs_by_component(self, decomp) -> list[list[str]]:
+        """Job ids whose indicator landed in each decomposition block.
+
+        ``decomp`` is a :class:`repro.solver.decompose.Decomposition` of
+        this batch's model.  Jobs in different blocks share no
+        ``(partition, time-slice)`` supply constraint — they contend for
+        disjoint capacity, which is why they solve independently.
+        """
+        owner = {var.index: job_id
+                 for job_id, var in self.job_indicators.items()}
+        return [[owner[int(gi)] for gi in comp.global_indices
+                 if int(gi) in owner]
+                for comp in decomp.components]
+
 
 class StrlCompiler:
     """Compiles a batch of per-job STRL expressions into one MILP.

@@ -8,11 +8,18 @@ On each scheduling cycle TetriSched:
    to a MILP (Algorithm 1), with supply drawn from its space-time view of
    cluster availability;
 3. solves the MILP (optionally warm-started from the previous cycle's
-   solution shifted forward in time, Sec. 3.2.2);
+   solution shifted forward in time, Sec. 3.2.2) — after splitting it into
+   independent connected components that solve as separate, smaller
+   branch-and-bound problems (:mod:`repro.solver.decompose`);
 4. extracts and launches only the placements scheduled to start *now*;
    everything else is reconsidered from scratch next cycle — this is the
    adaptive re-planning that makes TetriSched robust to mis-estimates and
    new arrivals (Sec. 2.3.3).
+
+The cycle itself is an explicit staged pipeline (:mod:`repro.pipeline`):
+``StrlGeneration -> Compilation -> ModelBuild -> Decompose -> Solve ->
+Extract``; :meth:`TetriSched.run_cycle` is a thin driver around it that
+owns queue/state bookkeeping and the per-cycle stats record.
 
 The ablation configurations of Table 2 are expressed as config flags:
 
@@ -39,6 +46,8 @@ from repro.core.allocation import Allocation, PlanAccumulator
 from repro.core.compiler import CompiledBatch, StrlCompiler
 from repro.core.queues import PriorityClass, PriorityQueues
 from repro.errors import SchedulerError
+from repro.pipeline.context import CycleContext
+from repro.pipeline.driver import global_pipeline, greedy_pipeline
 from repro.solver.backend import make_backend
 from repro.strl.ast import NCk, StrlNode
 from repro.strl.generator import SpaceOption, generate_job_strl
@@ -90,6 +99,10 @@ class TetriSchedConfig:
     solver_time_limit: float | None = None
     #: Seed each solve with the previous cycle's shifted solution.
     warm_start: bool = True
+    #: Split the cycle MILP into independent connected components and solve
+    #: each as its own (much smaller) branch-and-bound problem.  Schedule-
+    #: preserving: the recombined optimum equals the monolithic one.
+    decomposition: bool = True
     #: EXTENSION (paper future work, Sec. 7.2): let the MILP preempt
     #: running best-effort jobs when the freed nodes buy more SLO value
     #: than the preemption penalty costs.
@@ -131,6 +144,12 @@ class CycleStats:
     #: Whether a warm start was attempted / produced a feasible seed.
     warm_start_attempted: bool = False
     warm_start_hit: bool = False
+    #: Independent MILP components solved this cycle (0 = no global solve).
+    components: int = 0
+    #: Stored nonzeros in the cycle MILP's sparse export.
+    milp_nonzeros: int = 0
+    #: Wall-clock seconds per pipeline stage (generate/compile/...).
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -186,6 +205,8 @@ class TetriSched:
         self._backend = make_backend(self.config.backend,
                                      rel_gap=self.config.rel_gap,
                                      time_limit=self.config.solver_time_limit)
+        self._global_pipeline = global_pipeline()
+        self._greedy_pipeline = greedy_pipeline()
         # Previous cycle's accepted plan: (job_id, leaf) pairs, and its time.
         self._prev_plan: list[tuple[str, NCk]] = []
         self._prev_now: float = 0.0
@@ -215,37 +236,20 @@ class TetriSched:
         completion via :meth:`on_job_finished`.
         """
         t_cycle = time.monotonic()
-        cfg = self.config
         result = CycleResult()
+        tel = SolveTelemetry()
+        ctx = CycleContext(scheduler=self, now=now, result=result,
+                           telemetry=tel)
+        pipeline = (self._global_pipeline if self.config.global_scheduling
+                    else self._greedy_pipeline)
 
         with obs.span("cycle"):
-            # 1. Generate STRL per pending job; cull jobs with no remaining
-            # value.
-            exprs: list[tuple[str, StrlNode]] = []
-            requests: dict[str, JobRequest] = {}
-            with obs.span("generate"):
-                for job_id, req in list(self.queues.items()):
-                    expr = self._generate(req, now)
-                    if expr is None:
-                        self.queues.remove(job_id)
-                        result.culled.append(job_id)
-                        continue
-                    exprs.append((job_id, expr))
-                    requests[job_id] = req
-
-            tel = SolveTelemetry()
-            if exprs:
-                if cfg.global_scheduling:
-                    allocs = self._cycle_global(exprs, requests, now, result,
-                                                tel)
-                else:
-                    allocs = self._cycle_greedy(exprs, requests, now, tel)
-                result.allocations = allocs
-                for alloc in allocs:
-                    req = self.queues.remove(alloc.job_id)
-                    self._launched[alloc.job_id] = req
-                    self.state.start(alloc.job_id, alloc.nodes,
-                                     alloc.start_time, alloc.expected_end)
+            pipeline.run(ctx)
+            for alloc in result.allocations:
+                req = self.queues.remove(alloc.job_id)
+                self._launched[alloc.job_id] = req
+                self.state.start(alloc.job_id, alloc.nodes,
+                                 alloc.start_time, alloc.expected_end)
 
         stats = CycleStats(
             now=now, pending=self.pending_count,
@@ -257,7 +261,9 @@ class TetriSched:
             objective=tel.objective, solves=tel.solves,
             solver_nodes=tel.solver_nodes, lp_iterations=tel.lp_iterations,
             warm_start_attempted=tel.warm_start_attempted,
-            warm_start_hit=tel.warm_start_hit)
+            warm_start_hit=tel.warm_start_hit,
+            components=ctx.components, milp_nonzeros=ctx.nnz,
+            stage_timings=dict(ctx.stage_timings))
         self.cycle_history.append(stats)
         result.stats = stats
         return result
@@ -301,59 +307,6 @@ class TetriSched:
                 job_id=job_id, nodes=alloc.nodes,
                 penalty=self.config.preemption_penalty))
         return candidates
-
-    def _cycle_global(self, exprs, requests, now, result: CycleResult,
-                      tel: SolveTelemetry) -> list[Allocation]:
-        with obs.span("compile"):
-            compiler = StrlCompiler(self.state, self.config.quantum_s, now)
-            preemptible = (self._preemption_candidates()
-                           if self.config.enable_preemption else [])
-            compiled = compiler.compile(exprs, preemptible=preemptible)
-        tel.milp_variables = compiled.stats["variables"]
-        tel.milp_constraints = compiled.stats["constraints"]
-
-        warm = None
-        if self.config.warm_start:
-            tel.warm_start_attempted = True
-            with obs.span("warm_start"):
-                warm = self._build_warm_start(compiled, now)
-            # Hit/miss accounting flows through CycleStats (the simulator
-            # folds it into the run profile), not the obs registry, so the
-            # two layers never double-count.
-            tel.warm_start_hit = warm is not None
-
-        t0 = time.monotonic()
-        with obs.span("solve"):
-            res = self._backend.solve(compiled.model, warm_start=warm)
-        tel.solver_latency_s = time.monotonic() - t0
-        tel.absorb(res)
-        if not res.status.has_solution:
-            # All-zero (schedule nothing) is always feasible, so this should
-            # only happen under a very tight solver budget.
-            self._prev_plan = []
-            return []
-        tel.objective = res.objective
-
-        # Apply preemption decisions before materializing placements: the
-        # freed nodes are part of the supply the solution relied on.
-        for victim_id in compiled.preempted_jobs(res.x):
-            self.state.finish(victim_id)
-            req = self._launched.pop(victim_id)
-            self.queues.push(victim_id, req.priority, req)
-            result.preempted.append(victim_id)
-
-        with obs.span("decode"):
-            placements = compiled.decode(res.x)
-            self._prev_plan = [(rec.job_id, rec.leaf)
-                               for rec in compiled.leaf_records
-                               if rec.chosen_counts(res.x)]
-            self._prev_now = now
-
-        with obs.span("materialize"):
-            acc = PlanAccumulator(self.state, now, self.config.quantum_s)
-            allocs = self._materialize(placements, compiled, acc, requests,
-                                       now)
-        return allocs
 
     # -- greedy (-NG) scheduling -------------------------------------------------------
     def _cycle_greedy(self, exprs, requests, now,

@@ -1,0 +1,214 @@
+"""Cycle-pipeline benchmark: dense oracle vs sparse vs decomposed.
+
+``bench_cycle`` runs the *same* fixed-seed, fig12-scale scheduling cycles
+through three configurations of the staged pipeline:
+
+* ``monolithic-dense`` — decomposition off, solver consumes the dense
+  ``to_standard_arrays`` export (the pre-refactor path, kept as oracle);
+* ``monolithic-sparse`` — decomposition off, CSR export + sparse presolve;
+* ``decomposed-sparse`` — the default production path: sparse core plus
+  independent-component decomposition.
+
+The workload is rack-pinned (each job's placement options stay inside one
+rack) so the aggregate MILP genuinely splits into one block per rack —
+the regime the paper's datacenter workloads live in, where rack-local
+preferences dominate (Sec. 2.1).  Distinct per-job values make the
+optimum unique, so all three configurations must report the same
+objective on every cycle; any mismatch is a correctness bug, and
+:func:`bench_cycle` flags it in the returned report
+(``results/BENCH_cycle.json`` in CI).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any
+
+from repro.cluster.cluster import Cluster
+from repro.core.queues import PriorityClass
+from repro.core.scheduler import JobRequest, TetriSched, TetriSchedConfig
+from repro.solver.backend import make_backend
+from repro.solver.branch_bound import BranchBoundOptions, BranchBoundSolver
+from repro.strl.generator import SpaceOption
+from repro.valuefn import StepValue
+
+#: (mode name, decomposition enabled, sparse arrays) — order matters for
+#: the speedup report: the first mode is the oracle baseline.
+MODES = (
+    ("monolithic-dense", False, False),
+    ("monolithic-sparse", False, True),
+    ("decomposed-sparse", True, True),
+)
+
+_REL_TOL = 1e-6
+
+
+def _rack_pinned_jobs(cluster: Cluster, jobs_per_rack: int, quantum_s: float,
+                      seed: int) -> list[JobRequest]:
+    """A deterministic oversubscribed batch of rack-local jobs.
+
+    Values are all distinct so the MILP optimum is unique — the property
+    that lets the benchmark demand exact objective agreement across
+    solver configurations instead of a loose tolerance.
+    """
+    rng = random.Random(seed)
+    racks: dict[str, list[str]] = {}
+    for name in sorted(cluster.node_names):
+        racks.setdefault(name.rsplit("n", 1)[0], []).append(name)
+    jobs: list[JobRequest] = []
+    for r, rack in enumerate(sorted(racks)):
+        nodes = frozenset(racks[rack])
+        for j in range(jobs_per_rack):
+            k = rng.randint(2, max(2, len(nodes) // 2))
+            dur_q = rng.randint(2, 4)
+            jid = f"{rack}-job{j}"
+            jobs.append(JobRequest(
+                job_id=jid,
+                options=(SpaceOption(nodes, k=k,
+                                     duration_s=dur_q * quantum_s),),
+                value_fn=StepValue(value=10.0 + len(jobs) * 0.37,
+                                   deadline=1e9),
+                priority=PriorityClass.SLO_ACCEPTED,
+                submit_time=0.0))
+    return jobs
+
+
+def _build_backend(name: str, sparse: bool, rel_gap: float):
+    """A backend forced onto the dense or sparse array path."""
+    backend = make_backend(name, rel_gap=rel_gap)
+    if isinstance(backend, BranchBoundSolver):
+        opts = backend.options
+        return BranchBoundSolver(BranchBoundOptions(
+            rel_gap=opts.rel_gap, time_limit=opts.time_limit,
+            node_limit=opts.node_limit, lp_solver=opts.lp_solver,
+            rounding_heuristic=opts.rounding_heuristic,
+            presolve=opts.presolve,
+            arrays="sparse" if sparse else "dense"))
+    # Scipy backend: same switch, different spelling.
+    backend.use_sparse = sparse
+    return backend
+
+
+def bench_cycle(backend: str = "pure", plan_ahead_s: float = 96.0,
+                racks: int = 4, nodes_per_rack: int = 4,
+                jobs_per_rack: int = 2, cycles: int = 2,
+                quantum_s: float = 8.0, seed: int = 0) -> dict[str, Any]:
+    """Benchmark one fig12-style cycle sequence across the three modes.
+
+    Returns a JSON-serializable report (written to ``BENCH_cycle.json`` by
+    the ``bench-cycle`` CLI command and the fig12 benchmark suite) whose
+    ``objective_match`` field is the correctness verdict: every cycle's
+    objective must agree across all modes within ``1e-6`` relative.
+    """
+    report: dict[str, Any] = {
+        "meta": {"backend": backend, "plan_ahead_s": plan_ahead_s,
+                 "racks": racks, "nodes_per_rack": nodes_per_rack,
+                 "jobs_per_rack": jobs_per_rack, "cycles": cycles,
+                 "quantum_s": quantum_s, "seed": seed},
+        "modes": {},
+    }
+    per_mode_objectives: dict[str, list[float]] = {}
+    for mode, decomposition, sparse in MODES:
+        cluster = Cluster.build(racks=racks, nodes_per_rack=nodes_per_rack)
+        cfg = TetriSchedConfig(
+            quantum_s=quantum_s, cycle_s=quantum_s,
+            plan_ahead_s=plan_ahead_s, backend=backend,
+            rel_gap=_REL_TOL, decomposition=decomposition)
+        sched = TetriSched(cluster, cfg)
+        sched._backend = _build_backend(backend, sparse, cfg.rel_gap)
+
+        objectives: list[float] = []
+        components: list[int] = []
+        stage_s: dict[str, float] = {}
+        launched = 0
+        nodes = lp_iters = 0
+        nnz = variables = constraints = 0
+        t0 = time.monotonic()
+        for c in range(cycles):
+            now = c * quantum_s
+            # Fresh arrivals each cycle keep the MILP at fig12 scale even
+            # after earlier launches consumed capacity.
+            for job in _rack_pinned_jobs(cluster, jobs_per_rack, quantum_s,
+                                         seed=seed + c):
+                sched.submit(JobRequest(
+                    job_id=f"c{c}-{job.job_id}", options=job.options,
+                    value_fn=job.value_fn, priority=job.priority,
+                    submit_time=now))
+            res = sched.run_cycle(now)
+            stats = res.stats
+            objectives.append(stats.objective)
+            components.append(stats.components)
+            launched += stats.launched
+            nodes += stats.solver_nodes
+            lp_iters += stats.lp_iterations
+            nnz = max(nnz, stats.milp_nonzeros)
+            variables = max(variables, stats.milp_variables)
+            constraints = max(constraints, stats.milp_constraints)
+            for stage, secs in stats.stage_timings.items():
+                stage_s[stage] = stage_s.get(stage, 0.0) + secs
+        wall_s = time.monotonic() - t0
+
+        per_mode_objectives[mode] = objectives
+        report["modes"][mode] = {
+            "objectives": objectives,
+            "components": components,
+            "launched": launched,
+            "wall_s": wall_s,
+            "cycle_mean_ms": 1000.0 * wall_s / cycles,
+            "stage_timings_s": stage_s,
+            "solver_nodes": nodes,
+            "lp_iterations": lp_iters,
+            "milp": {"variables": variables, "constraints": constraints,
+                     "nonzeros": nnz},
+        }
+
+    oracle = per_mode_objectives[MODES[0][0]]
+    max_delta = 0.0
+    for mode, objs in per_mode_objectives.items():
+        for a, b in zip(oracle, objs):
+            max_delta = max(max_delta,
+                            abs(a - b) / max(1.0, abs(a)))
+    report["objective_match"] = max_delta <= _REL_TOL * 10
+    report["max_objective_delta"] = max_delta
+
+    def _wall(mode: str) -> float:
+        return report["modes"][mode]["wall_s"]
+
+    report["speedup"] = {
+        "sparse_vs_dense": _wall("monolithic-dense")
+        / max(1e-12, _wall("monolithic-sparse")),
+        "decomposed_vs_dense": _wall("monolithic-dense")
+        / max(1e-12, _wall("decomposed-sparse")),
+        "decomposed_vs_sparse": _wall("monolithic-sparse")
+        / max(1e-12, _wall("decomposed-sparse")),
+    }
+    return report
+
+
+def format_bench(report: dict[str, Any]) -> str:
+    """Human-readable summary of a :func:`bench_cycle` report."""
+    lines = []
+    meta = report["meta"]
+    lines.append(
+        f"bench-cycle: backend={meta['backend']} "
+        f"plan-ahead={meta['plan_ahead_s']:g}s "
+        f"cluster={meta['racks']}x{meta['nodes_per_rack']} "
+        f"cycles={meta['cycles']} seed={meta['seed']}")
+    for mode, m in report["modes"].items():
+        stages = " ".join(f"{k}={1000 * v:.1f}ms"
+                          for k, v in sorted(m["stage_timings_s"].items()))
+        lines.append(
+            f"  {mode:<19}: wall={m['wall_s'] * 1000:.1f}ms "
+            f"components={m['components']} objectives="
+            f"{[round(o, 3) for o in m['objectives']]}")
+        lines.append(f"    stages: {stages}")
+    sp = report["speedup"]
+    lines.append(
+        f"  speedup: sparse/dense={sp['sparse_vs_dense']:.2f}x "
+        f"decomposed/dense={sp['decomposed_vs_dense']:.2f}x "
+        f"decomposed/sparse={sp['decomposed_vs_sparse']:.2f}x")
+    lines.append(
+        f"  objective match: {report['objective_match']} "
+        f"(max relative delta {report['max_objective_delta']:.2e})")
+    return "\n".join(lines)

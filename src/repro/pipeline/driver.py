@@ -1,0 +1,54 @@
+"""Runs a cycle's stages in order, timing each under an obs span."""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Sequence
+
+from repro import obs
+from repro.pipeline.stages import (Compilation, Decompose, Extract,
+                                   GreedyScheduling, ModelBuild, Solve, Stage,
+                                   StrlGeneration)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.context import CycleContext
+
+
+class CyclePipeline:
+    """An ordered list of stages plus the loop that drives them.
+
+    Each stage runs under ``obs.span(stage.name)`` (nested under the
+    scheduler's ``"cycle"`` span) and its wall-clock time accumulates in
+    ``ctx.stage_timings[stage.name]``.  A stage that calls ``ctx.halt()``
+    stops the cycle; stages after it never run.
+    """
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        self.stages: tuple[Stage, ...] = tuple(stages)
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def run(self, ctx: "CycleContext") -> "CycleContext":
+        for stage in self.stages:
+            if ctx.halted:
+                break
+            t0 = time.monotonic()
+            with obs.span(stage.name):
+                stage.run(ctx)
+            ctx.stage_timings[stage.name] = (
+                ctx.stage_timings.get(stage.name, 0.0)
+                + time.monotonic() - t0)
+        return ctx
+
+
+def global_pipeline() -> CyclePipeline:
+    """The full global-rescheduling cycle (paper Sec. 3 + sparse core)."""
+    return CyclePipeline([StrlGeneration(), Compilation(), ModelBuild(),
+                          Decompose(), Solve(), Extract()])
+
+
+def greedy_pipeline() -> CyclePipeline:
+    """The -NG ablation cycle: generate, then schedule one job at a time."""
+    return CyclePipeline([StrlGeneration(), GreedyScheduling()])

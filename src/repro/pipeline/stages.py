@@ -1,0 +1,191 @@
+"""The pipeline stages of one TetriSched scheduling cycle.
+
+Each stage moves one step of the former monolithic ``_cycle_global`` into
+a named, separately-timed unit (Sec. 3 of the paper: generate, aggregate
+and compile, solve, extract).  ``ModelBuild`` and ``Decompose`` are new
+steps introduced by the sparse-core refactor: the first forces the CSR
+export (so its cost is visible instead of hiding inside the solver), the
+second splits the aggregate MILP into independent blocks that
+:func:`repro.solver.decompose.solve_decomposed` handles as separate,
+much smaller branch-and-bound problems.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Protocol
+
+from repro import obs
+from repro.core.allocation import PlanAccumulator
+from repro.core.compiler import StrlCompiler
+from repro.solver.decompose import decompose, solve_decomposed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.context import CycleContext
+
+
+class Stage(Protocol):
+    """One step of a scheduling cycle."""
+
+    name: str
+
+    def run(self, ctx: "CycleContext") -> None:  # pragma: no cover
+        ...
+
+
+class StrlGeneration:
+    """Generate one STRL expression per pending job; cull valueless jobs."""
+
+    name = "generate"
+
+    def run(self, ctx: "CycleContext") -> None:
+        sched = ctx.scheduler
+        for job_id, req in list(sched.queues.items()):
+            expr = sched._generate(req, ctx.now)
+            if expr is None:
+                sched.queues.remove(job_id)
+                ctx.result.culled.append(job_id)
+                continue
+            ctx.exprs.append((job_id, expr))
+            ctx.requests[job_id] = req
+        if not ctx.exprs:
+            ctx.halt()
+
+
+class Compilation:
+    """Aggregate STRL under the top-level SUM and compile to a MILP."""
+
+    name = "compile"
+
+    def run(self, ctx: "CycleContext") -> None:
+        sched = ctx.scheduler
+        compiler = StrlCompiler(sched.state, ctx.config.quantum_s, ctx.now)
+        preemptible = (sched._preemption_candidates()
+                       if ctx.config.enable_preemption else [])
+        ctx.compiled = compiler.compile(ctx.exprs, preemptible=preemptible)
+        ctx.telemetry.milp_variables = ctx.compiled.stats["variables"]
+        ctx.telemetry.milp_constraints = ctx.compiled.stats["constraints"]
+
+
+class ModelBuild:
+    """Force the model's sparse export and build the warm start.
+
+    The CSR triplets are cached on the model, so the solver stage reuses
+    them for free; materializing here makes export cost a visible line in
+    the per-stage timings rather than noise inside ``solve``.
+    """
+
+    name = "model_build"
+
+    def run(self, ctx: "CycleContext") -> None:
+        sched = ctx.scheduler
+        assert ctx.compiled is not None
+        sp = ctx.compiled.model.to_sparse_arrays()
+        ctx.nnz = sp.nnz
+        obs.emit("scheduler.model_build",
+                 variables=ctx.compiled.model.num_variables,
+                 constraints=len(ctx.compiled.model.constraints),
+                 nnz=ctx.nnz)
+        if ctx.config.warm_start:
+            ctx.telemetry.warm_start_attempted = True
+            with obs.span("warm_start"):
+                ctx.warm_start = sched._build_warm_start(ctx.compiled, ctx.now)
+            # Hit/miss accounting flows through CycleStats (the simulator
+            # folds it into the run profile), not the obs registry, so the
+            # two layers never double-count.
+            ctx.telemetry.warm_start_hit = ctx.warm_start is not None
+
+
+class Decompose:
+    """Split the aggregate MILP into independent connected components."""
+
+    name = "decompose"
+
+    def run(self, ctx: "CycleContext") -> None:
+        assert ctx.compiled is not None
+        if not ctx.config.decomposition:
+            ctx.components = 1
+            return
+        ctx.decomposition = decompose(ctx.compiled.model)
+        ctx.components = max(1, ctx.decomposition.num_components)
+        obs.emit("scheduler.decompose",
+                 components=ctx.decomposition.num_components,
+                 sizes=ctx.decomposition.component_sizes(),
+                 free=int(ctx.decomposition.free_indices.size))
+
+
+class Solve:
+    """Solve the cycle MILP — per component when decomposed.
+
+    A decomposed solve is still *one* logical solver invocation in the
+    cycle telemetry (Fig. 12's solver-work tables compare global vs
+    greedy solve counts; decomposition must not inflate them).
+    """
+
+    name = "solve"
+
+    def run(self, ctx: "CycleContext") -> None:
+        sched = ctx.scheduler
+        tel = ctx.telemetry
+        assert ctx.compiled is not None
+        decomp = ctx.decomposition
+        t0 = time.monotonic()
+        if decomp is not None and (decomp.num_components > 1
+                                   or decomp.free_indices.size):
+            res = solve_decomposed(decomp, sched._backend,
+                                   warm_start=ctx.warm_start)
+        else:
+            res = sched._backend.solve(ctx.compiled.model,
+                                       warm_start=ctx.warm_start)
+        tel.solver_latency_s += time.monotonic() - t0
+        tel.absorb(res)
+        if not res.status.has_solution:
+            # All-zero (schedule nothing) is always feasible, so this should
+            # only happen under a very tight solver budget.
+            sched._prev_plan = []
+            ctx.halt()
+            return
+        tel.objective = res.objective
+        ctx.solution = res
+
+
+class Extract:
+    """Decode the solution, apply preemptions, launch start-now placements."""
+
+    name = "extract"
+
+    def run(self, ctx: "CycleContext") -> None:
+        sched = ctx.scheduler
+        compiled, res = ctx.compiled, ctx.solution
+        assert compiled is not None and res is not None and res.x is not None
+
+        # Apply preemption decisions before materializing placements: the
+        # freed nodes are part of the supply the solution relied on.
+        for victim_id in compiled.preempted_jobs(res.x):
+            sched.state.finish(victim_id)
+            req = sched._launched.pop(victim_id)
+            sched.queues.push(victim_id, req.priority, req)
+            ctx.result.preempted.append(victim_id)
+
+        with obs.span("decode"):
+            placements = compiled.decode(res.x)
+            sched._prev_plan = [(rec.job_id, rec.leaf)
+                                for rec in compiled.leaf_records
+                                if rec.chosen_counts(res.x)]
+            sched._prev_now = ctx.now
+
+        with obs.span("materialize"):
+            acc = PlanAccumulator(sched.state, ctx.now, ctx.config.quantum_s)
+            ctx.result.allocations = sched._materialize(
+                placements, compiled, acc, ctx.requests, ctx.now)
+
+
+class GreedyScheduling:
+    """TetriSched-NG: per-job MILPs in priority order (no aggregation)."""
+
+    name = "greedy"
+
+    def run(self, ctx: "CycleContext") -> None:
+        ctx.components = 0
+        ctx.result.allocations = ctx.scheduler._cycle_greedy(
+            ctx.exprs, ctx.requests, ctx.now, ctx.telemetry)

@@ -277,6 +277,10 @@ class Simulation:
                 profile.bump("scheduler.warm_start.attempts")
                 profile.bump("scheduler.warm_start.hits",
                              1.0 if stats.warm_start_hit else 0.0)
+            profile.bump("scheduler.components", stats.components)
+            profile.bump("solver.milp_nonzeros", stats.milp_nonzeros)
+            for stage, seconds in stats.stage_timings.items():
+                profile.bump(f"scheduler.stage_s.{stage}", seconds)
         profile.bump("scheduler.launched", len(decisions.allocations))
         profile.bump("scheduler.culled", len(decisions.culled))
         profile.bump("scheduler.preempted", len(decisions.preempted))

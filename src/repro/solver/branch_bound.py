@@ -49,6 +49,10 @@ class BranchBoundOptions:
     rounding_heuristic: bool = True
     #: Apply bound-tightening / row-dropping reductions before the search.
     presolve: bool = True
+    #: Model export to consume: ``"sparse"`` (CSR triplets, presolved
+    #: sparsely, densified only at the LP-engine boundary) or ``"dense"``
+    #: (the historical `to_standard_arrays` path, kept as a test oracle).
+    arrays: str = "sparse"
 
 
 @dataclass(order=True)
@@ -82,11 +86,13 @@ class BranchBoundSolver:
               warm_start: np.ndarray | None = None) -> MILPResult:
         t0 = time.monotonic()
         opts = self.options
-        sa = model.to_standard_arrays()
         presolve_stats: dict = {}
+        sparse = opts.arrays == "sparse"
+        arrays = (model.to_sparse_arrays() if sparse
+                  else model.to_standard_arrays())
         if opts.presolve:
-            from repro.solver.presolve import presolve as _presolve
-            reduction = _presolve(sa)
+            from repro.solver.presolve import presolve, presolve_sparse
+            reduction = (presolve_sparse if sparse else presolve)(arrays)
             presolve_stats = {
                 "presolve_rows_dropped": reduction.rows_dropped,
                 "presolve_bounds_tightened": reduction.bounds_tightened,
@@ -98,7 +104,11 @@ class BranchBoundSolver:
                 return MILPResult(SolveStatus.INFEASIBLE, None, math.nan,
                                   solve_time=time.monotonic() - t0,
                                   stats=presolve_stats)
-            sa = reduction.arrays
+            arrays = reduction.arrays
+        # The two-phase simplex underneath is a dense algorithm; on the
+        # sparse path this densification (post-presolve, so after row
+        # drops) is the only point where full matrices materialize.
+        sa = arrays.to_standard() if sparse else arrays
         n = len(sa.c)
         int_idx = np.nonzero(sa.integrality)[0]
 

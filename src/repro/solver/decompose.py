@@ -1,0 +1,270 @@
+"""Independent-component decomposition of MILP models.
+
+A scheduling-cycle MILP is block-separable whenever two groups of jobs share
+no ``(partition, time-slice)`` supply constraint: the constraint matrix is
+block-diagonal up to row/column permutation, so the monolithic optimum is
+exactly the union of the per-block optima.  Branch and bound is
+super-linear in problem size, so solving ``k`` blocks of size ``n/k`` is
+far cheaper than one block of size ``n`` — the structure-exploitation
+argument CvxCluster makes for consensus problems (100-1000x) applies
+directly here.
+
+:func:`decompose` finds the blocks with a union-find sweep over constraint
+nonzeros (``O(nnz * alpha)``), builds one independent sub-:class:`Model`
+per block, and handles variables that appear in *no* constraint (e.g. a
+preemption decision whose victim frees no contested node) analytically
+from their bounds.  :func:`solve_decomposed` solves every component
+through any :class:`~repro.solver.backend.MILPBackend`, slices a full-model
+warm start down to each component, and recombines solutions, objective,
+bound and search statistics into a single :class:`MILPResult` whose ``x``
+is indistinguishable from a monolithic solve.
+
+Decomposition is *schedule-preserving by construction*: with exact solves
+the recombined objective equals the monolithic optimum; with a relative
+gap each component is within the gap, so the union is too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.errors import SolverError
+from repro.solver.expr import LinExpr
+from repro.solver.model import MAXIMIZE, Model
+from repro.solver.result import MILPResult, SolveStatus
+
+
+@dataclass
+class SubProblem:
+    """One independent block: a standalone model plus its column mapping."""
+
+    model: Model
+    #: Global (source-model) variable index of each local column, sorted.
+    global_indices: np.ndarray
+
+    @property
+    def num_variables(self) -> int:
+        return int(self.global_indices.shape[0])
+
+
+@dataclass
+class Decomposition:
+    """A model split into independent blocks plus analytic leftovers."""
+
+    source: Model
+    components: list[SubProblem]
+    #: Variables appearing in no constraint, fixed at their best bound.
+    free_indices: np.ndarray
+    free_values: np.ndarray
+    #: Objective contribution of the free variables (model sense).
+    free_objective: float
+    #: The source objective's constant term.
+    constant: float
+
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    def component_sizes(self) -> list[int]:
+        return [c.num_variables for c in self.components]
+
+    def assemble(self, solutions: list[np.ndarray]) -> np.ndarray:
+        """Scatter per-component solutions back into source column order."""
+        x = np.zeros(self.source.num_variables)
+        for comp, xs in zip(self.components, solutions):
+            x[comp.global_indices] = xs
+        if self.free_indices.size:
+            x[self.free_indices] = self.free_values
+        return x
+
+    def slice_warm_start(self, x_full: np.ndarray | None,
+                         comp: SubProblem) -> np.ndarray | None:
+        """Restrict a full-model feasible point to one component's columns.
+
+        Constraints are component-local, so the restriction of a feasible
+        point is feasible for the sub-model; this is how the previous
+        cycle's shifted plan seeds each block's incumbent.
+        """
+        if x_full is None:
+            return None
+        return np.asarray(x_full, dtype=float)[comp.global_indices]
+
+
+class _UnionFind:
+    """Array-based union-find with path halving and union by size."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, i: int) -> int:
+        parent = self.parent
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+def _free_value(var, coef: float, sense: str) -> float:
+    """Optimal value of an unconstrained variable, from its bounds."""
+    wants_high = coef > 0 if sense == MAXIMIZE else coef < 0
+    if coef == 0.0:
+        if var.lb is not None:
+            pick = var.lb
+        elif var.ub is not None:
+            pick = min(0.0, var.ub)
+        else:
+            pick = 0.0
+    elif wants_high:
+        if var.ub is None:
+            raise SolverError(
+                f"unconstrained variable {var.name!r} is unbounded in the "
+                f"objective direction")
+        pick = var.ub
+    else:
+        if var.lb is None:
+            raise SolverError(
+                f"unconstrained variable {var.name!r} is unbounded in the "
+                f"objective direction")
+        pick = var.lb
+    if var.is_integral:
+        pick = float(round(pick))
+    return float(pick)
+
+
+def decompose(model: Model) -> Decomposition:
+    """Split ``model`` into independent connected components.
+
+    Two variables are connected when some constraint mentions both; the
+    components of that graph are exactly the blocks of the (permuted)
+    block-diagonal constraint matrix.  Every constraint lands in exactly
+    one component (all its variables share a root by construction).
+    """
+    n = model.num_variables
+    uf = _UnionFind(n)
+    in_constraint = np.zeros(n, dtype=bool)
+    for con in model.constraints:
+        idxs = list(con.expr.coeffs.keys())
+        for i in idxs:
+            in_constraint[i] = True
+        first = idxs[0] if idxs else None
+        for i in idxs[1:]:
+            uf.union(first, i)
+
+    # Group constrained variables by root, preserving column order.
+    groups: dict[int, list[int]] = {}
+    for i in range(n):
+        if in_constraint[i]:
+            groups.setdefault(uf.find(i), []).append(i)
+
+    sense = model.objective_sense
+    components: list[SubProblem] = []
+    local_of: dict[int, tuple[int, int]] = {}  # global -> (comp, local)
+    for k, (root, idxs) in enumerate(sorted(groups.items())):
+        sub = Model(f"{model.name}#c{k}")
+        for local, gi in enumerate(idxs):
+            v = model.variables[gi]
+            sub._add_var(v.name, v.lb, v.ub, v.domain)
+            local_of[gi] = (k, local)
+        obj = LinExpr({local_of[gi][1]: model.objective.coeffs[gi]
+                       for gi in idxs if gi in model.objective.coeffs})
+        sub.set_objective(obj, sense=sense)
+        components.append(SubProblem(model=sub,
+                                     global_indices=np.asarray(idxs,
+                                                               dtype=np.int64)))
+
+    for con in model.constraints:
+        idxs = con.expr.coeffs
+        if not idxs:
+            continue  # constant constraints were validated at add time
+        k, _ = local_of[next(iter(idxs))]
+        sub = components[k].model
+        expr = LinExpr({local_of[gi][1]: coef for gi, coef in idxs.items()})
+        sub.add_constraint(expr, con.sense, con.rhs, name=con.name)
+
+    free = np.nonzero(~in_constraint)[0]
+    free_values = np.zeros(free.shape[0])
+    free_objective = 0.0
+    for pos, gi in enumerate(free):
+        coef = model.objective.coeffs.get(int(gi), 0.0)
+        free_values[pos] = _free_value(model.variables[gi], coef, sense)
+        free_objective += coef * free_values[pos]
+
+    return Decomposition(source=model, components=components,
+                         free_indices=free.astype(np.int64),
+                         free_values=free_values,
+                         free_objective=free_objective,
+                         constant=model.objective.constant)
+
+
+def solve_decomposed(decomp: Decomposition, backend,
+                     warm_start: np.ndarray | None = None) -> MILPResult:
+    """Solve every component through ``backend`` and recombine.
+
+    The recombined :class:`MILPResult` carries the summed objective/bound,
+    the max component gap, summed node/iteration counts, and
+    ``stats["components"]``; its ``x`` lives in source-model column order,
+    so callers decode it exactly as they would a monolithic solution.
+    """
+    model = decomp.source
+    objective = decomp.constant + decomp.free_objective
+    bound = objective
+    gap = 0.0
+    nodes = 0
+    lp_iterations = 0
+    solve_time = 0.0
+    proven = True
+    solutions: list[np.ndarray] = []
+    for comp in decomp.components:
+        ws = decomp.slice_warm_start(warm_start, comp)
+        res = backend.solve(comp.model, warm_start=ws)
+        nodes += res.nodes
+        solve_time += res.solve_time
+        lp_iterations += int(res.stats.get("lp_iterations", 0))
+        if res.status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED):
+            # An infeasible/unbounded block makes the whole model so.
+            return MILPResult(res.status, None,
+                              math.nan if res.status == SolveStatus.INFEASIBLE
+                              else res.objective,
+                              nodes=nodes, solve_time=solve_time,
+                              stats={"components": decomp.num_components,
+                                     "lp_iterations": lp_iterations})
+        if not res.status.has_solution:
+            return MILPResult(SolveStatus.NO_SOLUTION, None, math.nan,
+                              nodes=nodes, solve_time=solve_time,
+                              stats={"components": decomp.num_components,
+                                     "lp_iterations": lp_iterations})
+        solutions.append(res.x)
+        objective += res.objective
+        bound += res.bound if not math.isnan(res.bound) else res.objective
+        if not math.isnan(res.gap):
+            gap = max(gap, res.gap)
+        proven = proven and res.status == SolveStatus.OPTIMAL
+
+    x = decomp.assemble(solutions)
+    obs.count("solver.decompose.components", decomp.num_components)
+    obs.emit("solver.decomposed_solve",
+             components=decomp.num_components,
+             sizes=decomp.component_sizes(),
+             objective=objective, nodes=nodes,
+             time_ms=1000.0 * solve_time)
+    return MILPResult(
+        status=SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE,
+        x=x, objective=objective, bound=bound, gap=gap, nodes=nodes,
+        solve_time=solve_time,
+        stats={"components": decomp.num_components,
+               "component_sizes": decomp.component_sizes(),
+               "lp_iterations": lp_iterations})

@@ -2,8 +2,19 @@
 
 A :class:`Model` owns decision variables, linear constraints, and a single
 linear objective.  It is solver-agnostic: backends (pure-Python simplex +
-branch-and-bound, or scipy/HiGHS) consume the model through its dense matrix
-export, :meth:`Model.to_standard_arrays`.
+branch-and-bound, or scipy/HiGHS) consume the model through its sparse
+CSR-triplet export, :meth:`Model.to_sparse_arrays`.  The dense export,
+:meth:`Model.to_standard_arrays`, is retained as the *test oracle*: it is
+built independently of the sparse path, and the equivalence suite
+(``tests/solver/test_sparse.py``) asserts both describe the same constraint
+system.
+
+Scheduling MILPs are extremely sparse — a supply row touches only the
+partition variables of leaves alive in one time slice — so the dense
+``O(vars x constraints)`` materialization used to dominate cycle time as
+the plan-ahead window grew (Fig. 12 regimes).  The CSR export is
+``O(nonzeros)`` and is cached on the model (invalidated by any mutation),
+so the pipeline's ModelBuild stage and the solver share one export.
 
 This mirrors the paper's architecture where "the internal MILP model can be
 translated to any MILP backend" (Sec. 3.2.2).
@@ -93,6 +104,103 @@ class StandardArrays:
     integrality: np.ndarray
 
 
+@dataclass(frozen=True)
+class SparseMatrix:
+    """A read-only CSR matrix: row ``r`` holds ``indices[indptr[r]:indptr[r+1]]``.
+
+    Plain numpy triplets rather than ``scipy.sparse`` so the pure backend has
+    no scipy dependency; :meth:`to_scipy` bridges when scipy is present.
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray   # int64, len rows + 1
+    indices: np.ndarray  # int64, len nnz (column ids)
+    data: np.ndarray     # float64, len nnz
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    def row(self, r: int) -> tuple[np.ndarray, np.ndarray]:
+        """(column indices, coefficients) of row ``r`` — views, not copies."""
+        lo, hi = self.indptr[r], self.indptr[r + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        rows = np.repeat(np.arange(self.shape[0]),
+                         np.diff(self.indptr))
+        out[rows, self.indices] = self.data
+        return out
+
+    def to_scipy(self):
+        """As a ``scipy.sparse.csr_matrix`` (scipy backends only)."""
+        from scipy.sparse import csr_matrix
+        return csr_matrix((self.data, self.indices, self.indptr),
+                          shape=self.shape)
+
+    def select_rows(self, keep: np.ndarray) -> "SparseMatrix":
+        """A new matrix with only the rows where ``keep`` is True."""
+        counts = np.diff(self.indptr)
+        mask = np.repeat(keep, counts)
+        new_counts = counts[keep]
+        indptr = np.concatenate([[0], np.cumsum(new_counts)])
+        return SparseMatrix((int(keep.sum()), self.shape[1]),
+                            indptr.astype(np.int64),
+                            self.indices[mask], self.data[mask])
+
+
+def _rows_to_csr(rows: list[tuple[dict, float]], n: int,
+                 scale: list[float]) -> tuple[SparseMatrix, np.ndarray]:
+    """Pack ``[(coeffs, rhs), ...]`` (with per-row sign) into CSR + rhs."""
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    idx: list[int] = []
+    dat: list[float] = []
+    b = np.zeros(len(rows))
+    for r, ((coeffs, rhs), s) in enumerate(zip(rows, scale)):
+        indptr[r + 1] = indptr[r] + len(coeffs)
+        idx.extend(coeffs.keys())
+        dat.extend(s * v for v in coeffs.values())
+        b[r] = s * rhs
+    indices = np.asarray(idx, dtype=np.int64) if idx else np.zeros(0, np.int64)
+    data = np.asarray(dat, dtype=float) if dat else np.zeros(0)
+    return SparseMatrix((len(rows), n), indptr, indices, data), b
+
+
+@dataclass
+class SparseArrays:
+    """Sparse export of a model, minimization orientation (CSR constraints).
+
+    Field semantics match :class:`StandardArrays` exactly; only the matrix
+    representation differs.  :meth:`to_standard` densifies — backends use it
+    at their dense-algorithm boundary (the pure simplex), tests use it to
+    cross-check against the independent dense export.
+    """
+
+    c: np.ndarray
+    obj_constant: float
+    obj_sign: float
+    a_ub: SparseMatrix
+    b_ub: np.ndarray
+    a_eq: SparseMatrix
+    b_eq: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    integrality: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return self.a_ub.nnz + self.a_eq.nnz
+
+    def to_standard(self) -> StandardArrays:
+        """Densify into a :class:`StandardArrays` (same row/column order)."""
+        return StandardArrays(
+            c=self.c, obj_constant=self.obj_constant, obj_sign=self.obj_sign,
+            a_ub=self.a_ub.to_dense(), b_ub=self.b_ub,
+            a_eq=self.a_eq.to_dense(), b_eq=self.b_eq,
+            lb=self.lb, ub=self.ub, integrality=self.integrality)
+
+
 class Model:
     """A mixed integer linear program.
 
@@ -111,6 +219,7 @@ class Model:
         self.objective: LinExpr = LinExpr()
         self.objective_sense: str = MAXIMIZE
         self._names: set[str] = set()
+        self._sparse_cache: SparseArrays | None = None
 
     # -- variables ---------------------------------------------------------
     def _add_var(self, name: str, lb, ub, domain: str) -> Variable:
@@ -119,6 +228,7 @@ class Model:
         var = Variable(name, len(self.variables), lb, ub, domain)
         self.variables.append(var)
         self._names.add(name)
+        self._sparse_cache = None
         return var
 
     def add_continuous(self, name: str, lb: float | None = 0.0,
@@ -172,6 +282,7 @@ class Model:
             name = f"c{len(self.constraints)}"
         con = Constraint(name, expr, sense, float(rhs_value))
         self.constraints.append(con)
+        self._sparse_cache = None
         return con
 
     # -- objective -----------------------------------------------------------
@@ -180,6 +291,7 @@ class Model:
             raise ModelError(f"unknown objective sense {sense!r}")
         self.objective = as_expr(expr).copy()
         self.objective_sense = sense
+        self._sparse_cache = None
 
     def objective_value(self, x: np.ndarray) -> float:
         """Evaluate the model objective (in its own sense) at point ``x``."""
@@ -187,8 +299,59 @@ class Model:
                 + self.objective.constant)
 
     # -- export ----------------------------------------------------------------
+    def to_sparse_arrays(self) -> SparseArrays:
+        """Export CSR triplets in minimization orientation (``O(nonzeros)``).
+
+        This is the export backends consume; row and column order matches
+        :meth:`to_standard_arrays` exactly (inequality rows in constraint
+        order with GE rows negated into LE, then equality rows).  The result
+        is cached until the model is mutated, so the pipeline's ModelBuild
+        stage and the solve share one export.
+        """
+        if self._sparse_cache is not None:
+            return self._sparse_cache
+        n = self.num_variables
+        c = np.zeros(n)
+        for i, coef in self.objective.coeffs.items():
+            c[i] = coef
+        obj_sign = 1.0
+        if self.objective_sense == MAXIMIZE:
+            c = -c
+            obj_sign = -1.0
+
+        ub_rows: list[tuple[dict, float]] = []
+        ub_scale: list[float] = []
+        eq_rows: list[tuple[dict, float]] = []
+        for con in self.constraints:
+            if con.sense == LE:
+                ub_rows.append((con.expr.coeffs, con.rhs))
+                ub_scale.append(1.0)
+            elif con.sense == GE:
+                ub_rows.append((con.expr.coeffs, con.rhs))
+                ub_scale.append(-1.0)
+            else:
+                eq_rows.append((con.expr.coeffs, con.rhs))
+        a_ub, b_ub = _rows_to_csr(ub_rows, n, ub_scale)
+        a_eq, b_eq = _rows_to_csr(eq_rows, n, [1.0] * len(eq_rows))
+        lb = np.array([v.lb if v.lb is not None else -np.inf
+                       for v in self.variables])
+        ub = np.array([v.ub if v.ub is not None else np.inf
+                       for v in self.variables])
+        integrality = np.array([v.is_integral for v in self.variables],
+                               dtype=bool)
+        self._sparse_cache = SparseArrays(
+            c=c, obj_constant=self.objective.constant, obj_sign=obj_sign,
+            a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+            lb=lb, ub=ub, integrality=integrality)
+        return self._sparse_cache
+
     def to_standard_arrays(self) -> StandardArrays:
-        """Export dense arrays in minimization orientation for backends."""
+        """Export dense arrays in minimization orientation.
+
+        Deliberately independent of :meth:`to_sparse_arrays` so it can serve
+        as the test oracle for the sparse path; production backends consume
+        the sparse export.
+        """
         n = self.num_variables
         c = np.zeros(n)
         for i, coef in self.objective.coeffs.items():

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.solver.model import StandardArrays
+from repro.solver.model import SparseArrays, StandardArrays
 
 _TOL = 1e-9
 
@@ -36,6 +36,17 @@ class PresolveResult:
     """Outcome of a presolve pass."""
 
     arrays: StandardArrays
+    infeasible: bool
+    rows_dropped: int
+    bounds_tightened: int
+    passes: int
+
+
+@dataclass
+class SparsePresolveResult:
+    """Outcome of a sparse presolve pass (mirrors :class:`PresolveResult`)."""
+
+    arrays: SparseArrays
     infeasible: bool
     rows_dropped: int
     bounds_tightened: int
@@ -147,3 +158,94 @@ def presolve(sa: StandardArrays, max_passes: int = 5) -> PresolveResult:
     return PresolveResult(arrays=out, infeasible=infeasible,
                           rows_dropped=dropped, bounds_tightened=tightened,
                           passes=passes)
+
+
+def presolve_sparse(sp: SparseArrays,
+                    max_passes: int = 5) -> SparsePresolveResult:
+    """The same reductions as :func:`presolve`, driven off the CSR export.
+
+    Row scans touch only stored nonzeros, so a pass is ``O(nnz)`` instead of
+    ``O(rows x columns)`` — on scheduling MILPs (density well under 1 %) this
+    is the difference between presolve being free and presolve rivaling the
+    search itself.  Applies identical reductions in identical order, so the
+    differential test in ``tests/solver/test_sparse.py`` can assert the two
+    implementations agree row for row.
+    """
+    lb = sp.lb.copy()
+    ub = sp.ub.copy()
+    a_ub = sp.a_ub
+    b_ub = sp.b_ub.copy()
+    tightened = 0
+    dropped = 0
+    infeasible = False
+    passes = 0
+
+    tightened += _round_integer_bounds(lb, ub, sp.integrality)
+    if np.any(lb > ub + _TOL):
+        infeasible = True
+
+    while not infeasible and passes < max_passes:
+        passes += 1
+        changed = False
+        keep = np.ones(a_ub.shape[0], dtype=bool)
+        for r in range(a_ub.shape[0]):
+            cols, coefs = a_ub.row(r)
+            # Entries may hold explicit zeros after cancellation; treat the
+            # row by its structural nonzeros only, like the dense pass does.
+            nz = coefs != 0.0
+            cols, coefs = cols[nz], coefs[nz]
+            if cols.size == 0:
+                if b_ub[r] < -_TOL:
+                    infeasible = True
+                    break
+                keep[r] = False
+                dropped += 1
+                changed = True
+                continue
+            if cols.size == 1:
+                j = int(cols[0])
+                coef = float(coefs[0])
+                bound = b_ub[r] / coef
+                if coef > 0:  # x <= bound
+                    if bound < ub[j] - _TOL:
+                        ub[j] = bound
+                        tightened += 1
+                        changed = True
+                else:  # x >= bound
+                    if bound > lb[j] + _TOL:
+                        lb[j] = bound
+                        tightened += 1
+                        changed = True
+                keep[r] = False
+                dropped += 1
+                continue
+            pos = coefs > 0
+            lo = float(coefs[pos] @ lb[cols[pos]]
+                       + coefs[~pos] @ ub[cols[~pos]])
+            hi = float(coefs[pos] @ ub[cols[pos]]
+                       + coefs[~pos] @ lb[cols[~pos]])
+            if lo > b_ub[r] + 1e-7:
+                infeasible = True
+                break
+            if hi <= b_ub[r] + _TOL:
+                keep[r] = False
+                dropped += 1
+                changed = True
+        if infeasible:
+            break
+        if not keep.all():
+            a_ub = a_ub.select_rows(keep)
+            b_ub = b_ub[keep]
+        tightened += _round_integer_bounds(lb, ub, sp.integrality)
+        if np.any(lb > ub + _TOL):
+            infeasible = True
+        if not changed:
+            break
+
+    out = SparseArrays(
+        c=sp.c, obj_constant=sp.obj_constant, obj_sign=sp.obj_sign,
+        a_ub=a_ub, b_ub=b_ub, a_eq=sp.a_eq, b_eq=sp.b_eq,
+        lb=lb, ub=ub, integrality=sp.integrality)
+    return SparsePresolveResult(arrays=out, infeasible=infeasible,
+                                rows_dropped=dropped,
+                                bounds_tightened=tightened, passes=passes)

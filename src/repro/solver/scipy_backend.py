@@ -79,28 +79,39 @@ class ScipyMILPSolver:
         time budget; we default to exact).
     time_limit:
         Wall-clock limit in seconds, or ``None``.
+    use_sparse:
+        Feed HiGHS ``scipy.sparse`` constraint matrices built from the
+        model's CSR export (the default); ``False`` keeps the dense
+        ``to_standard_arrays`` path as a cross-check oracle.
     """
 
     def __init__(self, rel_gap: float = 1e-6,
-                 time_limit: float | None = None) -> None:
+                 time_limit: float | None = None,
+                 use_sparse: bool = True) -> None:
         if not HAVE_SCIPY:
             raise SolverError("scipy is not installed")
         self.rel_gap = rel_gap
         self.time_limit = time_limit
+        self.use_sparse = use_sparse
 
     def solve(self, model: Model,
               warm_start: np.ndarray | None = None) -> MILPResult:
         # scipy.optimize.milp has no warm-start hook; the argument is
         # accepted for interface compatibility and ignored.
-        sa = model.to_standard_arrays()
+        if self.use_sparse:
+            sa = model.to_sparse_arrays()
+            a_ub, a_eq = sa.a_ub.to_scipy(), sa.a_eq.to_scipy()
+        else:
+            sa = model.to_standard_arrays()
+            a_ub, a_eq = sa.a_ub, sa.a_eq
         t0 = time.monotonic()
         constraints = []
-        if sa.a_ub.size:
+        if sa.b_ub.size:
             constraints.append(_sciopt.LinearConstraint(
-                sa.a_ub, -np.inf, sa.b_ub))
-        if sa.a_eq.size:
+                a_ub, -np.inf, sa.b_ub))
+        if sa.b_eq.size:
             constraints.append(_sciopt.LinearConstraint(
-                sa.a_eq, sa.b_eq, sa.b_eq))
+                a_eq, sa.b_eq, sa.b_eq))
         options = {"mip_rel_gap": self.rel_gap, "presolve": True}
         if self.time_limit is not None:
             options["time_limit"] = self.time_limit

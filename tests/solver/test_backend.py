@@ -1,0 +1,35 @@
+"""make_backend: name registry behavior."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.backend import BACKEND_NAMES, make_backend
+from repro.solver.scipy_backend import scipy_available
+
+
+def test_unknown_backend_raises_with_valid_names():
+    with pytest.raises(SolverError) as exc:
+        make_backend("cplex")
+    msg = str(exc.value)
+    assert "cplex" in msg
+    for name in BACKEND_NAMES:
+        assert name in msg, f"error should list valid backend {name!r}"
+
+
+@pytest.mark.parametrize("bad", ["", "Pure", "scipy-lp", "gurobi"])
+def test_other_unknown_names_rejected(bad):
+    with pytest.raises(SolverError):
+        make_backend(bad)
+
+
+def test_known_names_construct_solvers():
+    for name in BACKEND_NAMES:
+        if name in ("scipy", "pure-scipy-lp") and not scipy_available():
+            continue
+        backend = make_backend(name)
+        assert hasattr(backend, "solve")
+
+
+def test_auto_resolves_to_a_backend():
+    backend = make_backend("auto")
+    assert hasattr(backend, "solve")

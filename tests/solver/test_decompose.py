@@ -1,0 +1,127 @@
+"""Independent-component decomposition: structure and schedule preservation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.expr import LinExpr
+from repro.solver.backend import make_backend
+from repro.solver.branch_bound import BranchBoundSolver
+from repro.solver.decompose import decompose, solve_decomposed
+from repro.solver.model import Model
+from repro.solver.result import SolveStatus
+
+
+def two_knapsacks(free_ub: float = 1.0) -> Model:
+    """Two independent 2-variable knapsacks plus one unconstrained binary."""
+    m = Model("pair")
+    a1 = m.add_integer("a1", ub=4)
+    a2 = m.add_integer("a2", ub=4)
+    b1 = m.add_integer("b1", ub=4)
+    b2 = m.add_integer("b2", ub=4)
+    f = m.add_continuous("free", lb=0.0, ub=free_ub)
+    m.add_constraint(2 * a1 + 3 * a2, "<=", 7, name="capA")
+    m.add_constraint(4 * b1 + 1 * b2, "<=", 9, name="capB")
+    m.set_objective(3 * a1 + 4 * a2 + 2 * b1 + 5 * b2 + 1 * f,
+                    sense="maximize")
+    return m
+
+
+def test_decompose_finds_components_and_free_vars():
+    m = two_knapsacks()
+    d = decompose(m)
+    assert d.num_components == 2
+    assert d.component_sizes() == [2, 2]
+    assert list(d.free_indices) == [4]
+    assert d.free_values[0] == pytest.approx(1.0)  # maximize -> ub
+    assert d.free_objective == pytest.approx(1.0)
+
+
+def test_component_constraints_are_local():
+    d = decompose(two_knapsacks())
+    for comp in d.components:
+        assert len(comp.model.constraints) == 1
+        assert comp.model.num_variables == 2
+
+
+def test_decomposed_solve_matches_monolithic():
+    m = two_knapsacks()
+    mono = BranchBoundSolver().solve(m)
+    d = decompose(m)
+    res = solve_decomposed(d, BranchBoundSolver())
+    assert res.status == SolveStatus.OPTIMAL
+    assert res.objective == pytest.approx(mono.objective)
+    assert m.check_feasible(res.x)
+    assert res.stats["components"] == 2
+
+
+def test_decomposed_solve_matches_all_backends():
+    m = two_knapsacks()
+    for name in ("pure", "auto"):
+        backend = make_backend(name)
+        mono = backend.solve(m)
+        res = solve_decomposed(decompose(m), backend)
+        assert res.objective == pytest.approx(mono.objective, abs=1e-6)
+
+
+def test_assemble_scatters_in_source_order():
+    d = decompose(two_knapsacks())
+    sols = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+    x = d.assemble(sols)
+    assert list(x) == [1.0, 2.0, 3.0, 4.0, 1.0]
+
+
+def test_warm_start_slicing():
+    m = two_knapsacks()
+    d = decompose(m)
+    full = np.array([1.0, 1.0, 2.0, 1.0, 0.5])
+    ws = d.slice_warm_start(full, d.components[1])
+    assert list(ws) == [2.0, 1.0]
+    assert d.slice_warm_start(None, d.components[0]) is None
+
+
+def test_infeasible_component_propagates():
+    m = two_knapsacks()
+    # Make block B infeasible: b1 + b2 >= 100 with ub 4 each.
+    b1 = m.variables[2]
+    b2 = m.variables[3]
+    m.add_constraint(LinExpr({b1.index: 1.0, b2.index: 1.0}), ">=", 100)
+    res = solve_decomposed(decompose(m), BranchBoundSolver())
+    assert res.status == SolveStatus.INFEASIBLE
+
+
+def test_unbounded_free_variable_raises():
+    m = Model("unb")
+    m.add_continuous("x", lb=0.0, ub=None)
+    m.set_objective(LinExpr({0: 1.0}), sense="maximize")
+    with pytest.raises(SolverError):
+        decompose(m)
+
+
+def test_fully_connected_model_is_one_component():
+    m = Model("one")
+    x = m.add_integer("x", ub=3)
+    y = m.add_integer("y", ub=3)
+    z = m.add_integer("z", ub=3)
+    m.add_constraint(1 * x + 1 * y, "<=", 4)
+    m.add_constraint(1 * y + 1 * z, "<=", 4)
+    m.set_objective(1 * x + 2 * y + 3 * z, sense="maximize")
+    d = decompose(m)
+    assert d.num_components == 1
+    assert d.component_sizes() == [3]
+    res = solve_decomposed(d, BranchBoundSolver())
+    assert res.objective == pytest.approx(
+        BranchBoundSolver().solve(m).objective)
+
+
+def test_all_free_model():
+    m = Model("free-only")
+    m.add_integer("x", ub=3)
+    m.add_continuous("y", lb=0.0, ub=2.0)
+    m.set_objective(LinExpr({0: 2.0, 1: 1.0}), sense="maximize")
+    d = decompose(m)
+    assert d.num_components == 0
+    res = solve_decomposed(d, BranchBoundSolver())
+    assert res.status == SolveStatus.OPTIMAL
+    assert res.objective == pytest.approx(8.0)
+    assert list(res.x) == [3.0, 2.0]

@@ -1,0 +1,119 @@
+"""Dense/sparse equivalence: export, presolve, and end-to-end solves.
+
+The dense ``to_standard_arrays`` path is kept purely as a test oracle for
+the CSR export; these differential tests are what make that oracle useful.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.solver.branch_bound import BranchBoundOptions, BranchBoundSolver
+from repro.solver.model import Model
+from repro.solver.presolve import presolve, presolve_sparse
+from repro.solver.scipy_backend import ScipyMILPSolver, scipy_available
+
+
+def random_model(seed: int) -> Model:
+    """A small random MILP mixing variable domains and constraint senses."""
+    rng = random.Random(seed)
+    m = Model(f"rand{seed}")
+    n = rng.randint(3, 8)
+    xs = []
+    for i in range(n):
+        kind = rng.choice(["binary", "integer", "continuous"])
+        if kind == "binary":
+            xs.append(m.add_binary(f"x{i}"))
+        elif kind == "integer":
+            xs.append(m.add_integer(f"x{i}", lb=0, ub=rng.randint(1, 6)))
+        else:
+            xs.append(m.add_continuous(f"x{i}", lb=0.0,
+                                       ub=float(rng.randint(1, 6))))
+    for c in range(rng.randint(2, 6)):
+        terms = rng.sample(xs, rng.randint(1, min(3, n)))
+        expr = sum((rng.randint(1, 4) * t for t in terms[1:]),
+                   rng.randint(1, 4) * terms[0])
+        sense = rng.choice(["<=", ">=", "<="])
+        rhs = rng.randint(2, 10) if sense == "<=" else rng.randint(0, 2)
+        m.add_constraint(expr, sense, rhs, name=f"c{c}")
+    obj = sum((rng.randint(1, 5) * x for x in xs[1:]),
+              rng.randint(1, 5) * xs[0])
+    m.set_objective(obj + rng.randint(0, 3), sense="maximize")
+    return m
+
+
+def assert_arrays_equal(dense, other):
+    assert np.array_equal(dense.c, other.c)
+    assert dense.obj_constant == other.obj_constant
+    assert dense.obj_sign == other.obj_sign
+    assert np.array_equal(dense.a_ub, other.a_ub)
+    assert np.array_equal(dense.b_ub, other.b_ub)
+    assert np.array_equal(dense.a_eq, other.a_eq)
+    assert np.array_equal(dense.b_eq, other.b_eq)
+    assert np.array_equal(dense.lb, other.lb)
+    assert np.array_equal(dense.ub, other.ub)
+    assert np.array_equal(dense.integrality, other.integrality)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_sparse_export_matches_dense_oracle(seed):
+    m = random_model(seed)
+    assert_arrays_equal(m.to_standard_arrays(), m.to_sparse_arrays().to_standard())
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_presolve_sparse_matches_dense(seed):
+    m = random_model(seed)
+    d = presolve(m.to_standard_arrays())
+    s = presolve_sparse(m.to_sparse_arrays())
+    assert d.infeasible == s.infeasible
+    assert d.rows_dropped == s.rows_dropped
+    assert d.bounds_tightened == s.bounds_tightened
+    assert d.passes == s.passes
+    if not d.infeasible:
+        assert_arrays_equal(d.arrays, s.arrays.to_standard())
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_pure_backend_same_objective_both_paths(seed):
+    m = random_model(seed)
+    sparse = BranchBoundSolver(BranchBoundOptions(arrays="sparse")).solve(m)
+    dense = BranchBoundSolver(BranchBoundOptions(arrays="dense")).solve(m)
+    assert sparse.status == dense.status
+    if sparse.status.has_solution:
+        assert sparse.objective == pytest.approx(dense.objective, abs=1e-7)
+        assert m.check_feasible(sparse.x)
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+@pytest.mark.parametrize("seed", range(12))
+def test_scipy_backend_same_objective_both_paths(seed):
+    m = random_model(seed)
+    sparse = ScipyMILPSolver(use_sparse=True).solve(m)
+    dense = ScipyMILPSolver(use_sparse=False).solve(m)
+    assert sparse.status == dense.status
+    if sparse.status.has_solution:
+        assert sparse.objective == pytest.approx(dense.objective, abs=1e-6)
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+@pytest.mark.parametrize("seed", range(8))
+def test_backends_agree_across_implementations(seed):
+    m = random_model(seed)
+    pure = BranchBoundSolver().solve(m)
+    scipy_res = ScipyMILPSolver().solve(m)
+    assert pure.status.has_solution == scipy_res.status.has_solution
+    if pure.status.has_solution:
+        assert pure.objective == pytest.approx(scipy_res.objective, abs=1e-5)
+
+
+def test_sparse_cache_invalidation():
+    m = random_model(0)
+    first = m.to_sparse_arrays()
+    assert m.to_sparse_arrays() is first  # cached
+    v = m.add_continuous("extra", lb=0.0, ub=1.0)
+    m.add_constraint(1 * v, "<=", 1)
+    rebuilt = m.to_sparse_arrays()
+    assert rebuilt is not first
+    assert_arrays_equal(m.to_standard_arrays(), rebuilt.to_standard())
