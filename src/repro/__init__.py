@@ -38,10 +38,13 @@ Quickstart
 from repro.cluster import Cluster, ClusterState, Node
 from repro.core import (Allocation, JobRequest, PriorityClass, StrlCompiler,
                         TetriSched, TetriSchedConfig)
+from repro.pipeline import (CyclePipeline, StageName, global_pipeline,
+                            greedy_pipeline)
 from repro.reservation import RayonReservationSystem
 from repro.sim import (GpuType, Job, MpiType, Simulation, SimulationResult,
                        TetriSchedAdapter, UnconstrainedType)
-from repro.solver import Model, SolveStatus, make_backend
+from repro.solver import (ComponentCache, Model, SolveOptions, SolveStatus,
+                          make_backend)
 from repro.strl import (Barrier, LnCk, Max, Min, NCk, Scale, SpaceOption,
                         Sum, parse, to_text)
 from repro.valuefn import best_effort_value, slo_value
@@ -49,11 +52,12 @@ from repro.valuefn import best_effort_value, slo_value
 __version__ = "1.0.0"
 
 __all__ = [
-    "Allocation", "Barrier", "Cluster", "ClusterState", "GpuType", "Job",
-    "JobRequest", "LnCk", "Max", "Min", "Model", "MpiType", "NCk", "Node",
-    "PriorityClass", "RayonReservationSystem", "Scale", "Simulation",
-    "SimulationResult", "SolveStatus", "SpaceOption", "StrlCompiler", "Sum",
-    "TetriSched", "TetriSchedAdapter", "TetriSchedConfig",
-    "UnconstrainedType", "best_effort_value", "make_backend", "parse",
-    "slo_value", "to_text",
+    "Allocation", "Barrier", "Cluster", "ClusterState", "ComponentCache",
+    "CyclePipeline", "GpuType", "Job", "JobRequest", "LnCk", "Max", "Min",
+    "Model", "MpiType", "NCk", "Node", "PriorityClass",
+    "RayonReservationSystem", "Scale", "Simulation", "SimulationResult",
+    "SolveOptions", "SolveStatus", "SpaceOption", "StageName", "StrlCompiler",
+    "Sum", "TetriSched", "TetriSchedAdapter", "TetriSchedConfig",
+    "UnconstrainedType", "best_effort_value", "global_pipeline",
+    "greedy_pipeline", "make_backend", "parse", "slo_value", "to_text",
 ]

@@ -18,10 +18,12 @@ Commands
     table of per-phase cycle timings, solver work counters (B&B nodes, LP
     iterations, presolve reductions) and the warm-start hit rate.
 ``bench-cycle``
-    Run fixed-seed scheduling cycles through the three pipeline
-    configurations (dense oracle / sparse / decomposed), write
-    ``BENCH_cycle.json`` with per-stage timings and component counts, and
-    exit nonzero if the configurations disagree on the objective.
+    Run fixed-seed scheduling cycles through the five pipeline
+    configurations (dense oracle / sparse / decomposed sequential /
+    decomposed parallel / decomposed cached), write ``BENCH_cycle.json``
+    with per-stage timings, component counts, worker-pool and
+    component-cache statistics, and exit nonzero if the configurations
+    disagree on the objective.
 """
 
 from __future__ import annotations
@@ -127,7 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench-cycle",
-        help="benchmark dense/sparse/decomposed cycle pipelines")
+        help="benchmark dense/sparse/decomposed/parallel/cached pipelines")
     p_bench.add_argument("--backend", default="pure")
     p_bench.add_argument("--plan-ahead", type=float, default=96.0)
     p_bench.add_argument("--racks", type=int, default=4)
@@ -136,6 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--cycles", type=int, default=2)
     p_bench.add_argument("--quantum", type=float, default=8.0)
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--workers", type=int, default=2,
+                         help="worker processes for the parallel mode")
     p_bench.add_argument("--out", default="results/BENCH_cycle.json",
                          help="JSON report output path")
     return parser
@@ -254,7 +258,8 @@ def _cmd_bench_cycle(args) -> int:
     report = bench_cycle(
         backend=args.backend, plan_ahead_s=args.plan_ahead, racks=args.racks,
         nodes_per_rack=args.nodes_per_rack, jobs_per_rack=args.jobs_per_rack,
-        cycles=args.cycles, quantum_s=args.quantum, seed=args.seed)
+        cycles=args.cycles, quantum_s=args.quantum, seed=args.seed,
+        workers=args.workers)
     out = pathlib.Path(args.out)
     if out.parent != pathlib.Path():
         out.parent.mkdir(parents=True, exist_ok=True)

@@ -34,6 +34,7 @@ The ablation configurations of Table 2 are expressed as config flags:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -49,6 +50,8 @@ from repro.errors import SchedulerError
 from repro.pipeline.context import CycleContext
 from repro.pipeline.driver import global_pipeline, greedy_pipeline
 from repro.solver.backend import make_backend
+from repro.solver.options import SolveOptions
+from repro.solver.parallel import ComponentCache
 from repro.strl.ast import NCk, StrlNode
 from repro.strl.generator import SpaceOption, generate_job_strl
 from repro.valuefn import ValueFunction
@@ -91,12 +94,22 @@ class TetriSchedConfig:
     heterogeneity_aware: bool = True
     #: Deadline/zero-value culling of options and jobs.
     cull: bool = True
-    #: Solver backend name (see repro.solver.backend.make_backend).
-    backend: str = "auto"
+    #: Solver backend name (see repro.solver.backend.make_backend).  The
+    #: default honors the ``REPRO_BACKEND`` environment variable so test
+    #: matrices (CI) can pin ``pure`` vs ``scipy`` without code changes.
+    backend: str = field(
+        default_factory=lambda: os.environ.get("REPRO_BACKEND", "auto"))
     #: Relative optimality gap ("within 10% of the optimal" in the paper).
     rel_gap: float = 0.01
     #: Wall-clock budget per solve, seconds (None = unlimited).
     solver_time_limit: float | None = None
+    #: Worker processes for solving decomposed MILP components concurrently
+    #: (0/1 = sequential in-process).  See :mod:`repro.solver.parallel`.
+    solver_workers: int = 0
+    #: Memoize per-component solver results across cycles keyed by a
+    #: canonical model fingerprint; exact hits replay the cached result,
+    #: structural near-misses donate a warm-start seed (Sec. 3.2.2).
+    component_cache: bool = False
     #: Seed each solve with the previous cycle's shifted solution.
     warm_start: bool = True
     #: Split the cycle MILP into independent connected components and solve
@@ -148,7 +161,13 @@ class CycleStats:
     components: int = 0
     #: Stored nonzeros in the cycle MILP's sparse export.
     milp_nonzeros: int = 0
-    #: Wall-clock seconds per pipeline stage (generate/compile/...).
+    #: Component-cache exact hits (result replayed without solving) and
+    #: structural near-misses (cached solution donated as a warm start).
+    cache_hits: int = 0
+    cache_warm_hits: int = 0
+    #: Wall-clock seconds per pipeline stage.  Keys are the
+    #: :class:`repro.pipeline.stages.StageName` values (plain strings after
+    #: JSON round-trips; the str-mixin enum indexes both).
     stage_timings: dict[str, float] = field(default_factory=dict)
 
 
@@ -165,12 +184,16 @@ class SolveTelemetry:
     lp_iterations: int = 0
     warm_start_attempted: bool = False
     warm_start_hit: bool = False
+    cache_hits: int = 0
+    cache_warm_hits: int = 0
 
     def absorb(self, res) -> None:
         """Fold one :class:`~repro.solver.result.MILPResult` in."""
         self.solves += 1
         self.solver_nodes += res.nodes
         self.lp_iterations += int(res.stats.get("lp_iterations", 0))
+        self.cache_hits += int(res.stats.get("cache_hits", 0))
+        self.cache_warm_hits += int(res.stats.get("cache_warm_hits", 0))
 
 
 @dataclass
@@ -202,9 +225,12 @@ class TetriSched:
         self.state = ClusterState(cluster.node_names)
         self.queues: PriorityQueues = PriorityQueues()
         self.cycle_history: list[CycleStats] = []
-        self._backend = make_backend(self.config.backend,
-                                     rel_gap=self.config.rel_gap,
-                                     time_limit=self.config.solver_time_limit)
+        self._backend = make_backend(
+            self.config.backend,
+            SolveOptions(rel_gap=self.config.rel_gap,
+                         time_limit=self.config.solver_time_limit))
+        self._component_cache = (ComponentCache()
+                                 if self.config.component_cache else None)
         self._global_pipeline = global_pipeline()
         self._greedy_pipeline = greedy_pipeline()
         # Previous cycle's accepted plan: (job_id, leaf) pairs, and its time.
@@ -263,6 +289,7 @@ class TetriSched:
             warm_start_attempted=tel.warm_start_attempted,
             warm_start_hit=tel.warm_start_hit,
             components=ctx.components, milp_nonzeros=ctx.nnz,
+            cache_hits=tel.cache_hits, cache_warm_hits=tel.cache_warm_hits,
             stage_timings=dict(ctx.stage_timings))
         self.cycle_history.append(stats)
         result.stats = stats

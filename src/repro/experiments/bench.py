@@ -1,19 +1,26 @@
-"""Cycle-pipeline benchmark: dense oracle vs sparse vs decomposed.
+"""Cycle-pipeline benchmark: dense oracle vs sparse vs decomposed variants.
 
 ``bench_cycle`` runs the *same* fixed-seed, fig12-scale scheduling cycles
-through three configurations of the staged pipeline:
+through five configurations of the staged pipeline:
 
 * ``monolithic-dense`` — decomposition off, solver consumes the dense
   ``to_standard_arrays`` export (the pre-refactor path, kept as oracle);
 * ``monolithic-sparse`` — decomposition off, CSR export + sparse presolve;
-* ``decomposed-sparse`` — the default production path: sparse core plus
-  independent-component decomposition.
+* ``decomposed-sparse`` — sparse core plus independent-component
+  decomposition, solved sequentially in-process;
+* ``decomposed-parallel`` — the same components dispatched to the
+  persistent :class:`~repro.solver.parallel.WorkerPool` (``--workers``);
+* ``decomposed-cached`` — sequential, but with the cross-cycle
+  :class:`~repro.solver.parallel.ComponentCache`: the cycle sequence runs
+  twice sharing one cache, the first (cold) pass warms it, the second
+  (warm) pass is the one reported — every component solve becomes an
+  exact-fingerprint replay.
 
 The workload is rack-pinned (each job's placement options stay inside one
 rack) so the aggregate MILP genuinely splits into one block per rack —
 the regime the paper's datacenter workloads live in, where rack-local
 preferences dominate (Sec. 2.1).  Distinct per-job values make the
-optimum unique, so all three configurations must report the same
+optimum unique, so all five configurations must report the same
 objective on every cycle; any mismatch is a correctness bug, and
 :func:`bench_cycle` flags it in the returned report
 (``results/BENCH_cycle.json`` in CI).
@@ -23,6 +30,7 @@ from __future__ import annotations
 
 import random
 import time
+from dataclasses import dataclass
 from typing import Any
 
 from repro.cluster.cluster import Cluster
@@ -30,15 +38,37 @@ from repro.core.queues import PriorityClass
 from repro.core.scheduler import JobRequest, TetriSched, TetriSchedConfig
 from repro.solver.backend import make_backend
 from repro.solver.branch_bound import BranchBoundOptions, BranchBoundSolver
+from repro.solver.options import SolveOptions
+from repro.solver.parallel import ComponentCache
 from repro.strl.generator import SpaceOption
 from repro.valuefn import StepValue
 
-#: (mode name, decomposition enabled, sparse arrays) — order matters for
-#: the speedup report: the first mode is the oracle baseline.
+
+@dataclass(frozen=True)
+class BenchMode:
+    """One pipeline configuration the benchmark compares."""
+
+    name: str
+    decomposition: bool
+    sparse: bool
+    #: Worker processes for component solves (0 = sequential in-process).
+    workers: int = 0
+    #: Run the cycle sequence twice sharing a ComponentCache and report
+    #: the warm pass.
+    cached: bool = False
+
+
+#: Order matters for the speedup report: the first mode is the oracle
+#: baseline and ``decomposed-sparse`` is the sequential reference the
+#: parallel/cached variants are measured against.
 MODES = (
-    ("monolithic-dense", False, False),
-    ("monolithic-sparse", False, True),
-    ("decomposed-sparse", True, True),
+    BenchMode("monolithic-dense", decomposition=False, sparse=False),
+    BenchMode("monolithic-sparse", decomposition=False, sparse=True),
+    BenchMode("decomposed-sparse", decomposition=True, sparse=True),
+    BenchMode("decomposed-parallel", decomposition=True, sparse=True,
+              workers=2),
+    BenchMode("decomposed-cached", decomposition=True, sparse=True,
+              cached=True),
 )
 
 _REL_TOL = 1e-6
@@ -76,7 +106,7 @@ def _rack_pinned_jobs(cluster: Cluster, jobs_per_rack: int, quantum_s: float,
 
 def _build_backend(name: str, sparse: bool, rel_gap: float):
     """A backend forced onto the dense or sparse array path."""
-    backend = make_backend(name, rel_gap=rel_gap)
+    backend = make_backend(name, SolveOptions(rel_gap=rel_gap))
     if isinstance(backend, BranchBoundSolver):
         opts = backend.options
         return BranchBoundSolver(BranchBoundOptions(
@@ -90,90 +120,122 @@ def _build_backend(name: str, sparse: bool, rel_gap: float):
     return backend
 
 
+def _run_pass(mode: BenchMode, backend: str, plan_ahead_s: float, racks: int,
+              nodes_per_rack: int, jobs_per_rack: int, cycles: int,
+              quantum_s: float, seed: int, workers: int,
+              cache: ComponentCache | None) -> dict[str, Any]:
+    """One full cycle sequence under one mode; returns its report entry.
+
+    A fresh cluster + scheduler every call — only ``cache`` carries state
+    between passes (the cached mode's cold/warm pair).
+    """
+    cluster = Cluster.build(racks=racks, nodes_per_rack=nodes_per_rack)
+    cfg = TetriSchedConfig(
+        quantum_s=quantum_s, cycle_s=quantum_s,
+        plan_ahead_s=plan_ahead_s, backend=backend,
+        rel_gap=_REL_TOL, decomposition=mode.decomposition,
+        solver_workers=workers if mode.workers else 0)
+    sched = TetriSched(cluster, cfg)
+    sched._backend = _build_backend(backend, mode.sparse, cfg.rel_gap)
+    sched._component_cache = cache
+
+    objectives: list[float] = []
+    components: list[int] = []
+    stage_s: dict[str, float] = {}
+    launched = 0
+    nodes = lp_iters = 0
+    nnz = variables = constraints = 0
+    cache_hits = cache_warm_hits = 0
+    t0 = time.monotonic()
+    for c in range(cycles):
+        now = c * quantum_s
+        # Fresh arrivals each cycle keep the MILP at fig12 scale even
+        # after earlier launches consumed capacity.
+        for job in _rack_pinned_jobs(cluster, jobs_per_rack, quantum_s,
+                                     seed=seed + c):
+            sched.submit(JobRequest(
+                job_id=f"c{c}-{job.job_id}", options=job.options,
+                value_fn=job.value_fn, priority=job.priority,
+                submit_time=now))
+        res = sched.run_cycle(now)
+        stats = res.stats
+        objectives.append(stats.objective)
+        components.append(stats.components)
+        launched += stats.launched
+        nodes += stats.solver_nodes
+        lp_iters += stats.lp_iterations
+        cache_hits += stats.cache_hits
+        cache_warm_hits += stats.cache_warm_hits
+        nnz = max(nnz, stats.milp_nonzeros)
+        variables = max(variables, stats.milp_variables)
+        constraints = max(constraints, stats.milp_constraints)
+        for stage, secs in stats.stage_timings.items():
+            stage_s[str(stage)] = stage_s.get(str(stage), 0.0) + secs
+    wall_s = time.monotonic() - t0
+
+    return {
+        "objectives": objectives,
+        "components": components,
+        "launched": launched,
+        "wall_s": wall_s,
+        "cycle_mean_ms": 1000.0 * wall_s / cycles,
+        "stage_timings_s": stage_s,
+        "solver_nodes": nodes,
+        "lp_iterations": lp_iters,
+        "workers": workers if mode.workers else 0,
+        "cache": {"hits": cache_hits, "warm_hits": cache_warm_hits},
+        "milp": {"variables": variables, "constraints": constraints,
+                 "nonzeros": nnz},
+    }
+
+
 def bench_cycle(backend: str = "pure", plan_ahead_s: float = 96.0,
                 racks: int = 4, nodes_per_rack: int = 4,
                 jobs_per_rack: int = 2, cycles: int = 2,
-                quantum_s: float = 8.0, seed: int = 0) -> dict[str, Any]:
-    """Benchmark one fig12-style cycle sequence across the three modes.
+                quantum_s: float = 8.0, seed: int = 0,
+                workers: int = 2) -> dict[str, Any]:
+    """Benchmark one fig12-style cycle sequence across the five modes.
 
     Returns a JSON-serializable report (written to ``BENCH_cycle.json`` by
     the ``bench-cycle`` CLI command and the fig12 benchmark suite) whose
     ``objective_match`` field is the correctness verdict: every cycle's
-    objective must agree across all modes within ``1e-6`` relative.
+    objective must agree across all modes within ``1e-6`` relative —
+    including the parallel and cache-replay paths, which are required to
+    be bit-equal to the sequential solve.
     """
     report: dict[str, Any] = {
         "meta": {"backend": backend, "plan_ahead_s": plan_ahead_s,
                  "racks": racks, "nodes_per_rack": nodes_per_rack,
                  "jobs_per_rack": jobs_per_rack, "cycles": cycles,
-                 "quantum_s": quantum_s, "seed": seed},
+                 "quantum_s": quantum_s, "seed": seed, "workers": workers},
         "modes": {},
     }
     per_mode_objectives: dict[str, list[float]] = {}
-    for mode, decomposition, sparse in MODES:
-        cluster = Cluster.build(racks=racks, nodes_per_rack=nodes_per_rack)
-        cfg = TetriSchedConfig(
-            quantum_s=quantum_s, cycle_s=quantum_s,
-            plan_ahead_s=plan_ahead_s, backend=backend,
-            rel_gap=_REL_TOL, decomposition=decomposition)
-        sched = TetriSched(cluster, cfg)
-        sched._backend = _build_backend(backend, sparse, cfg.rel_gap)
+    for mode in MODES:
+        run = lambda cache: _run_pass(  # noqa: E731
+            mode, backend, plan_ahead_s, racks, nodes_per_rack,
+            jobs_per_rack, cycles, quantum_s, seed, workers, cache)
+        if mode.cached:
+            cache = ComponentCache()
+            cold = run(cache)
+            entry = run(cache)  # warm pass: every solve is a cache replay
+            entry["cold_wall_s"] = cold["wall_s"]
+        else:
+            entry = run(None)
+        per_mode_objectives[mode.name] = entry["objectives"]
+        report["modes"][mode.name] = entry
 
-        objectives: list[float] = []
-        components: list[int] = []
-        stage_s: dict[str, float] = {}
-        launched = 0
-        nodes = lp_iters = 0
-        nnz = variables = constraints = 0
-        t0 = time.monotonic()
-        for c in range(cycles):
-            now = c * quantum_s
-            # Fresh arrivals each cycle keep the MILP at fig12 scale even
-            # after earlier launches consumed capacity.
-            for job in _rack_pinned_jobs(cluster, jobs_per_rack, quantum_s,
-                                         seed=seed + c):
-                sched.submit(JobRequest(
-                    job_id=f"c{c}-{job.job_id}", options=job.options,
-                    value_fn=job.value_fn, priority=job.priority,
-                    submit_time=now))
-            res = sched.run_cycle(now)
-            stats = res.stats
-            objectives.append(stats.objective)
-            components.append(stats.components)
-            launched += stats.launched
-            nodes += stats.solver_nodes
-            lp_iters += stats.lp_iterations
-            nnz = max(nnz, stats.milp_nonzeros)
-            variables = max(variables, stats.milp_variables)
-            constraints = max(constraints, stats.milp_constraints)
-            for stage, secs in stats.stage_timings.items():
-                stage_s[stage] = stage_s.get(stage, 0.0) + secs
-        wall_s = time.monotonic() - t0
-
-        per_mode_objectives[mode] = objectives
-        report["modes"][mode] = {
-            "objectives": objectives,
-            "components": components,
-            "launched": launched,
-            "wall_s": wall_s,
-            "cycle_mean_ms": 1000.0 * wall_s / cycles,
-            "stage_timings_s": stage_s,
-            "solver_nodes": nodes,
-            "lp_iterations": lp_iters,
-            "milp": {"variables": variables, "constraints": constraints,
-                     "nonzeros": nnz},
-        }
-
-    oracle = per_mode_objectives[MODES[0][0]]
+    oracle = per_mode_objectives[MODES[0].name]
     max_delta = 0.0
-    for mode, objs in per_mode_objectives.items():
+    for mode_name, objs in per_mode_objectives.items():
         for a, b in zip(oracle, objs):
             max_delta = max(max_delta,
                             abs(a - b) / max(1.0, abs(a)))
     report["objective_match"] = max_delta <= _REL_TOL * 10
     report["max_objective_delta"] = max_delta
 
-    def _wall(mode: str) -> float:
-        return report["modes"][mode]["wall_s"]
+    def _wall(mode_name: str) -> float:
+        return report["modes"][mode_name]["wall_s"]
 
     report["speedup"] = {
         "sparse_vs_dense": _wall("monolithic-dense")
@@ -182,6 +244,10 @@ def bench_cycle(backend: str = "pure", plan_ahead_s: float = 96.0,
         / max(1e-12, _wall("decomposed-sparse")),
         "decomposed_vs_sparse": _wall("monolithic-sparse")
         / max(1e-12, _wall("decomposed-sparse")),
+        "parallel_vs_sequential": _wall("decomposed-sparse")
+        / max(1e-12, _wall("decomposed-parallel")),
+        "cached_vs_sequential": _wall("decomposed-sparse")
+        / max(1e-12, _wall("decomposed-cached")),
     }
     return report
 
@@ -194,7 +260,8 @@ def format_bench(report: dict[str, Any]) -> str:
         f"bench-cycle: backend={meta['backend']} "
         f"plan-ahead={meta['plan_ahead_s']:g}s "
         f"cluster={meta['racks']}x{meta['nodes_per_rack']} "
-        f"cycles={meta['cycles']} seed={meta['seed']}")
+        f"cycles={meta['cycles']} seed={meta['seed']} "
+        f"workers={meta.get('workers', 0)}")
     for mode, m in report["modes"].items():
         stages = " ".join(f"{k}={1000 * v:.1f}ms"
                           for k, v in sorted(m["stage_timings_s"].items()))
@@ -203,11 +270,20 @@ def format_bench(report: dict[str, Any]) -> str:
             f"components={m['components']} objectives="
             f"{[round(o, 3) for o in m['objectives']]}")
         lines.append(f"    stages: {stages}")
+        cache = m.get("cache", {})
+        if cache.get("hits") or cache.get("warm_hits"):
+            lines.append(
+                f"    cache: {cache['hits']} exact hits, "
+                f"{cache['warm_hits']} warm-start hits "
+                f"(cold pass {1000 * m.get('cold_wall_s', 0.0):.1f}ms)")
     sp = report["speedup"]
     lines.append(
         f"  speedup: sparse/dense={sp['sparse_vs_dense']:.2f}x "
         f"decomposed/dense={sp['decomposed_vs_dense']:.2f}x "
         f"decomposed/sparse={sp['decomposed_vs_sparse']:.2f}x")
+    lines.append(
+        f"  parallel/sequential={sp['parallel_vs_sequential']:.2f}x "
+        f"cached/sequential={sp['cached_vs_sequential']:.2f}x")
     lines.append(
         f"  objective match: {report['objective_match']} "
         f"(max relative delta {report['max_objective_delta']:.2e})")

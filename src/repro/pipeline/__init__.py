@@ -27,6 +27,7 @@ from repro.pipeline.stages import (
     ModelBuild,
     Solve,
     Stage,
+    StageName,
     StrlGeneration,
 )
 
@@ -34,6 +35,7 @@ __all__ = [
     "CycleContext",
     "CyclePipeline",
     "Stage",
+    "StageName",
     "StrlGeneration",
     "Compilation",
     "ModelBuild",

@@ -12,6 +12,7 @@ much smaller branch-and-bound problems.
 
 from __future__ import annotations
 
+import enum
 import time
 from typing import TYPE_CHECKING, Protocol
 
@@ -19,9 +20,35 @@ from repro import obs
 from repro.core.allocation import PlanAccumulator
 from repro.core.compiler import StrlCompiler
 from repro.solver.decompose import decompose, solve_decomposed
+from repro.solver.options import SolveOptions
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.context import CycleContext
+
+
+class StageName(str, enum.Enum):
+    """Stable names of the pipeline stages.
+
+    These are the documented keys of ``CycleStats.stage_timings`` (and of
+    the per-stage :mod:`repro.obs` spans nested under ``"cycle"``).  The
+    enum mixes in :class:`str`, so a member hashes and compares equal to
+    its plain string value — bench/report code should index timing dicts
+    with ``StageName.SOLVE`` rather than string-matching ``"solve"``, and
+    archived JSON (where keys are plain strings) still round-trips.
+    """
+
+    GENERATE = "generate"
+    COMPILE = "compile"
+    MODEL_BUILD = "model_build"
+    DECOMPOSE = "decompose"
+    SOLVE = "solve"
+    EXTRACT = "extract"
+    GREEDY = "greedy"
+
+    def __str__(self) -> str:  # uniform across py3.10..3.12 str-enum quirks
+        return self.value
+
+    __format__ = str.__format__
 
 
 class Stage(Protocol):
@@ -36,7 +63,7 @@ class Stage(Protocol):
 class StrlGeneration:
     """Generate one STRL expression per pending job; cull valueless jobs."""
 
-    name = "generate"
+    name = StageName.GENERATE
 
     def run(self, ctx: "CycleContext") -> None:
         sched = ctx.scheduler
@@ -55,7 +82,7 @@ class StrlGeneration:
 class Compilation:
     """Aggregate STRL under the top-level SUM and compile to a MILP."""
 
-    name = "compile"
+    name = StageName.COMPILE
 
     def run(self, ctx: "CycleContext") -> None:
         sched = ctx.scheduler
@@ -75,7 +102,7 @@ class ModelBuild:
     the per-stage timings rather than noise inside ``solve``.
     """
 
-    name = "model_build"
+    name = StageName.MODEL_BUILD
 
     def run(self, ctx: "CycleContext") -> None:
         sched = ctx.scheduler
@@ -99,7 +126,7 @@ class ModelBuild:
 class Decompose:
     """Split the aggregate MILP into independent connected components."""
 
-    name = "decompose"
+    name = StageName.DECOMPOSE
 
     def run(self, ctx: "CycleContext") -> None:
         assert ctx.compiled is not None
@@ -119,10 +146,13 @@ class Solve:
 
     A decomposed solve is still *one* logical solver invocation in the
     cycle telemetry (Fig. 12's solver-work tables compare global vs
-    greedy solve counts; decomposition must not inflate them).
+    greedy solve counts; decomposition must not inflate them).  The
+    per-call :class:`~repro.solver.options.SolveOptions` carries the
+    cycle warm start plus the scheduler's worker-pool and component-cache
+    configuration (``solver_workers`` / ``component_cache``).
     """
 
-    name = "solve"
+    name = StageName.SOLVE
 
     def run(self, ctx: "CycleContext") -> None:
         sched = ctx.scheduler
@@ -132,11 +162,16 @@ class Solve:
         t0 = time.monotonic()
         if decomp is not None and (decomp.num_components > 1
                                    or decomp.free_indices.size):
-            res = solve_decomposed(decomp, sched._backend,
-                                   warm_start=ctx.warm_start)
+            res = solve_decomposed(
+                decomp, sched._backend,
+                options=SolveOptions(
+                    warm_start=ctx.warm_start,
+                    workers=ctx.config.solver_workers,
+                    component_cache=sched._component_cache))
         else:
-            res = sched._backend.solve(ctx.compiled.model,
-                                       warm_start=ctx.warm_start)
+            res = sched._backend.solve(
+                ctx.compiled.model,
+                options=SolveOptions(warm_start=ctx.warm_start))
         tel.solver_latency_s += time.monotonic() - t0
         tel.absorb(res)
         if not res.status.has_solution:
@@ -152,7 +187,7 @@ class Solve:
 class Extract:
     """Decode the solution, apply preemptions, launch start-now placements."""
 
-    name = "extract"
+    name = StageName.EXTRACT
 
     def run(self, ctx: "CycleContext") -> None:
         sched = ctx.scheduler
@@ -183,7 +218,7 @@ class Extract:
 class GreedyScheduling:
     """TetriSched-NG: per-job MILPs in priority order (no aggregation)."""
 
-    name = "greedy"
+    name = StageName.GREEDY
 
     def run(self, ctx: "CycleContext") -> None:
         ctx.components = 0

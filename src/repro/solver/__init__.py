@@ -4,15 +4,24 @@ Public surface:
 
 * :class:`Model`, :class:`Variable`, :class:`LinExpr`, :func:`linear_sum` —
   model construction;
+* :class:`SolveOptions` — every solve tunable in one value object;
 * :class:`BranchBoundSolver` / :func:`make_backend` — solving;
+* :func:`solve_decomposed` + :class:`ComponentCache` — independent-component
+  solving with the persistent worker pool and cross-cycle memoization
+  (:mod:`repro.solver.parallel`);
 * :class:`MILPResult`, :class:`SolveStatus` — results;
 * :func:`solve_lp` — the standalone two-phase simplex LP solver.
 """
 
-from repro.solver.backend import BACKEND_NAMES, MILPBackend, make_backend
+from repro.solver.backend import (BACKEND_NAMES, MILPBackend,
+                                  backend_time_limit, make_backend)
 from repro.solver.branch_bound import BranchBoundOptions, BranchBoundSolver
+from repro.solver.decompose import Decomposition, decompose, solve_decomposed
 from repro.solver.expr import BINARY, CONTINUOUS, INTEGER, LinExpr, Variable, linear_sum
 from repro.solver.model import EQ, GE, LE, MAXIMIZE, MINIMIZE, Constraint, Model
+from repro.solver.options import DEFAULT_OPTIONS, UNSET, SolveOptions
+from repro.solver.parallel import (CacheStats, ComponentCache, WorkerPool,
+                                   component_fingerprint, shutdown_pools)
 from repro.solver.presolve import PresolveResult, presolve
 from repro.solver.result import LPResult, MILPResult, SolveStatus
 from repro.solver.scipy_backend import ScipyMILPSolver, scipy_available
@@ -20,8 +29,12 @@ from repro.solver.simplex import solve_lp
 
 __all__ = [
     "BACKEND_NAMES", "BINARY", "BranchBoundOptions", "BranchBoundSolver",
-    "CONTINUOUS", "Constraint", "EQ", "GE", "INTEGER", "LE", "LPResult",
-    "LinExpr", "MAXIMIZE", "MILPBackend", "MILPResult", "MINIMIZE", "Model", "PresolveResult",
-    "ScipyMILPSolver", "SolveStatus", "Variable", "linear_sum",
-    "make_backend", "presolve", "scipy_available", "solve_lp",
+    "CONTINUOUS", "CacheStats", "ComponentCache", "Constraint",
+    "DEFAULT_OPTIONS", "Decomposition", "EQ", "GE", "INTEGER", "LE",
+    "LPResult", "LinExpr", "MAXIMIZE", "MILPBackend", "MILPResult",
+    "MINIMIZE", "Model", "PresolveResult", "ScipyMILPSolver", "SolveOptions",
+    "SolveStatus", "UNSET", "Variable", "WorkerPool", "backend_time_limit",
+    "component_fingerprint", "decompose", "linear_sum", "make_backend",
+    "presolve", "scipy_available", "shutdown_pools", "solve_decomposed",
+    "solve_lp",
 ]

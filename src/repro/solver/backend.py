@@ -2,36 +2,40 @@
 
 The scheduler core only depends on the tiny :class:`MILPBackend` protocol,
 mirroring the paper's pluggable-solver design (CPLEX there; pure-Python
-branch-and-bound or scipy/HiGHS here).
+branch-and-bound or scipy/HiGHS here).  All tunables arrive through one
+:class:`~repro.solver.options.SolveOptions` value; the scattered per-call
+keyword arguments of earlier releases still work behind a
+``DeprecationWarning`` shim for one release.
 """
 
 from __future__ import annotations
 
 from typing import Protocol
 
-import numpy as np
-
 from repro.errors import SolverError
 from repro.solver.branch_bound import BranchBoundOptions, BranchBoundSolver
 from repro.solver.model import Model
+from repro.solver.options import (UNSET, SolveOptions,
+                                  deprecated_kwargs_to_options, resolve)
 from repro.solver.result import MILPResult
 from repro.solver.scipy_backend import ScipyMILPSolver, scipy_available, solve_lp_scipy
 
 
 class MILPBackend(Protocol):
-    """Anything with a ``solve(model, warm_start=None) -> MILPResult``."""
+    """Anything with a ``solve(model, options=None) -> MILPResult``."""
 
     def solve(self, model: Model,
-              warm_start: np.ndarray | None = None) -> MILPResult: ...
+              options: SolveOptions | None = None) -> MILPResult: ...
 
 
 #: Names accepted by :func:`make_backend`.
 BACKEND_NAMES = ("pure", "pure-scipy-lp", "scipy", "auto")
 
 
-def make_backend(name: str = "auto", rel_gap: float = 1e-6,
-                 time_limit: float | None = None,
-                 node_limit: int | None = 200_000) -> MILPBackend:
+def make_backend(name: str = "auto",
+                 options: SolveOptions | None = None,
+                 *, rel_gap: float = UNSET, time_limit: float | None = UNSET,
+                 node_limit: int | None = UNSET) -> MILPBackend:
     """Construct a MILP backend.
 
     Parameters
@@ -41,25 +45,43 @@ def make_backend(name: str = "auto", rel_gap: float = 1e-6,
         * ``"pure-scipy-lp"`` — our branch-and-bound over HiGHS LP relaxations;
         * ``"scipy"`` — HiGHS branch-and-cut via ``scipy.optimize.milp``;
         * ``"auto"`` — ``"scipy"`` when available, else ``"pure"``.
-    rel_gap:
-        Relative optimality gap at which the search may stop (the paper
-        configures its solver for solutions within 10 % of optimal).
-    time_limit, node_limit:
-        Optional search budgets; the best incumbent found is returned.
+    options:
+        Solver tunables (gap, budgets, ...); unset fields take the library
+        defaults in :data:`repro.solver.options.DEFAULT_OPTIONS`.
+    rel_gap, time_limit, node_limit:
+        Deprecated — pass ``SolveOptions`` instead (kept one release).
     """
+    options = deprecated_kwargs_to_options(
+        options, "make_backend", rel_gap=rel_gap, time_limit=time_limit,
+        node_limit=node_limit)
+    opts = resolve(options)
     if name == "auto":
         name = "scipy" if scipy_available() else "pure"
     if name == "scipy":
         if not scipy_available():
             raise SolverError("scipy backend requested but scipy is missing")
-        return ScipyMILPSolver(rel_gap=rel_gap, time_limit=time_limit)
+        return ScipyMILPSolver(rel_gap=opts.rel_gap,
+                               time_limit=opts.time_limit)
     if name == "pure":
         return BranchBoundSolver(BranchBoundOptions(
-            rel_gap=rel_gap, time_limit=time_limit, node_limit=node_limit))
+            rel_gap=opts.rel_gap, time_limit=opts.time_limit,
+            node_limit=opts.node_limit))
     if name == "pure-scipy-lp":
         if not scipy_available():
             raise SolverError("pure-scipy-lp backend requested but scipy is missing")
         return BranchBoundSolver(BranchBoundOptions(
-            rel_gap=rel_gap, time_limit=time_limit, node_limit=node_limit,
-            lp_solver=solve_lp_scipy))
+            rel_gap=opts.rel_gap, time_limit=opts.time_limit,
+            node_limit=opts.node_limit, lp_solver=solve_lp_scipy))
     raise SolverError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")
+
+
+def backend_time_limit(backend) -> float | None:
+    """The wall-clock budget a backend was configured with, if any.
+
+    Used by :func:`repro.solver.decompose.solve_decomposed` to carve
+    per-component budgets when the caller did not pass an explicit cycle
+    budget.  Unknown (duck-typed) backends report ``None`` (unlimited).
+    """
+    if isinstance(backend, BranchBoundSolver):
+        return backend.options.time_limit
+    return getattr(backend, "time_limit", None)

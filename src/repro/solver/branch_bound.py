@@ -18,6 +18,7 @@ rounding heuristic at every node to find incumbents early.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import itertools
 import math
@@ -29,6 +30,8 @@ import numpy as np
 
 from repro import obs
 from repro.solver.model import Model
+from repro.solver.options import (UNSET, SolveOptions,
+                                  deprecated_kwargs_to_options, is_set)
 from repro.solver.result import LPResult, MILPResult, SolveStatus
 from repro.solver.simplex import solve_lp as simplex_solve_lp
 
@@ -82,10 +85,25 @@ class BranchBoundSolver:
     def __init__(self, options: BranchBoundOptions | None = None) -> None:
         self.options = options or BranchBoundOptions()
 
-    def solve(self, model: Model,
-              warm_start: np.ndarray | None = None) -> MILPResult:
+    def _effective_options(self, options: SolveOptions | None
+                           ) -> BranchBoundOptions:
+        """Constructor options with any per-call overrides applied."""
+        if options is None:
+            return self.options
+        overrides = {name: getattr(options, name)
+                     for name in ("rel_gap", "time_limit", "node_limit")
+                     if is_set(getattr(options, name))}
+        if not overrides:
+            return self.options
+        return dataclasses.replace(self.options, **overrides)
+
+    def solve(self, model: Model, options: SolveOptions | None = None,
+              *, warm_start: np.ndarray | None = UNSET) -> MILPResult:
+        options = deprecated_kwargs_to_options(
+            options, "BranchBoundSolver.solve", warm_start=warm_start)
+        warm_start = options.get("warm_start") if options is not None else None
         t0 = time.monotonic()
-        opts = self.options
+        opts = self._effective_options(options)
         presolve_stats: dict = {}
         sparse = opts.arrays == "sparse"
         arrays = (model.to_sparse_arrays() if sparse
@@ -241,7 +259,7 @@ class BranchBoundSolver:
         open_bound = min((h.bound for h in heap), default=incumbent_obj)
         open_bound = max(open_bound, best_bound) if best_bound > -math.inf else open_bound
         gap = abs(incumbent_obj - open_bound) / max(1.0, abs(incumbent_obj))
-        proven = not heap or gap <= self.options.rel_gap
+        proven = not heap or gap <= opts.rel_gap
         # Convert back to the model's objective sense.
         model_obj = sa.obj_sign * incumbent_obj + sa.obj_constant
         model_bound = sa.obj_sign * open_bound + sa.obj_constant

@@ -35,6 +35,8 @@ from repro import obs
 from repro.errors import SolverError
 from repro.solver.expr import LinExpr
 from repro.solver.model import MAXIMIZE, Model
+from repro.solver.options import (UNSET, SolveOptions,
+                                  deprecated_kwargs_to_options)
 from repro.solver.result import MILPResult, SolveStatus
 
 
@@ -210,16 +212,115 @@ def decompose(model: Model) -> Decomposition:
                          constant=model.objective.constant)
 
 
+def _gather_results(decomp: Decomposition, backend,
+                    opts: SolveOptions) -> tuple[list[MILPResult | None],
+                                                 dict[str, int]]:
+    """One :class:`MILPResult` per component, in component order.
+
+    The three supply paths, applied per component in this order:
+
+    1. **cache exact hit** — an identical numeric model was solved before;
+       replay its stored result (bit-equal, zero solver cost);
+    2. **worker pool** — remaining components ship to the persistent
+       process pool when ``opts.workers >= 2`` (falling back to in-process
+       solving on any pool failure);
+    3. **in-process solve** — the sequential path; stops early once a
+       component comes back infeasible/unbounded (later entries stay
+       ``None``; the recombination loop never reads past the failure).
+
+    Each solved component gets a wall-clock budget carved from the cycle
+    budget (``opts.time_limit``, else the backend's configured limit) in
+    proportion to its size, and a warm start chosen as the better feasible
+    seed of the sliced cycle warm start (the scheduler's time-shifted
+    previous plan, Sec. 3.2.2) and a cache near-miss solution.
+    """
+    from repro.solver.backend import backend_time_limit
+    from repro.solver.parallel import (best_warm_start, carve_time_budgets,
+                                       get_pool)
+
+    cache = opts.get("component_cache")
+    warm_full = opts.get("warm_start")
+    workers = opts.get("workers", 0) or 0
+
+    results: list[MILPResult | None] = [None] * decomp.num_components
+    cache_stats = {"cache_hits": 0, "cache_warm_hits": 0}
+    pending: list[tuple[int, Model, np.ndarray | None]] = []
+    fingerprints: dict[int, object] = {}
+    for i, comp in enumerate(decomp.components):
+        ws = decomp.slice_warm_start(warm_full, comp)
+        if cache is not None:
+            hit = cache.lookup(comp.model)
+            fingerprints[i] = hit.fingerprint
+            if hit.result is not None:
+                results[i] = hit.result
+                cache_stats["cache_hits"] += 1
+                continue
+            if hit.warm_start is not None:
+                cache_stats["cache_warm_hits"] += 1
+                ws = best_warm_start(comp.model, ws, hit.warm_start)
+        pending.append((i, comp.model, ws))
+
+    total_budget = opts.get("time_limit", UNSET)
+    if total_budget is UNSET:
+        total_budget = backend_time_limit(backend)
+    budgets = carve_time_budgets(
+        total_budget, [model.num_variables for _, model, _ in pending])
+
+    def call_options(ws: np.ndarray | None,
+                     budget: float | None) -> SolveOptions:
+        if budget is None:
+            return SolveOptions(warm_start=ws)
+        return SolveOptions(warm_start=ws, time_limit=budget)
+
+    solved: dict[int, MILPResult] | None = None
+    if workers >= 2 and len(pending) > 1:
+        with obs.span("parallel_dispatch"):
+            solved = get_pool(workers).solve_many(
+                backend, [(i, model, call_options(ws, budget))
+                          for (i, model, ws), budget in zip(pending, budgets)])
+    if solved is not None:
+        for i, res in solved.items():
+            results[i] = res
+    else:  # sequential (or pool fallback): early exit on a doomed block
+        for (i, model, ws), budget in zip(pending, budgets):
+            res = backend.solve(model, options=call_options(ws, budget))
+            results[i] = res
+            if not res.status.has_solution:
+                break
+
+    if cache is not None:
+        # Memoize only freshly-solved components (never re-store replays).
+        for i, _, _ in pending:
+            if results[i] is not None:
+                cache.store(decomp.components[i].model, results[i],
+                            fingerprint=fingerprints.get(i))
+    return results, cache_stats
+
+
 def solve_decomposed(decomp: Decomposition, backend,
-                     warm_start: np.ndarray | None = None) -> MILPResult:
+                     options: SolveOptions | None = None,
+                     *, warm_start: np.ndarray | None = UNSET) -> MILPResult:
     """Solve every component through ``backend`` and recombine.
+
+    ``options`` governs the whole decomposed solve: ``warm_start`` is the
+    full-model seed (sliced per component), ``workers`` enables the
+    persistent process pool, ``component_cache`` the cross-cycle
+    memoization, and ``time_limit`` the cycle budget carved across
+    components (see :mod:`repro.solver.parallel`).  Regardless of how a
+    component's result was produced — fresh solve, pool worker, or cache
+    replay — recombination walks components in their deterministic
+    (column-order) sequence, so the assembled ``x`` and objective are
+    identical to a sequential in-process solve.
 
     The recombined :class:`MILPResult` carries the summed objective/bound,
     the max component gap, summed node/iteration counts, and
     ``stats["components"]``; its ``x`` lives in source-model column order,
     so callers decode it exactly as they would a monolithic solution.
     """
-    model = decomp.source
+    options = deprecated_kwargs_to_options(
+        options, "solve_decomposed", warm_start=warm_start)
+    opts = options if options is not None else SolveOptions()
+
     objective = decomp.constant + decomp.free_objective
     bound = objective
     gap = 0.0
@@ -228,9 +329,10 @@ def solve_decomposed(decomp: Decomposition, backend,
     solve_time = 0.0
     proven = True
     solutions: list[np.ndarray] = []
-    for comp in decomp.components:
-        ws = decomp.slice_warm_start(warm_start, comp)
-        res = backend.solve(comp.model, warm_start=ws)
+    results, cache_stats = _gather_results(decomp, backend, opts)
+    for res in results:
+        if res is None:  # sequential early exit hit a doomed block earlier
+            continue
         nodes += res.nodes
         solve_time += res.solve_time
         lp_iterations += int(res.stats.get("lp_iterations", 0))
@@ -241,12 +343,14 @@ def solve_decomposed(decomp: Decomposition, backend,
                               else res.objective,
                               nodes=nodes, solve_time=solve_time,
                               stats={"components": decomp.num_components,
-                                     "lp_iterations": lp_iterations})
+                                     "lp_iterations": lp_iterations,
+                                     **cache_stats})
         if not res.status.has_solution:
             return MILPResult(SolveStatus.NO_SOLUTION, None, math.nan,
                               nodes=nodes, solve_time=solve_time,
                               stats={"components": decomp.num_components,
-                                     "lp_iterations": lp_iterations})
+                                     "lp_iterations": lp_iterations,
+                                     **cache_stats})
         solutions.append(res.x)
         objective += res.objective
         bound += res.bound if not math.isnan(res.bound) else res.objective
@@ -267,4 +371,4 @@ def solve_decomposed(decomp: Decomposition, backend,
         solve_time=solve_time,
         stats={"components": decomp.num_components,
                "component_sizes": decomp.component_sizes(),
-               "lp_iterations": lp_iterations})
+               "lp_iterations": lp_iterations, **cache_stats})

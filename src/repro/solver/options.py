@@ -1,0 +1,138 @@
+"""Unified solver options: one dataclass for every solve-control knob.
+
+Historically each backend grew its own keyword arguments — ``rel_gap`` and
+``time_limit`` on :func:`~repro.solver.backend.make_backend`, ``warm_start``
+on every ``solve()``, and the parallel/caching work would have added two
+more.  :class:`SolveOptions` replaces that scatter with a single value
+object accepted by :func:`~repro.solver.backend.make_backend`, both
+backends' ``solve()``, and
+:func:`~repro.solver.decompose.solve_decomposed`.
+
+Fields default to the :data:`UNSET` sentinel, meaning *inherit the
+receiver's configured value*: a backend constructed with ``rel_gap=0.01``
+keeps that gap unless a per-call ``SolveOptions(rel_gap=...)`` overrides
+it.  This is what lets :func:`solve_decomposed` carve per-component time
+budgets out of the cycle budget without re-specifying every other knob.
+
+The old keyword arguments still work for one release behind a
+:class:`DeprecationWarning` shim (see ``make_backend`` and the backends'
+``solve``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import cycle guard
+    from repro.solver.parallel import ComponentCache
+
+
+class _Unset:
+    """Singleton marking 'not specified' (distinct from a meaningful None)."""
+
+    _instance: "_Unset | None" = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Sentinel for "field not specified": the receiver's own default applies.
+#: ``time_limit=None`` means *unlimited*; ``time_limit=UNSET`` means *keep
+#: whatever the backend was configured with* — they are different values.
+UNSET: Any = _Unset()
+
+
+def is_set(value: Any) -> bool:
+    """True when ``value`` was explicitly specified (is not :data:`UNSET`)."""
+    return value is not UNSET
+
+
+@dataclass(frozen=True, eq=False)
+class SolveOptions:
+    """Every tunable of a MILP solve, in one place.
+
+    Example
+    -------
+    >>> from repro.solver import SolveOptions, make_backend
+    >>> backend = make_backend("pure", SolveOptions(rel_gap=0.01))
+    >>> SolveOptions(time_limit=2.0).merged_into(
+    ...     SolveOptions(rel_gap=0.5, time_limit=9.0)).time_limit
+    2.0
+    """
+
+    #: Relative optimality gap at which the search may stop (the paper
+    #: configures its solver for solutions within 10 % of optimal).
+    rel_gap: float = UNSET
+    #: Wall-clock budget per solve in seconds; ``None`` = unlimited.
+    time_limit: float | None = UNSET
+    #: Branch-and-bound node budget; ``None`` = unlimited (pure backend).
+    node_limit: int | None = UNSET
+    #: Feasible seed point for this call (model column order), or ``None``.
+    warm_start: np.ndarray | None = UNSET
+    #: Worker processes for decomposed solves; 0/1 = solve in-process.
+    workers: int = UNSET
+    #: Cross-cycle component memoization cache, or ``None`` to disable.
+    component_cache: "ComponentCache | None" = UNSET
+
+    def merged_into(self, base: "SolveOptions") -> "SolveOptions":
+        """``base`` with every field this instance explicitly sets applied."""
+        overrides = {f.name: getattr(self, f.name) for f in fields(self)
+                     if is_set(getattr(self, f.name))}
+        return replace(base, **overrides) if overrides else base
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Field value, or ``default`` when the field is :data:`UNSET`."""
+        value = getattr(self, name)
+        return value if is_set(value) else default
+
+
+#: Library-wide defaults (mirrors the historical ``make_backend`` keyword
+#: defaults); :func:`resolve` folds user options onto these.
+DEFAULT_OPTIONS = SolveOptions(rel_gap=1e-6, time_limit=None,
+                               node_limit=200_000, warm_start=None,
+                               workers=0, component_cache=None)
+
+
+def resolve(options: SolveOptions | None) -> SolveOptions:
+    """``options`` with every unset field filled from :data:`DEFAULT_OPTIONS`."""
+    if options is None:
+        return DEFAULT_OPTIONS
+    return options.merged_into(DEFAULT_OPTIONS)
+
+
+def deprecated_kwargs_to_options(options: SolveOptions | None, caller: str,
+                                 **kwargs: Any) -> SolveOptions | None:
+    """Fold legacy keyword arguments into a :class:`SolveOptions`.
+
+    Shim for the one-release deprecation window: any explicitly-passed
+    legacy kwarg (value not :data:`UNSET`) raises a
+    :class:`DeprecationWarning` naming the replacement, then lands in the
+    returned options.  An explicit ``options`` wins over a legacy kwarg
+    that names the same field.
+    """
+    passed = {name: value for name, value in kwargs.items() if is_set(value)}
+    if not passed:
+        return options
+    warnings.warn(
+        f"{caller}: keyword argument(s) {sorted(passed)} are deprecated; "
+        f"pass SolveOptions({', '.join(f'{k}=...' for k in sorted(passed))}) "
+        f"instead (will be removed next release)",
+        DeprecationWarning, stacklevel=3)
+    legacy = SolveOptions(**passed)
+    return options.merged_into(legacy) if options is not None else legacy
+
+
+__all__ = ["DEFAULT_OPTIONS", "SolveOptions", "UNSET",
+           "deprecated_kwargs_to_options", "is_set", "resolve"]

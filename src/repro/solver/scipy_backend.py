@@ -17,6 +17,8 @@ import numpy as np
 from repro import obs
 from repro.errors import SolverError
 from repro.solver.model import Model
+from repro.solver.options import (UNSET, SolveOptions,
+                                  deprecated_kwargs_to_options)
 from repro.solver.result import LPResult, MILPResult, SolveStatus
 
 try:  # pragma: no cover - environment-dependent
@@ -94,10 +96,16 @@ class ScipyMILPSolver:
         self.time_limit = time_limit
         self.use_sparse = use_sparse
 
-    def solve(self, model: Model,
-              warm_start: np.ndarray | None = None) -> MILPResult:
-        # scipy.optimize.milp has no warm-start hook; the argument is
-        # accepted for interface compatibility and ignored.
+    def solve(self, model: Model, options: SolveOptions | None = None,
+              *, warm_start: np.ndarray | None = UNSET) -> MILPResult:
+        # scipy.optimize.milp has no warm-start hook; a warm start in the
+        # options is accepted for interface compatibility and ignored.
+        options = deprecated_kwargs_to_options(
+            options, "ScipyMILPSolver.solve", warm_start=warm_start)
+        rel_gap = options.get("rel_gap", self.rel_gap) \
+            if options is not None else self.rel_gap
+        time_limit = options.get("time_limit", self.time_limit) \
+            if options is not None else self.time_limit
         if self.use_sparse:
             sa = model.to_sparse_arrays()
             a_ub, a_eq = sa.a_ub.to_scipy(), sa.a_eq.to_scipy()
@@ -112,15 +120,15 @@ class ScipyMILPSolver:
         if sa.b_eq.size:
             constraints.append(_sciopt.LinearConstraint(
                 a_eq, sa.b_eq, sa.b_eq))
-        options = {"mip_rel_gap": self.rel_gap, "presolve": True}
-        if self.time_limit is not None:
-            options["time_limit"] = self.time_limit
+        milp_options = {"mip_rel_gap": rel_gap, "presolve": True}
+        if time_limit is not None:
+            milp_options["time_limit"] = time_limit
         res = _sciopt.milp(
             c=sa.c,
             constraints=constraints or None,
             integrality=sa.integrality.astype(int),
             bounds=_sciopt.Bounds(sa.lb, sa.ub),
-            options=options)
+            options=milp_options)
         solve_time = time.monotonic() - t0
         if res.status == 2:
             return MILPResult(SolveStatus.INFEASIBLE, None, math.nan,

@@ -23,12 +23,12 @@ from repro.valuefn import StepValue
 class _NoSolutionBackend:
     """A backend that always gives up (e.g., a zero time budget)."""
 
-    def solve(self, model, warm_start=None):
+    def solve(self, model, options=None):
         return MILPResult(SolveStatus.NO_SOLUTION, None, math.nan)
 
 
 class _CrashingBackend:
-    def solve(self, model, warm_start=None):
+    def solve(self, model, options=None):
         raise SolverError("boom")
 
 

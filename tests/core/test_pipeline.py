@@ -6,7 +6,8 @@ import pytest
 from repro.cluster import Cluster
 from repro.core.queues import PriorityClass
 from repro.core.scheduler import JobRequest, TetriSched, TetriSchedConfig
-from repro.pipeline import CycleContext, global_pipeline, greedy_pipeline
+from repro.pipeline import (CycleContext, StageName, global_pipeline,
+                            greedy_pipeline)
 from repro.strl.generator import SpaceOption
 from repro.valuefn import StepValue
 
@@ -48,6 +49,42 @@ def test_global_pipeline_stage_order():
 
 def test_greedy_pipeline_stage_order():
     assert greedy_pipeline().stage_names == ("generate", "greedy")
+
+
+class TestStageName:
+    """StageName is the documented, stable key set of stage_timings."""
+
+    def test_members_cover_both_pipelines(self):
+        values = {s.value for s in StageName}
+        assert set(GLOBAL_STAGES) | {"greedy"} == values
+
+    def test_members_interchangeable_with_plain_strings(self):
+        # str mixin: hashing, equality and dict indexing all match the
+        # plain value, so archived JSON (string keys) round-trips.
+        assert StageName.SOLVE == "solve"
+        assert hash(StageName.SOLVE) == hash("solve")
+        timings = {StageName.SOLVE: 1.5}
+        assert timings["solve"] == 1.5
+
+    def test_string_formatting_is_the_value(self):
+        # Guarded explicitly: str-enum __str__/__format__ differ across
+        # Python 3.10-3.12; profile keys depend on the bare value.
+        assert str(StageName.MODEL_BUILD) == "model_build"
+        assert f"scheduler.stage_s.{StageName.MODEL_BUILD}" \
+            == "scheduler.stage_s.model_build"
+
+    def test_json_round_trip(self):
+        import json
+        payload = json.dumps({StageName.EXTRACT: 0.25})
+        assert json.loads(payload) == {"extract": 0.25}
+
+    def test_cycle_stage_timings_use_stage_names(self):
+        sched = make_sched()
+        submit_rack_pinned(sched)
+        stats = sched.run_cycle(0.0).stats
+        # Indexable by enum and by plain string alike.
+        assert stats.stage_timings[StageName.SOLVE] \
+            == stats.stage_timings["solve"]
 
 
 def test_cycle_records_stage_timings_and_components():
@@ -122,6 +159,24 @@ def test_context_halt_short_circuits():
     # Empty queue: StrlGeneration halts, Boom never runs.
     CyclePipeline([StrlGeneration(), Boom()]).run(ctx)
     assert ctx.halted
+
+
+def test_parallel_workers_config_matches_sequential():
+    """solver_workers routes component solves through the worker pool
+    without changing any decision the cycle makes."""
+    from repro.solver.parallel import shutdown_pools
+    try:
+        results = {}
+        for workers in (0, 2):
+            sched = make_sched(solver_workers=workers)
+            submit_rack_pinned(sched)
+            res = sched.run_cycle(0.0)
+            results[workers] = (res.stats.objective,
+                                sorted(a.job_id for a in res.allocations))
+        assert results[2][0] == results[0][0]  # bit-equal objective
+        assert results[2][1] == results[0][1]
+    finally:
+        shutdown_pools()
 
 
 def test_whole_cluster_fallback_merges_components():

@@ -6,7 +6,7 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.solver import (BranchBoundOptions, BranchBoundSolver, Model,
-                          SolveStatus, make_backend)
+                          SolveOptions, SolveStatus, make_backend)
 from repro.solver.scipy_backend import scipy_available
 
 
@@ -51,15 +51,30 @@ class TestBranchBound:
     def test_warm_start_accepted(self):
         m, xs = knapsack_model([10, 13, 7], [3, 4, 2], 5)
         ws = np.array([1.0, 0.0, 1.0])
-        res = BranchBoundSolver().solve(m, warm_start=ws)
+        res = BranchBoundSolver().solve(m, SolveOptions(warm_start=ws))
         assert res.status == SolveStatus.OPTIMAL
         assert res.objective == pytest.approx(17.0)
 
     def test_infeasible_warm_start_ignored(self):
         m, xs = knapsack_model([10, 13, 7], [3, 4, 2], 5)
         ws = np.array([1.0, 1.0, 1.0])  # violates capacity
-        res = BranchBoundSolver().solve(m, warm_start=ws)
+        res = BranchBoundSolver().solve(m, SolveOptions(warm_start=ws))
         assert res.objective == pytest.approx(17.0)
+
+    def test_legacy_warm_start_kwarg_warns_and_works(self):
+        m, xs = knapsack_model([10, 13, 7], [3, 4, 2], 5)
+        ws = np.array([1.0, 0.0, 1.0])
+        with pytest.warns(DeprecationWarning, match="warm_start"):
+            res = BranchBoundSolver().solve(m, warm_start=ws)
+        assert res.objective == pytest.approx(17.0)
+
+    def test_per_call_options_override_constructor(self):
+        m, _ = knapsack_model(list(range(1, 9)), [3] * 8, 11)
+        solver = BranchBoundSolver()  # default node_limit is large
+        res = solver.solve(m, SolveOptions(node_limit=1))
+        assert res.nodes <= 1
+        # The constructor's options are untouched by per-call overrides.
+        assert solver.options.node_limit == 200_000
 
     def test_node_limit_returns_incumbent_or_none(self):
         m, _ = knapsack_model(list(range(1, 9)), [3] * 8, 11)

@@ -1,0 +1,269 @@
+"""Parallel + memoized component solving: fingerprints, cache, pool.
+
+The load-bearing invariant throughout: however a component's result is
+produced — sequential in-process, worker pool, or cache replay — the
+recombined solution and objective are bit-equal to the sequential solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.solver import (BranchBoundSolver, ComponentCache, Model,
+                          SolveOptions, WorkerPool, component_fingerprint,
+                          solve_decomposed)
+from repro.solver.decompose import decompose
+from repro.solver.parallel import (MIN_COMPONENT_BUDGET_S, best_warm_start,
+                                   carve_time_budgets, get_pool,
+                                   shutdown_pools)
+from repro.solver.result import SolveStatus
+
+
+def knapsack(capacity: int = 5, values=(10, 13, 7)) -> Model:
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(3)]
+    m.add_constraint(3 * xs[0] + 4 * xs[1] + 2 * xs[2], "<=", capacity)
+    m.set_objective(sum(v * x for v, x in zip(values, xs)),
+                    sense="maximize")
+    return m
+
+
+def multi_block(blocks: int = 3) -> Model:
+    """``blocks`` independent knapsacks with distinct values in one model."""
+    m = Model("blocks")
+    for b in range(blocks):
+        xs = [m.add_binary(f"b{b}x{i}") for i in range(3)]
+        m.add_constraint(3 * xs[0] + 4 * xs[1] + 2 * xs[2], "<=", 5,
+                         name=f"cap{b}")
+    m.set_objective(
+        sum((10 + b + 0.13 * i) * m.variables[3 * b + i]
+            for b in range(blocks) for i in range(3)),
+        sense="maximize")
+    return m
+
+
+class TestFingerprint:
+    def test_identical_models_share_both_fingerprints(self):
+        fp1, fp2 = (component_fingerprint(knapsack()) for _ in range(2))
+        assert fp1.exact == fp2.exact
+        assert fp1.structural == fp2.structural
+
+    def test_rhs_change_breaks_exact_keeps_structural(self):
+        fp1 = component_fingerprint(knapsack(capacity=5))
+        fp2 = component_fingerprint(knapsack(capacity=4))
+        assert fp1.exact != fp2.exact
+        assert fp1.structural == fp2.structural
+
+    def test_coefficient_change_breaks_both(self):
+        fp1 = component_fingerprint(knapsack(values=(10, 13, 7)))
+        fp2 = component_fingerprint(knapsack(values=(10, 13, 8)))
+        assert fp1.exact != fp2.exact
+        assert fp1.structural != fp2.structural
+
+    def test_variable_names_do_not_matter(self):
+        m1 = knapsack()
+        m2 = Model("renamed")
+        ys = [m2.add_binary(f"y{i}") for i in range(3)]
+        m2.add_constraint(3 * ys[0] + 4 * ys[1] + 2 * ys[2], "<=", 5)
+        m2.set_objective(10 * ys[0] + 13 * ys[1] + 7 * ys[2],
+                         sense="maximize")
+        assert (component_fingerprint(m1).exact
+                == component_fingerprint(m2).exact)
+
+
+class TestComponentCache:
+    def test_exact_hit_replays_result_bit_equal(self):
+        cache = ComponentCache()
+        m = knapsack()
+        assert cache.lookup(m).result is None  # cold
+        res = BranchBoundSolver().solve(m)
+        cache.store(m, res)
+        hit = cache.lookup(knapsack())  # numerically identical fresh model
+        assert hit.result is not None
+        assert hit.result.objective == res.objective
+        assert np.array_equal(hit.result.x, res.x)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_hit_returns_copy_not_alias(self):
+        cache = ComponentCache()
+        m = knapsack()
+        cache.store(m, BranchBoundSolver().solve(m))
+        hit = cache.lookup(m)
+        hit.result.x[0] = 99.0
+        assert cache.lookup(m).result.x[0] != 99.0
+
+    def test_near_miss_donates_feasible_warm_start(self):
+        cache = ComponentCache()
+        m = knapsack(capacity=5)
+        cache.store(m, BranchBoundSolver().solve(m))
+        # Supply loosened: same structure, new rhs. Old optimum (items 0+2,
+        # weight 5) is still feasible under capacity 6 -> warm seed.
+        hit = cache.lookup(knapsack(capacity=6))
+        assert hit.result is None
+        assert hit.warm_start is not None
+        assert knapsack(capacity=6).check_feasible(hit.warm_start)
+        assert cache.stats.warm_hits == 1
+
+    def test_near_miss_with_infeasible_seed_is_plain_miss(self):
+        cache = ComponentCache()
+        m = knapsack(capacity=5)
+        cache.store(m, BranchBoundSolver().solve(m))
+        # Tightened to 4: the cached optimum (weight 5) no longer fits.
+        hit = cache.lookup(knapsack(capacity=4))
+        assert hit.result is None and hit.warm_start is None
+        assert cache.stats.warm_hits == 0
+
+    def test_supply_change_invalidates_exact_entry(self):
+        """A mid-window supply change alters rhs bytes -> no stale replay."""
+        cache = ComponentCache()
+        m5 = knapsack(capacity=5)
+        cache.store(m5, BranchBoundSolver().solve(m5))
+        assert cache.lookup(knapsack(capacity=4)).result is None
+        assert cache.lookup(knapsack(capacity=5)).result is not None
+
+    def test_solutionless_results_are_not_stored(self):
+        cache = ComponentCache()
+        m = knapsack()
+        infeasible = Model()
+        x = infeasible.add_binary("x")
+        infeasible.add_constraint(x, ">=", 2)
+        infeasible.set_objective(x, sense="maximize")
+        cache.store(infeasible, BranchBoundSolver().solve(infeasible))
+        assert len(cache) == 0
+        cache.store(m, BranchBoundSolver().solve(m))
+        assert len(cache) == 1
+
+    def test_lru_eviction(self):
+        cache = ComponentCache(max_entries=2)
+        models = [knapsack(capacity=c) for c in (5, 6, 7)]
+        for m in models:
+            cache.store(m, BranchBoundSolver().solve(m))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.lookup(knapsack(capacity=5)).result is None  # evicted
+        assert cache.lookup(knapsack(capacity=7)).result is not None
+
+    def test_clear(self):
+        cache = ComponentCache()
+        m = knapsack()
+        cache.store(m, BranchBoundSolver().solve(m))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookup(m).result is None
+
+
+class TestBestWarmStart:
+    def test_picks_best_feasible_candidate(self):
+        m = knapsack()
+        good = np.array([1.0, 0.0, 1.0])  # value 17
+        ok = np.array([0.0, 0.0, 1.0])    # value 7
+        bad = np.array([1.0, 1.0, 1.0])   # infeasible
+        assert best_warm_start(m, ok, bad, good) is good
+
+    def test_all_infeasible_returns_none(self):
+        m = knapsack()
+        assert best_warm_start(m, np.ones(3), None) is None
+
+
+class TestBudgets:
+    def test_unlimited_stays_unlimited(self):
+        assert carve_time_budgets(None, [5, 10]) == [None, None]
+
+    def test_proportional_split_with_floor(self):
+        budgets = carve_time_budgets(1.0, [90, 10])
+        assert budgets[0] == pytest.approx(0.9)
+        assert budgets[1] == pytest.approx(0.1)
+        tiny = carve_time_budgets(0.1, [99, 1])
+        assert tiny[1] == MIN_COMPONENT_BUDGET_S
+
+    def test_empty_components(self):
+        assert carve_time_budgets(1.0, []) == []
+
+
+class TestWorkerPool:
+    def teardown_method(self):
+        shutdown_pools()
+
+    def test_parallel_solve_bit_equal_to_sequential(self):
+        m = multi_block(3)
+        decomp = decompose(m)
+        backend = BranchBoundSolver()
+        seq = solve_decomposed(decomp, backend)
+        par = solve_decomposed(decompose(m), backend,
+                               SolveOptions(workers=2))
+        assert par.objective == seq.objective  # bit-equal, not approx
+        assert np.array_equal(par.x, seq.x)
+        assert par.status == SolveStatus.OPTIMAL
+
+    def test_pool_reused_across_solves(self):
+        pool1 = get_pool(2)
+        assert get_pool(2) is pool1
+        m = multi_block(2)
+        r1 = pool1.solve_many(
+            BranchBoundSolver(),
+            [(i, c.model, SolveOptions()) for i, c in
+             enumerate(decompose(m).components)])
+        r2 = pool1.solve_many(
+            BranchBoundSolver(),
+            [(i, c.model, SolveOptions()) for i, c in
+             enumerate(decompose(m).components)])
+        assert r1 is not None and r2 is not None
+        assert sorted(r1) == sorted(r2) == [0, 1]
+
+    def test_broken_pool_falls_back_to_sequential(self):
+        class Unpicklable(BranchBoundSolver):
+            """Backend the pool cannot ship (closure attribute)."""
+        Unpicklable.__qualname__ = "no.such.attr"  # defeat pickling
+
+        backend = Unpicklable()
+        m = multi_block(2)
+        res = solve_decomposed(decompose(m), backend,
+                               SolveOptions(workers=2))
+        # The cycle still completes with the correct answer.
+        seq = solve_decomposed(decompose(m), BranchBoundSolver())
+        assert res.objective == pytest.approx(seq.objective)
+
+    def test_rejects_fewer_than_two_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(1)
+
+
+class TestDecomposedCacheIntegration:
+    def test_cached_cycle_is_bit_equal_and_solver_free(self):
+        m = multi_block(3)
+        cache = ComponentCache()
+        backend = BranchBoundSolver()
+        cold = solve_decomposed(decompose(m), backend,
+                                SolveOptions(component_cache=cache))
+        warm = solve_decomposed(decompose(m), backend,
+                                SolveOptions(component_cache=cache))
+        assert warm.objective == cold.objective
+        assert np.array_equal(warm.x, cold.x)
+        assert cold.stats["cache_hits"] == 0
+        assert warm.stats["cache_hits"] == 3
+        assert warm.nodes == cold.nodes  # replayed stats, no new search
+
+    def test_cache_warm_start_on_changed_supply(self):
+        """Supply shift mid-window: near-miss seeds, never stale replays."""
+        cache = ComponentCache()
+        backend = BranchBoundSolver()
+        m1 = multi_block(2)
+        solve_decomposed(decompose(m1), backend,
+                         SolveOptions(component_cache=cache))
+        # Loosen one block's capacity: that block near-misses (warm seed),
+        # the untouched block exact-hits.
+        m2 = Model("blocks")
+        for b in range(2):
+            xs = [m2.add_binary(f"b{b}x{i}") for i in range(3)]
+            m2.add_constraint(3 * xs[0] + 4 * xs[1] + 2 * xs[2], "<=",
+                              5 if b == 0 else 6, name=f"cap{b}")
+        m2.set_objective(
+            sum((10 + b + 0.13 * i) * m2.variables[3 * b + i]
+                for b in range(2) for i in range(3)),
+            sense="maximize")
+        res = solve_decomposed(decompose(m2), backend,
+                               SolveOptions(component_cache=cache))
+        assert res.stats["cache_hits"] == 1
+        assert res.stats["cache_warm_hits"] == 1
+        # Correctness: matches an uncached solve of the new model.
+        ref = solve_decomposed(decompose(m2), BranchBoundSolver())
+        assert res.objective == pytest.approx(ref.objective)

@@ -1,11 +1,17 @@
 """Public-API and documentation tests.
 
 * every name in ``repro.__all__`` (and each subpackage's) actually resolves;
+* the top-level ``__all__`` is the locked API contract — additions and
+  removals must be deliberate (update ``TOP_LEVEL_API`` here in the same
+  change);
+* no private (underscore) names or raw submodule objects leak through any
+  ``__all__``;
 * module doctests run (the examples in docstrings must stay correct).
 """
 
 import doctest
 import importlib
+import inspect
 
 import pytest
 
@@ -14,6 +20,7 @@ DOCTEST_MODULES = [
     "repro.solver.expr",
     "repro.solver.model",
     "repro.solver.branch_bound",
+    "repro.solver.options",
     "repro.cluster.cluster",
     "repro.cluster.state",
     "repro.reservation.rayon",
@@ -22,9 +29,32 @@ DOCTEST_MODULES = [
 
 PACKAGES = [
     "repro", "repro.solver", "repro.strl", "repro.cluster", "repro.core",
-    "repro.reservation", "repro.baselines", "repro.sim", "repro.workloads",
-    "repro.experiments",
+    "repro.pipeline", "repro.reservation", "repro.baselines", "repro.sim",
+    "repro.workloads", "repro.experiments",
 ]
+
+#: The locked top-level contract: exactly what ``from repro import *``
+#: gives you.  A failing diff here means the public API changed — that
+#: must be an intentional, reviewed decision.
+TOP_LEVEL_API = {
+    # cluster substrate
+    "Cluster", "ClusterState", "Node",
+    # scheduler core
+    "Allocation", "JobRequest", "PriorityClass", "StrlCompiler",
+    "TetriSched", "TetriSchedConfig",
+    # cycle pipeline
+    "CyclePipeline", "StageName", "global_pipeline", "greedy_pipeline",
+    # solver surface
+    "ComponentCache", "Model", "SolveOptions", "SolveStatus", "make_backend",
+    # STRL
+    "Barrier", "LnCk", "Max", "Min", "NCk", "Scale", "SpaceOption", "Sum",
+    "parse", "to_text",
+    # reservation + simulation
+    "RayonReservationSystem", "GpuType", "Job", "MpiType", "Simulation",
+    "SimulationResult", "TetriSchedAdapter", "UnconstrainedType",
+    # value functions
+    "best_effort_value", "slo_value",
+}
 
 
 class TestExports:
@@ -34,6 +64,34 @@ class TestExports:
         assert hasattr(mod, "__all__") or package == "repro.experiments"
         for name in getattr(mod, "__all__", []):
             assert hasattr(mod, name), f"{package}.{name} missing"
+
+    def test_top_level_all_is_the_locked_contract(self):
+        import repro
+        assert set(repro.__all__) == TOP_LEVEL_API
+        assert len(repro.__all__) == len(set(repro.__all__)), \
+            "__all__ contains duplicates"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_no_private_names_in_all(self, package):
+        mod = importlib.import_module(package)
+        leaked = [n for n in getattr(mod, "__all__", [])
+                  if n.startswith("_")]
+        assert not leaked, f"{package}.__all__ leaks private names: {leaked}"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_no_modules_exported_through_all(self, package):
+        """``__all__`` re-exports objects, never raw module handles."""
+        mod = importlib.import_module(package)
+        leaked = [n for n in getattr(mod, "__all__", [])
+                  if inspect.ismodule(getattr(mod, n))]
+        assert not leaked, f"{package}.__all__ exports modules: {leaked}"
+
+    def test_solver_surface_includes_parallel_api(self):
+        from repro import solver
+        for name in ("SolveOptions", "ComponentCache", "WorkerPool",
+                     "component_fingerprint", "solve_decomposed",
+                     "shutdown_pools"):
+            assert name in solver.__all__
 
     def test_version(self):
         import repro
