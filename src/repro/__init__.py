@@ -19,7 +19,9 @@ EuroSys'16), including every substrate the paper depends on:
   paper's 256/80-node testbeds);
 * :mod:`repro.workloads` — SWIM-derived and synthetic workload generators
   (Table 1 compositions);
-* :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.experiments` — one driver per paper table/figure;
+* :mod:`repro.verify` — independent schedule auditor, MILP certificate
+  checker, and the differential fuzz harness (``python -m repro fuzz``).
 
 Quickstart
 ----------
@@ -48,16 +50,20 @@ from repro.solver import (ComponentCache, Model, SolveOptions, SolveStatus,
 from repro.strl import (Barrier, LnCk, Max, Min, NCk, Scale, SpaceOption,
                         Sum, parse, to_text)
 from repro.valuefn import best_effort_value, slo_value
+from repro.verify import (AuditReport, AuditViolation, CertificateReport,
+                          audit_cycle, check_certificate)
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "Allocation", "Barrier", "Cluster", "ClusterState", "ComponentCache",
+    "Allocation", "AuditReport", "AuditViolation", "Barrier",
+    "CertificateReport", "Cluster", "ClusterState", "ComponentCache",
     "CyclePipeline", "GpuType", "Job", "JobRequest", "LnCk", "Max", "Min",
     "Model", "MpiType", "NCk", "Node", "PriorityClass",
     "RayonReservationSystem", "Scale", "Simulation", "SimulationResult",
     "SolveOptions", "SolveStatus", "SpaceOption", "StageName", "StrlCompiler",
     "Sum", "TetriSched", "TetriSchedAdapter", "TetriSchedConfig",
-    "UnconstrainedType", "best_effort_value", "global_pipeline",
-    "greedy_pipeline", "make_backend", "parse", "slo_value", "to_text",
+    "UnconstrainedType", "audit_cycle", "best_effort_value",
+    "check_certificate", "global_pipeline", "greedy_pipeline", "make_backend",
+    "parse", "slo_value", "to_text",
 ]

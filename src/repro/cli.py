@@ -24,6 +24,13 @@ Commands
     with per-stage timings, component counts, worker-pool and
     component-cache statistics, and exit nonzero if the configurations
     disagree on the objective.
+``fuzz``
+    Differential fuzzing: generate seeded random cluster/workload
+    instances, solve each under every solver configuration (pure dense /
+    sparse / decomposed / parallel / cached, plus the scipy mirrors when
+    available), and assert the :mod:`repro.verify` oracles accept every
+    result and all objectives agree.  Failures shrink to a JSON seed
+    file replayable with ``--replay``.
 """
 
 from __future__ import annotations
@@ -142,6 +149,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for the parallel mode")
     p_bench.add_argument("--out", default="results/BENCH_cycle.json",
                          help="JSON report output path")
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the five-way solver stack against the "
+             "verification oracles")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="hypothesis seed (same seed, same instances)")
+    p_fuzz.add_argument("--iterations", type=int, default=25,
+                        help="number of generated instances")
+    p_fuzz.add_argument("--time-budget", type=float, default=None,
+                        help="soft wall-clock cap in seconds; remaining "
+                             "draws pass trivially once exceeded")
+    p_fuzz.add_argument("--replay", default=None, metavar="SEED_FILE",
+                        help="re-run one dumped instance instead of fuzzing "
+                             "(does not require hypothesis)")
+    p_fuzz.add_argument("--out", default="fuzz-failure.json",
+                        help="where to write the shrunk failing instance")
     return parser
 
 
@@ -273,6 +297,14 @@ def _cmd_bench_cycle(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.verify import fuzz
+    if args.replay is not None:
+        return fuzz.replay_file(args.replay)
+    return fuzz.run_fuzz(seed=args.seed, iterations=args.iterations,
+                         seed_file=args.out, time_budget=args.time_budget)
+
+
 def _cmd_solve(args) -> int:
     text = pathlib.Path(args.file).read_text()
     expr = parse_strl(text)
@@ -316,6 +348,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_profile(args)
         if args.command == "bench-cycle":
             return _cmd_bench_cycle(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

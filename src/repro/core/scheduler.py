@@ -130,6 +130,14 @@ class TetriSchedConfig:
     #: scheduled jobs to complete if their deadline has not passed",
     #: Sec. 7.1).  Attainment metrics always use the true deadline.
     deadline_grace_quanta: float = 1.0
+    #: Run the :mod:`repro.verify` oracles on every global cycle: replay
+    #: the solve through the MILP certificate checker and the space-time
+    #: schedule auditor, raising
+    #: :class:`~repro.verify.audit.AuditViolation` on the first cycle
+    #: whose emitted schedule breaks an invariant.  Costs one extra
+    #: ``O(nonzeros)`` pass per cycle; intended for tests, benchmarks,
+    #: and fig-scale regression tripwires rather than production runs.
+    audit_mode: bool = False
 
     @property
     def plan_ahead_quanta(self) -> int:
@@ -231,7 +239,7 @@ class TetriSched:
                          time_limit=self.config.solver_time_limit))
         self._component_cache = (ComponentCache()
                                  if self.config.component_cache else None)
-        self._global_pipeline = global_pipeline()
+        self._global_pipeline = global_pipeline(audit=self.config.audit_mode)
         self._greedy_pipeline = greedy_pipeline()
         # Previous cycle's accepted plan: (job_id, leaf) pairs, and its time.
         self._prev_plan: list[tuple[str, NCk]] = []

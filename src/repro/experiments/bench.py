@@ -134,7 +134,11 @@ def _run_pass(mode: BenchMode, backend: str, plan_ahead_s: float, racks: int,
         quantum_s=quantum_s, cycle_s=quantum_s,
         plan_ahead_s=plan_ahead_s, backend=backend,
         rel_gap=_REL_TOL, decomposition=mode.decomposition,
-        solver_workers=workers if mode.workers else 0)
+        solver_workers=workers if mode.workers else 0,
+        # Regression tripwire: every benchmarked cycle also runs the
+        # repro.verify oracles, so a configuration that drifts from the
+        # space-time invariants fails loudly instead of just slower.
+        audit_mode=True)
     sched = TetriSched(cluster, cfg)
     sched._backend = _build_backend(backend, mode.sparse, cfg.rel_gap)
     sched._component_cache = cache

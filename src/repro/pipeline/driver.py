@@ -6,7 +6,7 @@ import time
 from typing import TYPE_CHECKING, Sequence
 
 from repro import obs
-from repro.pipeline.stages import (Compilation, Decompose, Extract,
+from repro.pipeline.stages import (Audit, Compilation, Decompose, Extract,
                                    GreedyScheduling, ModelBuild, Solve, Stage,
                                    StrlGeneration)
 
@@ -43,10 +43,19 @@ class CyclePipeline:
         return ctx
 
 
-def global_pipeline() -> CyclePipeline:
-    """The full global-rescheduling cycle (paper Sec. 3 + sparse core)."""
-    return CyclePipeline([StrlGeneration(), Compilation(), ModelBuild(),
-                          Decompose(), Solve(), Extract()])
+def global_pipeline(audit: bool = False) -> CyclePipeline:
+    """The full global-rescheduling cycle (paper Sec. 3 + sparse core).
+
+    With ``audit=True`` (``TetriSchedConfig.audit_mode``) an extra final
+    stage replays every solve through the :mod:`repro.verify` oracles and
+    raises on the first cycle that fails the certificate or the
+    space-time schedule audit.
+    """
+    stages: list[Stage] = [StrlGeneration(), Compilation(), ModelBuild(),
+                           Decompose(), Solve(), Extract()]
+    if audit:
+        stages.append(Audit())
+    return CyclePipeline(stages)
 
 
 def greedy_pipeline() -> CyclePipeline:

@@ -43,6 +43,7 @@ class StageName(str, enum.Enum):
     DECOMPOSE = "decompose"
     SOLVE = "solve"
     EXTRACT = "extract"
+    AUDIT = "audit"
     GREEDY = "greedy"
 
     def __str__(self) -> str:  # uniform across py3.10..3.12 str-enum quirks
@@ -213,6 +214,43 @@ class Extract:
             acc = PlanAccumulator(sched.state, ctx.now, ctx.config.quantum_s)
             ctx.result.allocations = sched._materialize(
                 placements, compiled, acc, ctx.requests, ctx.now)
+
+
+class Audit:
+    """Independently recheck the cycle's decisions (``audit_mode``).
+
+    Runs the :mod:`repro.verify` oracles between Extract and the launch
+    loop — the cluster state already reflects this cycle's preemptions but
+    the new allocations have not started, which is exactly the ledger the
+    solution's supply constraints were written against.  Raises
+    :class:`~repro.verify.audit.AuditViolation` on the first cycle whose
+    solve result fails either the MILP certificate replay or the
+    space-time schedule audit.  The greedy (NG) pipeline is not audited:
+    it never builds an aggregate model for the oracles to replay.
+    """
+
+    name = StageName.AUDIT
+
+    def run(self, ctx: "CycleContext") -> None:
+        from repro.verify import audit_cycle, check_certificate
+
+        compiled, res = ctx.compiled, ctx.solution
+        if compiled is None or res is None:
+            return
+        cert = check_certificate(compiled.model, res)
+        report = audit_cycle(
+            ctx.scheduler.state, compiled, res, ctx.exprs,
+            quantum_s=ctx.config.quantum_s, now=ctx.now,
+            allocations=ctx.result.allocations)
+        obs.emit("scheduler.audit",
+                 certificate_ok=cert.ok, audit_ok=report.ok,
+                 placements=report.placements,
+                 quanta_checked=report.quanta_checked,
+                 objective_claimed=report.objective_claimed,
+                 objective_recomputed=report.objective_recomputed)
+        if not cert.ok:
+            cert.raise_if_failed()
+        report.raise_if_failed()
 
 
 class GreedyScheduling:

@@ -4,8 +4,8 @@ The scheduler core only depends on the tiny :class:`MILPBackend` protocol,
 mirroring the paper's pluggable-solver design (CPLEX there; pure-Python
 branch-and-bound or scipy/HiGHS here).  All tunables arrive through one
 :class:`~repro.solver.options.SolveOptions` value; the scattered per-call
-keyword arguments of earlier releases still work behind a
-``DeprecationWarning`` shim for one release.
+keyword arguments of earlier releases have been removed after their
+one-release deprecation window.
 """
 
 from __future__ import annotations
@@ -15,8 +15,7 @@ from typing import Protocol
 from repro.errors import SolverError
 from repro.solver.branch_bound import BranchBoundOptions, BranchBoundSolver
 from repro.solver.model import Model
-from repro.solver.options import (UNSET, SolveOptions,
-                                  deprecated_kwargs_to_options, resolve)
+from repro.solver.options import SolveOptions, resolve
 from repro.solver.result import MILPResult
 from repro.solver.scipy_backend import ScipyMILPSolver, scipy_available, solve_lp_scipy
 
@@ -33,9 +32,7 @@ BACKEND_NAMES = ("pure", "pure-scipy-lp", "scipy", "auto")
 
 
 def make_backend(name: str = "auto",
-                 options: SolveOptions | None = None,
-                 *, rel_gap: float = UNSET, time_limit: float | None = UNSET,
-                 node_limit: int | None = UNSET) -> MILPBackend:
+                 options: SolveOptions | None = None) -> MILPBackend:
     """Construct a MILP backend.
 
     Parameters
@@ -48,12 +45,7 @@ def make_backend(name: str = "auto",
     options:
         Solver tunables (gap, budgets, ...); unset fields take the library
         defaults in :data:`repro.solver.options.DEFAULT_OPTIONS`.
-    rel_gap, time_limit, node_limit:
-        Deprecated — pass ``SolveOptions`` instead (kept one release).
     """
-    options = deprecated_kwargs_to_options(
-        options, "make_backend", rel_gap=rel_gap, time_limit=time_limit,
-        node_limit=node_limit)
     opts = resolve(options)
     if name == "auto":
         name = "scipy" if scipy_available() else "pure"

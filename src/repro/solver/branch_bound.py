@@ -30,8 +30,7 @@ import numpy as np
 
 from repro import obs
 from repro.solver.model import Model
-from repro.solver.options import (UNSET, SolveOptions,
-                                  deprecated_kwargs_to_options, is_set)
+from repro.solver.options import SolveOptions, is_set
 from repro.solver.result import LPResult, MILPResult, SolveStatus
 from repro.solver.simplex import solve_lp as simplex_solve_lp
 
@@ -97,10 +96,8 @@ class BranchBoundSolver:
             return self.options
         return dataclasses.replace(self.options, **overrides)
 
-    def solve(self, model: Model, options: SolveOptions | None = None,
-              *, warm_start: np.ndarray | None = UNSET) -> MILPResult:
-        options = deprecated_kwargs_to_options(
-            options, "BranchBoundSolver.solve", warm_start=warm_start)
+    def solve(self, model: Model,
+              options: SolveOptions | None = None) -> MILPResult:
         warm_start = options.get("warm_start") if options is not None else None
         t0 = time.monotonic()
         opts = self._effective_options(options)
@@ -154,7 +151,10 @@ class BranchBoundSolver:
         counter = itertools.count()
         root = _Node(-math.inf, next(counter), sa.lb.copy(), sa.ub.copy())
         heap: list[_Node] = [root]
-        best_bound = -math.inf
+        # Weakest bound among gap-pruned subtrees: their optimum may lie up
+        # to rel_gap below the incumbent, so the proven global lower bound
+        # is min(open-node bounds, pruned bounds, incumbent) — never more.
+        pruned_bound = math.inf
         infeasible_everywhere = True
 
         def lp_at(node: _Node) -> LPResult:
@@ -163,10 +163,10 @@ class BranchBoundSolver:
                                   lb=node.lb, ub=node.ub)
 
         def gap_now() -> float:
-            if incumbent is None or not heap:
-                return math.inf if incumbent is None else 0.0
-            bound = min(h.bound for h in heap) if heap else incumbent_obj
-            bound = max(bound, best_bound)
+            if incumbent is None:
+                return math.inf
+            bound = min(min((h.bound for h in heap), default=math.inf),
+                        pruned_bound, incumbent_obj)
             return abs(incumbent_obj - bound) / max(1.0, abs(incumbent_obj))
 
         while heap:
@@ -177,7 +177,7 @@ class BranchBoundSolver:
             node = heapq.heappop(heap)
             if node.bound >= incumbent_obj - abs(incumbent_obj) * opts.rel_gap - 1e-12:
                 # Cannot improve on the incumbent by more than the gap.
-                best_bound = max(best_bound, node.bound)
+                pruned_bound = min(pruned_bound, node.bound)
                 nodes_pruned += 1
                 continue
             nodes_processed += 1
@@ -256,8 +256,8 @@ class BranchBoundSolver:
                               nodes=nodes_processed, solve_time=solve_time,
                               stats=search_stats)
 
-        open_bound = min((h.bound for h in heap), default=incumbent_obj)
-        open_bound = max(open_bound, best_bound) if best_bound > -math.inf else open_bound
+        open_bound = min(min((h.bound for h in heap), default=math.inf),
+                         pruned_bound, incumbent_obj)
         gap = abs(incumbent_obj - open_bound) / max(1.0, abs(incumbent_obj))
         proven = not heap or gap <= opts.rel_gap
         # Convert back to the model's objective sense.

@@ -35,8 +35,7 @@ from repro import obs
 from repro.errors import SolverError
 from repro.solver.expr import LinExpr
 from repro.solver.model import MAXIMIZE, Model
-from repro.solver.options import (UNSET, SolveOptions,
-                                  deprecated_kwargs_to_options)
+from repro.solver.options import UNSET, SolveOptions
 from repro.solver.result import MILPResult, SolveStatus
 
 
@@ -298,8 +297,7 @@ def _gather_results(decomp: Decomposition, backend,
 
 
 def solve_decomposed(decomp: Decomposition, backend,
-                     options: SolveOptions | None = None,
-                     *, warm_start: np.ndarray | None = UNSET) -> MILPResult:
+                     options: SolveOptions | None = None) -> MILPResult:
     """Solve every component through ``backend`` and recombine.
 
     ``options`` governs the whole decomposed solve: ``warm_start`` is the
@@ -317,8 +315,6 @@ def solve_decomposed(decomp: Decomposition, backend,
     ``stats["components"]``; its ``x`` lives in source-model column order,
     so callers decode it exactly as they would a monolithic solution.
     """
-    options = deprecated_kwargs_to_options(
-        options, "solve_decomposed", warm_start=warm_start)
     opts = options if options is not None else SolveOptions()
 
     objective = decomp.constant + decomp.free_objective

@@ -14,14 +14,13 @@ keeps that gap unless a per-call ``SolveOptions(rel_gap=...)`` overrides
 it.  This is what lets :func:`solve_decomposed` carve per-component time
 budgets out of the cycle budget without re-specifying every other knob.
 
-The old keyword arguments still work for one release behind a
-:class:`DeprecationWarning` shim (see ``make_backend`` and the backends'
-``solve``).
+The legacy per-function keyword arguments went through a one-release
+:class:`DeprecationWarning` window and have been removed; passing them now
+raises :class:`TypeError` like any other unknown keyword.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Any
 
@@ -112,27 +111,4 @@ def resolve(options: SolveOptions | None) -> SolveOptions:
     return options.merged_into(DEFAULT_OPTIONS)
 
 
-def deprecated_kwargs_to_options(options: SolveOptions | None, caller: str,
-                                 **kwargs: Any) -> SolveOptions | None:
-    """Fold legacy keyword arguments into a :class:`SolveOptions`.
-
-    Shim for the one-release deprecation window: any explicitly-passed
-    legacy kwarg (value not :data:`UNSET`) raises a
-    :class:`DeprecationWarning` naming the replacement, then lands in the
-    returned options.  An explicit ``options`` wins over a legacy kwarg
-    that names the same field.
-    """
-    passed = {name: value for name, value in kwargs.items() if is_set(value)}
-    if not passed:
-        return options
-    warnings.warn(
-        f"{caller}: keyword argument(s) {sorted(passed)} are deprecated; "
-        f"pass SolveOptions({', '.join(f'{k}=...' for k in sorted(passed))}) "
-        f"instead (will be removed next release)",
-        DeprecationWarning, stacklevel=3)
-    legacy = SolveOptions(**passed)
-    return options.merged_into(legacy) if options is not None else legacy
-
-
-__all__ = ["DEFAULT_OPTIONS", "SolveOptions", "UNSET",
-           "deprecated_kwargs_to_options", "is_set", "resolve"]
+__all__ = ["DEFAULT_OPTIONS", "SolveOptions", "UNSET", "is_set", "resolve"]

@@ -17,8 +17,7 @@ import numpy as np
 from repro import obs
 from repro.errors import SolverError
 from repro.solver.model import Model
-from repro.solver.options import (UNSET, SolveOptions,
-                                  deprecated_kwargs_to_options)
+from repro.solver.options import SolveOptions
 from repro.solver.result import LPResult, MILPResult, SolveStatus
 
 try:  # pragma: no cover - environment-dependent
@@ -96,12 +95,10 @@ class ScipyMILPSolver:
         self.time_limit = time_limit
         self.use_sparse = use_sparse
 
-    def solve(self, model: Model, options: SolveOptions | None = None,
-              *, warm_start: np.ndarray | None = UNSET) -> MILPResult:
+    def solve(self, model: Model,
+              options: SolveOptions | None = None) -> MILPResult:
         # scipy.optimize.milp has no warm-start hook; a warm start in the
         # options is accepted for interface compatibility and ignored.
-        options = deprecated_kwargs_to_options(
-            options, "ScipyMILPSolver.solve", warm_start=warm_start)
         rel_gap = options.get("rel_gap", self.rel_gap) \
             if options is not None else self.rel_gap
         time_limit = options.get("time_limit", self.time_limit) \

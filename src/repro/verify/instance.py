@@ -1,0 +1,121 @@
+"""Serializable fuzz instances: tiny clusters + workloads, hypothesis-free.
+
+The differential fuzz harness needs an instance representation that
+(a) hypothesis strategies can generate, (b) a failing run can dump to a
+JSON seed file, and (c) ``python -m repro fuzz --replay`` can rebuild
+bit-identically without hypothesis installed.  :class:`FuzzInstance` is
+that representation; :func:`build_instance` turns it into a cluster
+state, STRL batch, and compiled model using the exact production paths
+(:func:`~repro.strl.generator.generate_job_strl`,
+:class:`~repro.core.compiler.StrlCompiler`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.state import ClusterState
+from repro.core.compiler import CompiledBatch, StrlCompiler
+from repro.strl.ast import StrlNode
+from repro.strl.generator import SpaceOption, generate_job_strl
+from repro.valuefn import StepValue
+
+
+@dataclass(frozen=True)
+class FuzzJob:
+    """One pending job in a fuzz instance.
+
+    ``rack`` picks the preferred equivalence set: an index into the
+    cluster's racks, or ``None`` for the whole cluster.  ``fallback``
+    additionally offers a slower whole-cluster option (one extra quantum),
+    giving the compiler a Max-of-nCk choice to get wrong.
+    """
+
+    job_id: str
+    k: int
+    duration_q: int
+    value: float
+    rack: int | None = None
+    deadline_q: int | None = None
+    fallback: bool = False
+
+
+@dataclass(frozen=True)
+class FuzzInstance:
+    """A complete, replayable differential-fuzz scenario."""
+
+    racks: int
+    nodes_per_rack: int
+    quantum_s: float
+    plan_ahead_quanta: int
+    jobs: tuple[FuzzJob, ...] = ()
+    #: Pre-existing load: ``(node_count, hold_quanta)`` blocks occupying
+    #: the first free nodes, so fuzzing also covers non-empty clusters.
+    busy: tuple[tuple[int, int], ...] = field(default=())
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzInstance":
+        raw = json.loads(text)
+        jobs = tuple(FuzzJob(**j) for j in raw.pop("jobs"))
+        busy = tuple((int(n), int(q)) for n, q in raw.pop("busy"))
+        return cls(jobs=jobs, busy=busy, **raw)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FuzzInstance":
+        return cls.from_json(Path(path).read_text())
+
+
+def build_instance(
+    spec: FuzzInstance,
+) -> tuple[ClusterState, list[tuple[str, StrlNode]], CompiledBatch | None]:
+    """Materialize a spec into (state, STRL batch, compiled model).
+
+    Returns ``compiled=None`` when every job was culled (e.g. deadlines
+    unreachable within the plan-ahead window) — a trivially-passing
+    instance for the differential harness.
+    """
+    cluster = Cluster.build(spec.racks, spec.nodes_per_rack)
+    state = ClusterState(cluster.node_names)
+    q = spec.quantum_s
+    for i, (count, hold_q) in enumerate(spec.busy):
+        free = sorted(state.free_nodes())
+        take = free[: min(count, max(0, len(free) - 1))]
+        if take:
+            state.start(f"busy{i}", frozenset(take), 0.0, hold_q * q)
+
+    all_nodes = cluster.node_names
+    racks = sorted(cluster.rack_names)
+    exprs: list[tuple[str, StrlNode]] = []
+    for job in spec.jobs:
+        if job.rack is not None:
+            nodes = frozenset(cluster.rack_nodes(racks[job.rack % len(racks)]))
+        else:
+            nodes = all_nodes
+        options = [SpaceOption(nodes=nodes, k=job.k,
+                               duration_s=job.duration_q * q, label="pref")]
+        if job.fallback and nodes != all_nodes:
+            options.append(SpaceOption(nodes=all_nodes, k=job.k,
+                                       duration_s=(job.duration_q + 1) * q,
+                                       label="any"))
+        deadline = (job.deadline_q * q if job.deadline_q is not None
+                    else spec.plan_ahead_quanta * q)
+        expr = generate_job_strl(options, StepValue(job.value, deadline),
+                                 now=0.0, quantum_s=q,
+                                 plan_ahead_quanta=spec.plan_ahead_quanta,
+                                 deadline=deadline)
+        if expr is not None:
+            exprs.append((job.job_id, expr))
+
+    if not exprs:
+        return state, [], None
+    compiled = StrlCompiler(state, quantum_s=q, now=0.0).compile(exprs)
+    return state, exprs, compiled
+
+
+__all__ = ["FuzzInstance", "FuzzJob", "build_instance"]

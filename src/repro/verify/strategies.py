@@ -1,0 +1,128 @@
+"""Hypothesis strategies for the differential fuzz harness.
+
+Kept out of :mod:`repro.verify`'s eager imports so the auditor and
+certificate checker stay usable without hypothesis installed.  The test
+suite re-exports these from ``tests/strategies.py`` alongside the
+strategies the example-based tests share.
+
+All strategies generate *small* structures on purpose: the differential
+harness solves every instance under seven solver configurations, and
+hypothesis shrinks toward these minima anyway when something fails.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.solver.model import Model
+from repro.verify.instance import FuzzInstance, FuzzJob
+
+
+@st.composite
+def milp_models(draw) -> Model:
+    """Small random bounded MILPs (maximization, <= rows, integer vars).
+
+    The same shape the presolve property tests historically drew inline:
+    every variable has a finite ``[0, ub]`` box, so the model is always
+    bounded and (with ``x = 0``) always feasible.
+    """
+    n = draw(st.integers(2, 5))
+    m = Model()
+    xs = [m.add_integer(f"x{i}", lb=0, ub=8) for i in range(n)]
+    rows = draw(st.integers(1, 3))
+    for r in range(rows):
+        coefs = draw(st.lists(st.integers(-3, 4), min_size=n, max_size=n))
+        rhs = draw(st.integers(0, 20))
+        expr = sum(c * x for c, x in zip(coefs, xs) if c)
+        if not isinstance(expr, int):
+            m.add_constraint(expr, "<=", rhs)
+    obj_coefs = draw(st.lists(st.integers(-3, 3), min_size=n, max_size=n))
+    objective = sum(c * x for c, x in zip(obj_coefs, xs) if c)
+    if isinstance(objective, int):
+        objective = 0 * xs[0]
+    m.set_objective(objective, sense="maximize")
+    return m
+
+
+@st.composite
+def lp_problems(draw) -> dict:
+    """Random always-feasible bounded LPs in ``solve_lp`` array form.
+
+    ``lb = 0`` with nonnegative right-hand sides keeps the origin feasible
+    (never INFEASIBLE), and finite upper bounds keep the optimum finite
+    (never UNBOUNDED) — so both backends must return OPTIMAL and agree.
+    """
+    import numpy as np
+
+    n = draw(st.integers(1, 4))
+    rows = draw(st.integers(1, 3))
+    a_ub = np.array([
+        draw(st.lists(st.integers(-3, 4), min_size=n, max_size=n))
+        for _ in range(rows)], dtype=float)
+    b_ub = np.array(draw(st.lists(st.integers(0, 15),
+                                  min_size=rows, max_size=rows)),
+                    dtype=float)
+    c = np.array(draw(st.lists(st.integers(-4, 4), min_size=n, max_size=n)),
+                 dtype=float)
+    ub_vals = draw(st.lists(st.integers(1, 9), min_size=n, max_size=n))
+    return {
+        "c": c, "a_ub": a_ub, "b_ub": b_ub,
+        "a_eq": np.zeros((0, n)), "b_eq": np.zeros(0),
+        "lb": np.zeros(n), "ub": np.array(ub_vals, dtype=float),
+    }
+
+
+@st.composite
+def multi_component_models(draw) -> tuple[Model, int]:
+    """A model of ``k`` independent knapsack blocks, plus that ``k``.
+
+    Each block is internally connected (one constraint covering all its
+    variables), and no constraint spans blocks, so union-find must find
+    exactly ``k`` components.
+    """
+    k = draw(st.integers(1, 4))
+    m = Model()
+    objective = None
+    for b in range(k):
+        size = draw(st.integers(1, 3))
+        xs = [m.add_binary(f"b{b}x{i}") for i in range(size)]
+        weights = draw(st.lists(st.integers(1, 5),
+                                min_size=size, max_size=size))
+        cap = draw(st.integers(1, 8))
+        m.add_constraint(sum(w * x for w, x in zip(weights, xs)), "<=", cap)
+        values = draw(st.lists(st.integers(1, 6),
+                               min_size=size, max_size=size))
+        block = sum(v * x for v, x in zip(values, xs))
+        objective = block if objective is None else objective + block
+    m.set_objective(objective, sense="maximize")
+    return m, k
+
+
+@st.composite
+def fuzz_instances(draw) -> FuzzInstance:
+    """Small cluster + workload scenarios for the differential harness."""
+    racks = draw(st.integers(1, 2))
+    nodes_per_rack = draw(st.integers(1, 3))
+    plan_ahead = draw(st.integers(1, 3))
+    n_jobs = draw(st.integers(1, 4))
+    jobs = []
+    for j in range(n_jobs):
+        k = draw(st.integers(1, 3))
+        duration_q = draw(st.integers(1, 3))
+        value = float(draw(st.integers(1, 20)))
+        rack = draw(st.one_of(st.none(), st.integers(0, racks - 1)))
+        deadline_q = draw(st.one_of(st.none(), st.integers(1, plan_ahead)))
+        fallback = draw(st.booleans())
+        jobs.append(FuzzJob(f"j{j}", k=k, duration_q=duration_q, value=value,
+                            rack=rack, deadline_q=deadline_q,
+                            fallback=fallback))
+    busy = draw(st.lists(
+        st.tuples(st.integers(1, 2), st.integers(1, 2)),
+        min_size=0, max_size=2))
+    return FuzzInstance(racks=racks, nodes_per_rack=nodes_per_rack,
+                        quantum_s=10.0, plan_ahead_quanta=plan_ahead,
+                        jobs=tuple(jobs), busy=tuple(busy))
+
+
+__all__ = ["fuzz_instances", "lp_problems", "milp_models",
+           "multi_component_models"]

@@ -56,7 +56,8 @@ class TestStageName:
 
     def test_members_cover_both_pipelines(self):
         values = {s.value for s in StageName}
-        assert set(GLOBAL_STAGES) | {"greedy"} == values
+        # "audit" is the opt-in verification stage (audit_mode=True).
+        assert set(GLOBAL_STAGES) | {"greedy", "audit"} == values
 
     def test_members_interchangeable_with_plain_strings(self):
         # str mixin: hashing, equality and dict indexing all match the

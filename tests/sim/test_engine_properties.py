@@ -11,38 +11,14 @@ For any randomly generated small workload, on every scheduler stack:
 
 import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro.baselines import CapacityScheduler, EdfScheduler
 from repro.cluster import Cluster
 from repro.core import TetriSchedConfig
 from repro.reservation import RayonReservationSystem
-from repro.sim import (ExecutionTrace, GpuType, Job, MpiType, Simulation,
-                       TetriSchedAdapter, UnconstrainedType)
+from repro.sim import ExecutionTrace, Simulation, TetriSchedAdapter
 from repro.sim.trace import CULL, LAUNCH
-
-TYPES = [UnconstrainedType(), GpuType(slowdown=1.5), MpiType(slowdown=2.0)]
-
-
-@st.composite
-def _workloads(draw):
-    n = draw(st.integers(1, 8))
-    jobs = []
-    t = 0.0
-    for i in range(n):
-        t += draw(st.floats(0.0, 30.0))
-        runtime = draw(st.floats(5.0, 60.0))
-        is_slo = draw(st.booleans())
-        jobs.append(Job(
-            job_id=f"j{i}",
-            job_type=TYPES[draw(st.integers(0, len(TYPES) - 1))],
-            k=draw(st.integers(1, 4)),
-            base_runtime_s=runtime,
-            submit_time=t,
-            deadline=(t + runtime * draw(st.floats(0.8, 4.0))
-                      if is_slo else None),
-            estimate_error=draw(st.sampled_from([-0.5, -0.2, 0.0, 0.5]))))
-    return jobs
+from tests.strategies import sim_workloads
 
 
 def _build(kind: str):
@@ -62,7 +38,7 @@ def _build(kind: str):
 class TestEngineProperties:
     @settings(max_examples=15, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
-    @given(jobs=_workloads())
+    @given(jobs=sim_workloads())
     def test_invariants(self, kind, jobs):
         cluster, rayon, sched = _build(kind)
         trace = ExecutionTrace()

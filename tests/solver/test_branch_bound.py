@@ -61,12 +61,11 @@ class TestBranchBound:
         res = BranchBoundSolver().solve(m, SolveOptions(warm_start=ws))
         assert res.objective == pytest.approx(17.0)
 
-    def test_legacy_warm_start_kwarg_warns_and_works(self):
+    def test_legacy_warm_start_kwarg_raises(self):
         m, xs = knapsack_model([10, 13, 7], [3, 4, 2], 5)
         ws = np.array([1.0, 0.0, 1.0])
-        with pytest.warns(DeprecationWarning, match="warm_start"):
-            res = BranchBoundSolver().solve(m, warm_start=ws)
-        assert res.objective == pytest.approx(17.0)
+        with pytest.raises(TypeError):
+            BranchBoundSolver().solve(m, warm_start=ws)
 
     def test_per_call_options_override_constructor(self):
         m, _ = knapsack_model(list(range(1, 9)), [3] * 8, 11)

@@ -125,3 +125,51 @@ def test_all_free_model():
     assert res.status == SolveStatus.OPTIMAL
     assert res.objective == pytest.approx(8.0)
     assert list(res.x) == [3.0, 2.0]
+
+
+class TestDegenerateInputs:
+    def test_empty_model(self):
+        m = Model("empty")
+        d = decompose(m)
+        assert d.num_components == 0
+        assert d.component_sizes() == []
+        res = solve_decomposed(d, BranchBoundSolver())
+        assert res.status == SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(0.0)
+        assert res.x is not None and res.x.size == 0
+
+    def test_single_variable_components(self):
+        # Every constraint touches exactly one variable: each variable is
+        # its own component, none are "free".
+        m = Model("singletons")
+        xs = [m.add_integer(f"x{i}", ub=5) for i in range(4)]
+        for i, x in enumerate(xs):
+            m.add_constraint(1 * x, "<=", i + 1)
+        m.set_objective(sum(1 * x for x in xs), sense="maximize")
+        d = decompose(m)
+        assert d.num_components == 4
+        assert d.component_sizes() == [1, 1, 1, 1]
+        assert d.free_indices.size == 0
+        res = solve_decomposed(d, BranchBoundSolver())
+        assert res.status == SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(1 + 2 + 3 + 4)
+        assert res.objective == pytest.approx(
+            BranchBoundSolver().solve(m).objective)
+
+    def test_chain_collapses_to_one_giant_component(self):
+        # A chain x0-x1, x1-x2, ... makes union-find merge everything into
+        # a single component the size of the model (the worst case for the
+        # decomposition: no speedup, but identical answers).
+        n = 8
+        m = Model("chain")
+        xs = [m.add_binary(f"x{i}") for i in range(n)]
+        for a, b in zip(xs, xs[1:]):
+            m.add_constraint(1 * a + 1 * b, "<=", 1)
+        m.set_objective(sum((i + 1) * x for i, x in enumerate(xs)),
+                        sense="maximize")
+        d = decompose(m)
+        assert d.num_components == 1
+        assert d.component_sizes() == [n]
+        res = solve_decomposed(d, BranchBoundSolver())
+        assert res.objective == pytest.approx(
+            BranchBoundSolver().solve(m).objective)

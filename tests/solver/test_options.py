@@ -1,4 +1,4 @@
-"""SolveOptions: merge semantics, defaults, and the deprecation shims."""
+"""SolveOptions: merge semantics, defaults, and removed legacy kwargs."""
 
 import numpy as np
 import pytest
@@ -6,9 +6,7 @@ import pytest
 from repro.solver import (BranchBoundSolver, Model, SolveOptions,
                           make_backend, solve_decomposed)
 from repro.solver.decompose import decompose
-from repro.solver.options import (DEFAULT_OPTIONS, UNSET,
-                                  deprecated_kwargs_to_options, is_set,
-                                  resolve)
+from repro.solver.options import DEFAULT_OPTIONS, UNSET, is_set, resolve
 from repro.solver.scipy_backend import scipy_available
 
 
@@ -64,55 +62,50 @@ class TestMerge:
         assert opts.get("time_limit", 7.0) == 7.0
 
 
-class TestDeprecationShims:
-    def test_kwarg_folding_warns_and_converts(self):
-        with pytest.warns(DeprecationWarning, match="rel_gap"):
-            opts = deprecated_kwargs_to_options(None, "caller", rel_gap=0.2)
-        assert opts.rel_gap == 0.2
+class TestLegacyKwargsRemoved:
+    """The one-release DeprecationWarning shims are gone: TypeError now."""
 
-    def test_explicit_options_beat_legacy_kwargs(self):
-        with pytest.warns(DeprecationWarning):
-            opts = deprecated_kwargs_to_options(
-                SolveOptions(rel_gap=0.3), "caller", rel_gap=0.2)
-        assert opts.rel_gap == 0.3
+    def test_shim_helper_is_gone(self):
+        import repro.solver.options as options_mod
+        assert not hasattr(options_mod, "deprecated_kwargs_to_options")
 
-    def test_no_kwargs_passes_options_through_silently(self):
-        import warnings
-        opts = SolveOptions(rel_gap=0.3)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert deprecated_kwargs_to_options(
-                opts, "caller", rel_gap=UNSET) is opts
+    def test_make_backend_rejects_legacy_kwargs(self):
+        with pytest.raises(TypeError):
+            make_backend("pure", rel_gap=0.125)
+        with pytest.raises(TypeError):
+            make_backend("pure", time_limit=3.0)
+        with pytest.raises(TypeError):
+            make_backend("pure", node_limit=77)
 
-    def test_make_backend_legacy_kwargs_warn_but_work(self):
-        with pytest.warns(DeprecationWarning, match="make_backend"):
-            backend = make_backend("pure", rel_gap=0.125, time_limit=3.0)
+    def test_make_backend_options_replacement_works(self):
+        backend = make_backend("pure", SolveOptions(rel_gap=0.125,
+                                                    node_limit=77))
         assert backend.options.rel_gap == 0.125
-        assert backend.options.time_limit == 3.0
+        assert backend.options.node_limit == 77
 
-    def test_make_backend_options_equivalent_to_legacy(self):
-        new = make_backend("pure", SolveOptions(rel_gap=0.125,
-                                                node_limit=77))
-        with pytest.warns(DeprecationWarning):
-            old = make_backend("pure", rel_gap=0.125, node_limit=77)
-        assert new.options == old.options
+    def test_branch_bound_solve_rejects_warm_start_kwarg(self):
+        with pytest.raises(TypeError):
+            BranchBoundSolver().solve(knapsack(),
+                                      warm_start=np.array([1.0, 0.0, 1.0]))
 
-    def test_solve_decomposed_legacy_warm_start_warns(self):
-        m = knapsack()
-        decomp = decompose(m)
-        ws = np.array([1.0, 0.0, 1.0])
-        with pytest.warns(DeprecationWarning, match="solve_decomposed"):
-            res = solve_decomposed(decomp, BranchBoundSolver(),
-                                   warm_start=ws)
+    def test_solve_decomposed_rejects_warm_start_kwarg(self):
+        decomp = decompose(knapsack())
+        with pytest.raises(TypeError):
+            solve_decomposed(decomp, BranchBoundSolver(),
+                             warm_start=np.array([1.0, 0.0, 1.0]))
+
+    def test_solve_decomposed_options_warm_start_works(self):
+        decomp = decompose(knapsack())
+        res = solve_decomposed(
+            decomp, BranchBoundSolver(),
+            SolveOptions(warm_start=np.array([1.0, 0.0, 1.0])))
         assert res.objective == pytest.approx(17.0)
 
     @pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
-    def test_scipy_solve_legacy_warm_start_warns(self):
+    def test_scipy_solve_rejects_warm_start_kwarg(self):
         from repro.solver.scipy_backend import ScipyMILPSolver
-        with pytest.warns(DeprecationWarning, match="ScipyMILPSolver"):
-            res = ScipyMILPSolver().solve(knapsack(),
-                                          warm_start=np.zeros(3))
-        assert res.objective == pytest.approx(17.0)
+        with pytest.raises(TypeError):
+            ScipyMILPSolver().solve(knapsack(), warm_start=np.zeros(3))
 
 
 class TestPerCallOverrides:
@@ -121,14 +114,13 @@ class TestPerCallOverrides:
         backend.solve(knapsack(), SolveOptions(rel_gap=0.9))
         assert backend.options.rel_gap == 1e-6
 
-    def test_old_and_new_warm_start_give_same_answer(self):
+    def test_options_warm_start_matches_cold_solve(self):
         m1, m2 = knapsack(), knapsack()
         ws = np.array([1.0, 0.0, 1.0])
-        new = BranchBoundSolver().solve(m1, SolveOptions(warm_start=ws))
-        with pytest.warns(DeprecationWarning):
-            old = BranchBoundSolver().solve(m2, warm_start=ws)
-        assert new.objective == old.objective
-        assert np.array_equal(new.x, old.x)
+        warm = BranchBoundSolver().solve(m1, SolveOptions(warm_start=ws))
+        cold = BranchBoundSolver().solve(m2)
+        assert warm.objective == cold.objective
+        assert np.array_equal(warm.x, cold.x)
 
     @pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
     def test_scipy_per_call_gap_override(self):

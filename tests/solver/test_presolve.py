@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.solver import (BranchBoundOptions, BranchBoundSolver, Model,
                           SolveStatus, make_backend, scipy_available)
 from repro.solver.presolve import presolve
+from tests.strategies import milp_models
 
 
 def arrays_of(model):
@@ -107,22 +107,8 @@ class TestSolverIntegration:
 
     @pytest.mark.skipif(not scipy_available(), reason="scipy required")
     @settings(max_examples=30, deadline=None)
-    @given(st.data())
-    def test_presolved_solves_match_higgs(self, data):
-        n = data.draw(st.integers(2, 5))
-        m = Model()
-        xs = [m.add_integer(f"x{i}", ub=8) for i in range(n)]
-        rows = data.draw(st.integers(1, 3))
-        for r in range(rows):
-            coefs = data.draw(st.lists(st.integers(-3, 4), min_size=n,
-                                       max_size=n))
-            rhs = data.draw(st.integers(0, 20))
-            expr = sum(c * x for c, x in zip(coefs, xs))
-            if any(coefs):
-                m.add_constraint(expr, "<=", rhs)
-        obj = data.draw(st.lists(st.integers(-3, 3), min_size=n, max_size=n))
-        m.set_objective(sum(c * x for c, x in zip(obj, xs)),
-                        sense="maximize")
+    @given(m=milp_models())
+    def test_presolved_solves_match_higgs(self, m):
         ours = BranchBoundSolver(BranchBoundOptions(presolve=True)).solve(m)
         ref = make_backend("scipy").solve(m)
         assert ours.status.has_solution == ref.status.has_solution

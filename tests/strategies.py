@@ -1,0 +1,49 @@
+"""Shared hypothesis strategies for the test suite.
+
+Historically three test modules each grew their own inline strategies
+(random workloads in the engine property tests, random MILPs in the
+presolve tests, seed/size integers in the workload tests).  They now live
+here, next to re-exports of the fuzz-harness strategies from
+:mod:`repro.verify.strategies`, so property tests and the differential
+fuzzer draw from the same distributions.
+"""
+
+from hypothesis import strategies as st
+
+from repro.sim import GpuType, Job, MpiType, UnconstrainedType
+# Re-exported for property tests; the `python -m repro fuzz` harness uses
+# the same generators, so a distribution tweak changes both at once.
+from repro.verify.strategies import (fuzz_instances, lp_problems,  # noqa: F401
+                                     milp_models, multi_component_models)
+
+#: Workload-generator seeds (and similar "any reasonable seed" draws).
+seeds = st.integers(0, 10_000)
+
+#: The job-type palette the engine property tests exercise.
+JOB_TYPES = [UnconstrainedType(), GpuType(slowdown=1.5), MpiType(slowdown=2.0)]
+
+
+@st.composite
+def sim_workloads(draw):
+    """Small random workloads for end-to-end simulator property tests."""
+    n = draw(st.integers(1, 8))
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(0.0, 30.0))
+        runtime = draw(st.floats(5.0, 60.0))
+        is_slo = draw(st.booleans())
+        jobs.append(Job(
+            job_id=f"j{i}",
+            job_type=JOB_TYPES[draw(st.integers(0, len(JOB_TYPES) - 1))],
+            k=draw(st.integers(1, 4)),
+            base_runtime_s=runtime,
+            submit_time=t,
+            deadline=(t + runtime * draw(st.floats(0.8, 4.0))
+                      if is_slo else None),
+            estimate_error=draw(st.sampled_from([-0.5, -0.2, 0.0, 0.5]))))
+    return jobs
+
+
+__all__ = ["JOB_TYPES", "fuzz_instances", "lp_problems", "milp_models",
+           "multi_component_models", "seeds", "sim_workloads"]

@@ -25,12 +25,13 @@ DOCTEST_MODULES = [
     "repro.cluster.state",
     "repro.reservation.rayon",
     "repro.core.scheduler",
+    "repro.verify.certificate",
 ]
 
 PACKAGES = [
     "repro", "repro.solver", "repro.strl", "repro.cluster", "repro.core",
     "repro.pipeline", "repro.reservation", "repro.baselines", "repro.sim",
-    "repro.workloads", "repro.experiments",
+    "repro.workloads", "repro.experiments", "repro.verify",
 ]
 
 #: The locked top-level contract: exactly what ``from repro import *``
@@ -54,6 +55,9 @@ TOP_LEVEL_API = {
     "SimulationResult", "TetriSchedAdapter", "UnconstrainedType",
     # value functions
     "best_effort_value", "slo_value",
+    # verification oracles
+    "AuditReport", "AuditViolation", "CertificateReport", "audit_cycle",
+    "check_certificate",
 }
 
 

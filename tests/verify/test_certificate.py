@@ -1,0 +1,120 @@
+"""Certificate checker: valid solves pass, corrupted claims are rejected."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.solver import BranchBoundSolver, Model, SolveStatus
+from repro.solver.result import MILPResult
+from repro.verify import AuditViolation, check_certificate
+
+
+def knapsack():
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(3)]
+    m.add_constraint(3 * xs[0] + 4 * xs[1] + 2 * xs[2], "<=", 5)
+    m.set_objective(10 * xs[0] + 13 * xs[1] + 7 * xs[2], sense="maximize")
+    return m
+
+
+def solved():
+    m = knapsack()
+    return m, BranchBoundSolver().solve(m)
+
+
+class TestValidCertificates:
+    def test_clean_solve_passes(self):
+        m, res = solved()
+        report = check_certificate(m, res)
+        assert report.ok
+        assert report.objective_recomputed == pytest.approx(res.objective)
+        report.raise_if_failed()  # no-op when clean
+
+    def test_statuses_without_solution_pass_vacuously(self):
+        m = knapsack()
+        res = MILPResult(SolveStatus.INFEASIBLE, None, math.nan)
+        assert check_certificate(m, res).ok
+
+    def test_mixed_constraint_senses(self):
+        m = Model()
+        x = m.add_integer("x", ub=9)
+        y = m.add_continuous("y", ub=4.0)
+        m.add_constraint(1 * x + 1 * y, "<=", 8)
+        m.add_constraint(1 * x - 1 * y, ">=", 1)
+        m.add_constraint(1 * y, "==", 2)
+        m.set_objective(2 * x + 1 * y, sense="maximize")
+        res = BranchBoundSolver().solve(m)
+        assert check_certificate(m, res).ok
+
+
+class TestCorruptionDetected:
+    def test_mutated_assignment_bit_rejected(self):
+        # The ISSUE acceptance case: flip one binary in a valid solution.
+        m, res = solved()
+        res.x[1] = 1.0 - res.x[1]
+        report = check_certificate(m, res)
+        assert not report.ok
+        kinds = {v.kind for v in report.violations}
+        # Either a constraint row or the objective claim must break.
+        assert kinds & {"certificate.row-ub", "certificate.objective"}
+        with pytest.raises(AuditViolation):
+            report.raise_if_failed()
+
+    def test_objective_lie_rejected(self):
+        m, res = solved()
+        lied = dataclasses.replace(res, objective=res.objective + 1.0)
+        report = check_certificate(m, lied)
+        assert any(v.kind == "certificate.objective"
+                   for v in report.violations)
+
+    def test_fractional_integer_rejected(self):
+        m, res = solved()
+        res.x[0] = 0.5
+        report = check_certificate(m, res)
+        assert any(v.kind == "certificate.integrality"
+                   for v in report.violations)
+
+    def test_out_of_bounds_rejected(self):
+        m, res = solved()
+        res.x[2] = 2.0  # binary ub is 1
+        report = check_certificate(m, res)
+        assert any(v.kind == "certificate.bounds"
+                   for v in report.violations)
+        assert report.max_bound_violation == pytest.approx(1.0)
+
+    def test_wrong_shape_rejected(self):
+        m, res = solved()
+        bad = dataclasses.replace(res, x=np.zeros(7))
+        report = check_certificate(m, bad)
+        assert [v.kind for v in report.violations] == ["certificate.shape"]
+
+    def test_non_finite_rejected(self):
+        m, res = solved()
+        res.x[0] = np.nan
+        report = check_certificate(m, res)
+        assert any(v.kind == "certificate.non-finite"
+                   for v in report.violations)
+
+    def test_missing_point_rejected(self):
+        m, _ = solved()
+        res = MILPResult(SolveStatus.OPTIMAL, None, 17.0)
+        report = check_certificate(m, res)
+        assert [v.kind for v in report.violations] == [
+            "certificate.missing-point"]
+
+    def test_incumbent_beating_bound_rejected(self):
+        # A maximization incumbent above the reported dual bound means the
+        # bound proof cannot be valid.
+        m, res = solved()
+        bad = dataclasses.replace(res, bound=res.objective - 2.0)
+        report = check_certificate(m, bad)
+        assert any(v.kind == "certificate.bound" for v in report.violations)
+
+    def test_solver_bound_is_certified(self):
+        # Regression guard for the pruned-bound inversion: the solver's own
+        # reported bound must never be beaten by its incumbent.
+        m, res = solved()
+        assert res.bound >= res.objective - 1e-9
+        assert check_certificate(m, res).ok

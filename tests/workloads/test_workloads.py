@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests.strategies import seeds
+
 from repro.cluster import Cluster
 from repro.errors import WorkloadError
 from repro.sim import GpuType, MpiType, UnconstrainedType
@@ -168,8 +170,7 @@ class TestGridmix:
             GridmixConfig(slowdown=0.5)
 
     @settings(max_examples=20, deadline=None)
-    @given(seed=st.integers(0, 10_000),
-           n=st.integers(1, 60))
+    @given(seed=seeds, n=st.integers(1, 60))
     def test_generated_jobs_always_valid(self, seed, n):
         cluster = Cluster.build(racks=2, nodes_per_rack=4, gpu_racks=1)
         jobs = generate_workload(GS_HET, cluster,
