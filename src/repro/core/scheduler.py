@@ -162,6 +162,12 @@ class CycleStats:
     solver_nodes: int = 0
     #: LP-relaxation (simplex) iterations across this cycle's solves.
     lp_iterations: int = 0
+    #: Revised-simplex engine work: dual pivots spent in warm restarts,
+    #: basis refactorizations, warm restarts attempted / succeeded.
+    lp_dual_pivots: int = 0
+    lp_refactorizations: int = 0
+    lp_warm_restarts: int = 0
+    lp_warm_hits: int = 0
     #: Whether a warm start was attempted / produced a feasible seed.
     warm_start_attempted: bool = False
     warm_start_hit: bool = False
@@ -190,6 +196,10 @@ class SolveTelemetry:
     objective: float = 0.0
     solver_nodes: int = 0
     lp_iterations: int = 0
+    lp_dual_pivots: int = 0
+    lp_refactorizations: int = 0
+    lp_warm_restarts: int = 0
+    lp_warm_hits: int = 0
     warm_start_attempted: bool = False
     warm_start_hit: bool = False
     cache_hits: int = 0
@@ -200,6 +210,10 @@ class SolveTelemetry:
         self.solves += 1
         self.solver_nodes += res.nodes
         self.lp_iterations += int(res.stats.get("lp_iterations", 0))
+        self.lp_dual_pivots += int(res.stats.get("lp_dual_pivots", 0))
+        self.lp_refactorizations += int(res.stats.get("lp_refactorizations", 0))
+        self.lp_warm_restarts += int(res.stats.get("lp_warm_restarts", 0))
+        self.lp_warm_hits += int(res.stats.get("lp_warm_hits", 0))
         self.cache_hits += int(res.stats.get("cache_hits", 0))
         self.cache_warm_hits += int(res.stats.get("cache_warm_hits", 0))
 
@@ -294,6 +308,10 @@ class TetriSched:
             milp_constraints=tel.milp_constraints,
             objective=tel.objective, solves=tel.solves,
             solver_nodes=tel.solver_nodes, lp_iterations=tel.lp_iterations,
+            lp_dual_pivots=tel.lp_dual_pivots,
+            lp_refactorizations=tel.lp_refactorizations,
+            lp_warm_restarts=tel.lp_warm_restarts,
+            lp_warm_hits=tel.lp_warm_hits,
             warm_start_attempted=tel.warm_start_attempted,
             warm_start_hit=tel.warm_start_hit,
             components=ctx.components, milp_nonzeros=ctx.nnz,

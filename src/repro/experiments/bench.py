@@ -1,10 +1,14 @@
-"""Cycle-pipeline benchmark: dense oracle vs sparse vs decomposed variants.
+"""Cycle-pipeline benchmark: tableau oracle vs revised simplex vs
+sparse/decomposed variants.
 
 ``bench_cycle`` runs the *same* fixed-seed, fig12-scale scheduling cycles
-through five configurations of the staged pipeline:
+through six configurations of the staged pipeline:
 
+* ``monolithic-tableau`` — decomposition off, dense arrays, LP
+  relaxations solved by the legacy dense two-phase tableau (the PR-4
+  solver core, kept as the speedup baseline and differential oracle);
 * ``monolithic-dense`` — decomposition off, solver consumes the dense
-  ``to_standard_arrays`` export (the pre-refactor path, kept as oracle);
+  ``to_standard_arrays`` export over the revised simplex;
 * ``monolithic-sparse`` — decomposition off, CSR export + sparse presolve;
 * ``decomposed-sparse`` — sparse core plus independent-component
   decomposition, solved sequentially in-process;
@@ -56,12 +60,17 @@ class BenchMode:
     #: Run the cycle sequence twice sharing a ComponentCache and report
     #: the warm pass.
     cached: bool = False
+    #: LP-relaxation engine for the pure branch-and-bound backend:
+    #: ``"revised"`` or the legacy ``"tableau"`` oracle.
+    lp_engine: str = "revised"
 
 
 #: Order matters for the speedup report: the first mode is the oracle
 #: baseline and ``decomposed-sparse`` is the sequential reference the
 #: parallel/cached variants are measured against.
 MODES = (
+    BenchMode("monolithic-tableau", decomposition=False, sparse=False,
+              lp_engine="tableau"),
     BenchMode("monolithic-dense", decomposition=False, sparse=False),
     BenchMode("monolithic-sparse", decomposition=False, sparse=True),
     BenchMode("decomposed-sparse", decomposition=True, sparse=True),
@@ -104,7 +113,8 @@ def _rack_pinned_jobs(cluster: Cluster, jobs_per_rack: int, quantum_s: float,
     return jobs
 
 
-def _build_backend(name: str, sparse: bool, rel_gap: float):
+def _build_backend(name: str, sparse: bool, rel_gap: float,
+                   lp_engine: str = "revised"):
     """A backend forced onto the dense or sparse array path."""
     backend = make_backend(name, SolveOptions(rel_gap=rel_gap))
     if isinstance(backend, BranchBoundSolver):
@@ -114,7 +124,8 @@ def _build_backend(name: str, sparse: bool, rel_gap: float):
             node_limit=opts.node_limit, lp_solver=opts.lp_solver,
             rounding_heuristic=opts.rounding_heuristic,
             presolve=opts.presolve,
-            arrays="sparse" if sparse else "dense"))
+            arrays="sparse" if sparse else "dense",
+            lp_engine=lp_engine))
     # Scipy backend: same switch, different spelling.
     backend.use_sparse = sparse
     return backend
@@ -140,7 +151,8 @@ def _run_pass(mode: BenchMode, backend: str, plan_ahead_s: float, racks: int,
         # space-time invariants fails loudly instead of just slower.
         audit_mode=True)
     sched = TetriSched(cluster, cfg)
-    sched._backend = _build_backend(backend, mode.sparse, cfg.rel_gap)
+    sched._backend = _build_backend(backend, mode.sparse, cfg.rel_gap,
+                                    mode.lp_engine)
     sched._component_cache = cache
 
     objectives: list[float] = []
@@ -148,6 +160,7 @@ def _run_pass(mode: BenchMode, backend: str, plan_ahead_s: float, racks: int,
     stage_s: dict[str, float] = {}
     launched = 0
     nodes = lp_iters = 0
+    dual_pivots = refactorizations = warm_restarts = warm_hits = 0
     nnz = variables = constraints = 0
     cache_hits = cache_warm_hits = 0
     t0 = time.monotonic()
@@ -168,6 +181,10 @@ def _run_pass(mode: BenchMode, backend: str, plan_ahead_s: float, racks: int,
         launched += stats.launched
         nodes += stats.solver_nodes
         lp_iters += stats.lp_iterations
+        dual_pivots += stats.lp_dual_pivots
+        refactorizations += stats.lp_refactorizations
+        warm_restarts += stats.lp_warm_restarts
+        warm_hits += stats.lp_warm_hits
         cache_hits += stats.cache_hits
         cache_warm_hits += stats.cache_warm_hits
         nnz = max(nnz, stats.milp_nonzeros)
@@ -186,6 +203,9 @@ def _run_pass(mode: BenchMode, backend: str, plan_ahead_s: float, racks: int,
         "stage_timings_s": stage_s,
         "solver_nodes": nodes,
         "lp_iterations": lp_iters,
+        "lp": {"engine": mode.lp_engine, "dual_pivots": dual_pivots,
+               "refactorizations": refactorizations,
+               "warm_restarts": warm_restarts, "warm_hits": warm_hits},
         "workers": workers if mode.workers else 0,
         "cache": {"hits": cache_hits, "warm_hits": cache_warm_hits},
         "milp": {"variables": variables, "constraints": constraints,
@@ -198,7 +218,7 @@ def bench_cycle(backend: str = "pure", plan_ahead_s: float = 96.0,
                 jobs_per_rack: int = 2, cycles: int = 2,
                 quantum_s: float = 8.0, seed: int = 0,
                 workers: int = 2) -> dict[str, Any]:
-    """Benchmark one fig12-style cycle sequence across the five modes.
+    """Benchmark one fig12-style cycle sequence across the six modes.
 
     Returns a JSON-serializable report (written to ``BENCH_cycle.json`` by
     the ``bench-cycle`` CLI command and the fig12 benchmark suite) whose
@@ -241,7 +261,14 @@ def bench_cycle(backend: str = "pure", plan_ahead_s: float = 96.0,
     def _wall(mode_name: str) -> float:
         return report["modes"][mode_name]["wall_s"]
 
+    def _solve_s(mode_name: str) -> float:
+        return report["modes"][mode_name]["stage_timings_s"].get("solve", 0.0)
+
     report["speedup"] = {
+        # The tentpole number: revised-simplex solve stage vs the legacy
+        # tableau on the identical monolithic-dense configuration.
+        "revised_vs_tableau": _solve_s("monolithic-tableau")
+        / max(1e-12, _solve_s("monolithic-dense")),
         "sparse_vs_dense": _wall("monolithic-dense")
         / max(1e-12, _wall("monolithic-sparse")),
         "decomposed_vs_dense": _wall("monolithic-dense")
@@ -274,6 +301,15 @@ def format_bench(report: dict[str, Any]) -> str:
             f"components={m['components']} objectives="
             f"{[round(o, 3) for o in m['objectives']]}")
         lines.append(f"    stages: {stages}")
+        lp = m.get("lp", {})
+        if lp:
+            lines.append(
+                f"    lp[{lp.get('engine', '?')}]: "
+                f"{m['lp_iterations']} iterations, "
+                f"{lp.get('dual_pivots', 0)} dual pivots, "
+                f"{lp.get('refactorizations', 0)} refactorizations, "
+                f"warm restarts {lp.get('warm_hits', 0)}"
+                f"/{lp.get('warm_restarts', 0)}")
         cache = m.get("cache", {})
         if cache.get("hits") or cache.get("warm_hits"):
             lines.append(
@@ -282,7 +318,8 @@ def format_bench(report: dict[str, Any]) -> str:
                 f"(cold pass {1000 * m.get('cold_wall_s', 0.0):.1f}ms)")
     sp = report["speedup"]
     lines.append(
-        f"  speedup: sparse/dense={sp['sparse_vs_dense']:.2f}x "
+        f"  speedup: revised/tableau(solve)={sp['revised_vs_tableau']:.2f}x "
+        f"sparse/dense={sp['sparse_vs_dense']:.2f}x "
         f"decomposed/dense={sp['decomposed_vs_dense']:.2f}x "
         f"decomposed/sparse={sp['decomposed_vs_sparse']:.2f}x")
     lines.append(

@@ -58,6 +58,18 @@ class RunProfile:
         return self.counter("scheduler.warm_start.hits") / attempts
 
     @property
+    def lp_warm_restart_hit_rate(self) -> float:
+        """Fraction of dual-simplex warm restarts that avoided a cold solve.
+
+        ``nan`` when the run never attempted one (tableau engine, scipy
+        backend, or a search that never branched).
+        """
+        attempts = self.counter("solver.lp.warm_restarts")
+        if not attempts:
+            return float("nan")
+        return self.counter("solver.lp.warm_hits") / attempts
+
+    @property
     def nodes_per_solve(self) -> float:
         solves = self.counter("solver.solves")
         if not solves:

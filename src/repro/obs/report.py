@@ -43,6 +43,10 @@ _HEADLINE_COUNTERS = (
     ("solver.bnb.pruned", "B&B nodes pruned"),
     ("solver.bnb.incumbents", "incumbent improvements"),
     ("solver.lp.iterations", "simplex/LP iterations"),
+    ("solver.lp.dual_pivots", "dual-simplex pivots"),
+    ("solver.lp.refactorizations", "basis refactorizations"),
+    ("solver.lp.warm_restarts", "LP warm restarts"),
+    ("solver.lp.warm_hits", "LP warm-restart hits"),
     ("solver.presolve.rows_dropped", "presolve rows dropped"),
     ("solver.presolve.bounds_tightened", "presolve bounds tightened"),
     ("scheduler.launched", "jobs launched"),
@@ -62,6 +66,9 @@ def render_profile(profile: RunProfile, title: str = "Run profile") -> str:
     hit_rate = profile.warm_start_hit_rate
     if not math.isnan(hit_rate):
         rows.append(["warm-start hit rate (%)", 100.0 * hit_rate])
+    lp_hit_rate = profile.lp_warm_restart_hit_rate
+    if not math.isnan(lp_hit_rate):
+        rows.append(["LP warm-restart hit rate (%)", 100.0 * lp_hit_rate])
     if profile.counter("solver.solves"):
         rows.append(["B&B nodes per solve", profile.nodes_per_solve])
     if rows:

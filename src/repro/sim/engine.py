@@ -271,6 +271,11 @@ class Simulation:
             profile.bump("solver.solves", stats.solves)
             profile.bump("solver.bnb.nodes", stats.solver_nodes)
             profile.bump("solver.lp.iterations", stats.lp_iterations)
+            profile.bump("solver.lp.dual_pivots", stats.lp_dual_pivots)
+            profile.bump("solver.lp.refactorizations",
+                         stats.lp_refactorizations)
+            profile.bump("solver.lp.warm_restarts", stats.lp_warm_restarts)
+            profile.bump("solver.lp.warm_hits", stats.lp_warm_hits)
             profile.bump("solver.milp_variables", stats.milp_variables)
             profile.bump("solver.milp_constraints", stats.milp_constraints)
             if stats.warm_start_attempted:

@@ -10,7 +10,9 @@ Public surface:
   solving with the persistent worker pool and cross-cycle memoization
   (:mod:`repro.solver.parallel`);
 * :class:`MILPResult`, :class:`SolveStatus` — results;
-* :func:`solve_lp` — the standalone two-phase simplex LP solver.
+* :func:`solve_lp` — the standalone two-phase tableau LP solver (oracle);
+* :func:`solve_lp_revised` / :class:`RevisedSimplexEngine` — the
+  bounded-variable revised simplex (production LP core).
 """
 
 from repro.solver.backend import (BACKEND_NAMES, MILPBackend,
@@ -24,17 +26,19 @@ from repro.solver.parallel import (CacheStats, ComponentCache, WorkerPool,
                                    component_fingerprint, shutdown_pools)
 from repro.solver.presolve import PresolveResult, presolve
 from repro.solver.result import LPResult, MILPResult, SolveStatus
+from repro.solver.revised_simplex import (BasisState, RevisedSimplexEngine,
+                                          solve_lp_revised)
 from repro.solver.scipy_backend import ScipyMILPSolver, scipy_available
 from repro.solver.simplex import solve_lp
 
 __all__ = [
-    "BACKEND_NAMES", "BINARY", "BranchBoundOptions", "BranchBoundSolver",
-    "CONTINUOUS", "CacheStats", "ComponentCache", "Constraint",
-    "DEFAULT_OPTIONS", "Decomposition", "EQ", "GE", "INTEGER", "LE",
-    "LPResult", "LinExpr", "MAXIMIZE", "MILPBackend", "MILPResult",
-    "MINIMIZE", "Model", "PresolveResult", "ScipyMILPSolver", "SolveOptions",
-    "SolveStatus", "UNSET", "Variable", "WorkerPool", "backend_time_limit",
-    "component_fingerprint", "decompose", "linear_sum", "make_backend",
-    "presolve", "scipy_available", "shutdown_pools", "solve_decomposed",
-    "solve_lp",
+    "BACKEND_NAMES", "BINARY", "BasisState", "BranchBoundOptions",
+    "BranchBoundSolver", "CONTINUOUS", "CacheStats", "ComponentCache",
+    "Constraint", "DEFAULT_OPTIONS", "Decomposition", "EQ", "GE", "INTEGER",
+    "LE", "LPResult", "LinExpr", "MAXIMIZE", "MILPBackend", "MILPResult",
+    "MINIMIZE", "Model", "PresolveResult", "RevisedSimplexEngine",
+    "ScipyMILPSolver", "SolveOptions", "SolveStatus", "UNSET", "Variable",
+    "WorkerPool", "backend_time_limit", "component_fingerprint", "decompose",
+    "linear_sum", "make_backend", "presolve", "scipy_available",
+    "shutdown_pools", "solve_decomposed", "solve_lp", "solve_lp_revised",
 ]

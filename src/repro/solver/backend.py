@@ -28,7 +28,7 @@ class MILPBackend(Protocol):
 
 
 #: Names accepted by :func:`make_backend`.
-BACKEND_NAMES = ("pure", "pure-scipy-lp", "scipy", "auto")
+BACKEND_NAMES = ("pure", "pure-tableau", "pure-scipy-lp", "scipy", "auto")
 
 
 def make_backend(name: str = "auto",
@@ -38,7 +38,10 @@ def make_backend(name: str = "auto",
     Parameters
     ----------
     name:
-        * ``"pure"`` — from-scratch branch-and-bound over the pure simplex;
+        * ``"pure"`` — from-scratch branch-and-bound over the bounded-variable
+          revised simplex (dual-simplex warm restarts across nodes);
+        * ``"pure-tableau"`` — same search over the legacy dense two-phase
+          tableau, kept as the differential oracle;
         * ``"pure-scipy-lp"`` — our branch-and-bound over HiGHS LP relaxations;
         * ``"scipy"`` — HiGHS branch-and-cut via ``scipy.optimize.milp``;
         * ``"auto"`` — ``"scipy"`` when available, else ``"pure"``.
@@ -58,6 +61,10 @@ def make_backend(name: str = "auto",
         return BranchBoundSolver(BranchBoundOptions(
             rel_gap=opts.rel_gap, time_limit=opts.time_limit,
             node_limit=opts.node_limit))
+    if name == "pure-tableau":
+        return BranchBoundSolver(BranchBoundOptions(
+            rel_gap=opts.rel_gap, time_limit=opts.time_limit,
+            node_limit=opts.node_limit, lp_engine="tableau"))
     if name == "pure-scipy-lp":
         if not scipy_available():
             raise SolverError("pure-scipy-lp backend requested but scipy is missing")

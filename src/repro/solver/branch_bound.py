@@ -29,9 +29,11 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
+from repro.errors import SolverError
 from repro.solver.model import Model
 from repro.solver.options import SolveOptions, is_set
 from repro.solver.result import LPResult, MILPResult, SolveStatus
+from repro.solver.revised_simplex import RevisedSimplexEngine
 from repro.solver.simplex import solve_lp as simplex_solve_lp
 
 _INT_TOL = 1e-6
@@ -55,6 +57,12 @@ class BranchBoundOptions:
     #: sparsely, densified only at the LP-engine boundary) or ``"dense"``
     #: (the historical `to_standard_arrays` path, kept as a test oracle).
     arrays: str = "sparse"
+    #: LP relaxation engine when ``lp_solver`` is the built-in simplex:
+    #: ``"revised"`` (bounded-variable revised simplex with dual-simplex
+    #: warm restarts across nodes) or ``"tableau"`` (the legacy dense
+    #: two-phase tableau, kept as the differential oracle).  Ignored for
+    #: external ``lp_solver`` callables such as scipy/HiGHS.
+    lp_engine: str = "revised"
 
 
 @dataclass(order=True)
@@ -64,6 +72,9 @@ class _Node:
     lb: np.ndarray = field(compare=False)
     ub: np.ndarray = field(compare=False)
     depth: int = field(compare=False, default=0)
+    #: Parent's optimal basis (:class:`repro.solver.revised_simplex.BasisState`)
+    #: when the revised engine is active; seeds a dual-simplex warm restart.
+    basis: object | None = field(compare=False, default=None)
 
 
 class BranchBoundSolver:
@@ -157,7 +168,19 @@ class BranchBoundSolver:
         pruned_bound = math.inf
         infeasible_everywhere = True
 
+        engine: RevisedSimplexEngine | None = None
+        if opts.lp_solver is simplex_solve_lp:
+            if opts.lp_engine == "revised":
+                engine = RevisedSimplexEngine(sa.c, sa.a_ub, sa.b_ub,
+                                              sa.a_eq, sa.b_eq)
+            elif opts.lp_engine != "tableau":
+                raise SolverError(
+                    f"unknown lp_engine {opts.lp_engine!r}; "
+                    "expected 'revised' or 'tableau'")
+
         def lp_at(node: _Node) -> LPResult:
+            if engine is not None:
+                return engine.solve(node.lb, node.ub, start=node.basis)
             return opts.lp_solver(sa.c, a_ub=sa.a_ub, b_ub=sa.b_ub,
                                   a_eq=sa.a_eq, b_eq=sa.b_eq,
                                   lb=node.lb, ub=node.ub)
@@ -165,8 +188,10 @@ class BranchBoundSolver:
         def gap_now() -> float:
             if incumbent is None:
                 return math.inf
-            bound = min(min((h.bound for h in heap), default=math.inf),
-                        pruned_bound, incumbent_obj)
+            # heap[0] is the min of a (bound, seq)-ordered min-heap, so the
+            # best open bound is O(1) — no full-heap scan per call.
+            open_bound = heap[0].bound if heap else math.inf
+            bound = min(open_bound, pruned_bound, incumbent_obj)
             return abs(incumbent_obj - bound) / max(1.0, abs(incumbent_obj))
 
         while heap:
@@ -227,11 +252,14 @@ class BranchBoundSolver:
             val = lp.x[pick]
             lo, hi = math.floor(val), math.ceil(val)
 
+            # Children inherit this node's optimal basis: tightening one
+            # bound keeps it dual-feasible, so the child re-optimizes in a
+            # few dual pivots instead of a fresh phase-1/phase-2 solve.
             down = _Node(lp.objective, next(counter), node.lb.copy(),
-                         node.ub.copy(), node.depth + 1)
+                         node.ub.copy(), node.depth + 1, basis=lp.basis)
             down.ub[pick] = min(down.ub[pick], lo)
             up = _Node(lp.objective, next(counter), node.lb.copy(),
-                       node.ub.copy(), node.depth + 1)
+                       node.ub.copy(), node.depth + 1, basis=lp.basis)
             up.lb[pick] = max(up.lb[pick], hi)
             for child in (down, up):
                 if child.lb[pick] <= child.ub[pick]:
@@ -245,6 +273,14 @@ class BranchBoundSolver:
         search_stats.update({"lp_iterations": lp_iterations,
                              "nodes_pruned": nodes_pruned,
                              "incumbents": incumbents})
+        if engine is not None:
+            search_stats.update({
+                "lp_dual_pivots": engine.counters["dual_pivots"],
+                "lp_refactorizations": engine.counters["refactorizations"],
+                "lp_warm_restarts": engine.counters["warm_restarts"],
+                "lp_warm_hits": engine.counters["warm_hits"],
+                "lp_cold_fallbacks": engine.counters["cold_fallbacks"],
+            })
         obs.count("solver.bnb.pruned", nodes_pruned)
         obs.count("solver.bnb.incumbents", incumbents)
         if incumbent is None:
@@ -256,7 +292,7 @@ class BranchBoundSolver:
                               nodes=nodes_processed, solve_time=solve_time,
                               stats=search_stats)
 
-        open_bound = min(min((h.bound for h in heap), default=math.inf),
+        open_bound = min(heap[0].bound if heap else math.inf,
                          pruned_bound, incumbent_obj)
         gap = abs(incumbent_obj - open_bound) / max(1.0, abs(incumbent_obj))
         proven = not heap or gap <= opts.rel_gap

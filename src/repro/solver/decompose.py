@@ -321,7 +321,11 @@ def solve_decomposed(decomp: Decomposition, backend,
     bound = objective
     gap = 0.0
     nodes = 0
-    lp_iterations = 0
+    # Per-component LP-engine work, summed into the recombined stats so
+    # cycle telemetry sees decomposed solves exactly like monolithic ones.
+    lp_work = {key: 0 for key in ("lp_iterations", "lp_dual_pivots",
+                                  "lp_refactorizations", "lp_warm_restarts",
+                                  "lp_warm_hits", "lp_cold_fallbacks")}
     solve_time = 0.0
     proven = True
     solutions: list[np.ndarray] = []
@@ -331,7 +335,8 @@ def solve_decomposed(decomp: Decomposition, backend,
             continue
         nodes += res.nodes
         solve_time += res.solve_time
-        lp_iterations += int(res.stats.get("lp_iterations", 0))
+        for key in lp_work:
+            lp_work[key] += int(res.stats.get(key, 0))
         if res.status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED):
             # An infeasible/unbounded block makes the whole model so.
             return MILPResult(res.status, None,
@@ -339,14 +344,12 @@ def solve_decomposed(decomp: Decomposition, backend,
                               else res.objective,
                               nodes=nodes, solve_time=solve_time,
                               stats={"components": decomp.num_components,
-                                     "lp_iterations": lp_iterations,
-                                     **cache_stats})
+                                     **lp_work, **cache_stats})
         if not res.status.has_solution:
             return MILPResult(SolveStatus.NO_SOLUTION, None, math.nan,
                               nodes=nodes, solve_time=solve_time,
                               stats={"components": decomp.num_components,
-                                     "lp_iterations": lp_iterations,
-                                     **cache_stats})
+                                     **lp_work, **cache_stats})
         solutions.append(res.x)
         objective += res.objective
         bound += res.bound if not math.isnan(res.bound) else res.objective
@@ -367,4 +370,4 @@ def solve_decomposed(decomp: Decomposition, backend,
         solve_time=solve_time,
         stats={"components": decomp.num_components,
                "component_sizes": decomp.component_sizes(),
-               "lp_iterations": lp_iterations, **cache_stats})
+               **lp_work, **cache_stats})

@@ -32,6 +32,11 @@ class LPResult:
     x: np.ndarray | None
     objective: float  # in minimization orientation
     iterations: int = 0
+    #: Terminal simplex basis (a :class:`repro.solver.revised_simplex.BasisState`)
+    #: when the revised engine solved to optimality; lets branch-and-bound
+    #: child nodes re-optimize with dual-simplex warm restarts.  ``None``
+    #: for the tableau/scipy LP paths.
+    basis: object | None = None
 
 
 @dataclass

@@ -88,20 +88,17 @@ def _to_standard_form(c, a_ub, b_ub, a_eq, b_eq, lb, ub) -> _StandardForm:
             out[:, col_of_neg[split_mask]] = -a_rows[:, split_mask]
         return out
 
-    # Upper bounds as extra <= rows in original variable space.
-    ub_rows = []
-    ub_rhs = []
-    for j in range(n):
-        if np.isfinite(ub[j]):
-            row = np.zeros(n)
-            row[j] = 1.0
-            ub_rows.append(row)
-            ub_rhs.append(ub[j])
+    # Upper bounds as extra <= rows in original variable space: one batch
+    # of unit rows scattered in a single fancy-indexed assignment.
+    finite_ub = np.nonzero(np.isfinite(ub))[0]
+    ub_rows = np.zeros((finite_ub.size, n))
+    ub_rows[np.arange(finite_ub.size), finite_ub] = 1.0
+    ub_rhs = ub[finite_ub]
 
-    a_ub_full = np.vstack([m for m in (a_ub, np.array(ub_rows)) if m.size]) \
-        if (a_ub.size or ub_rows) else np.zeros((0, n))
-    b_ub_full = np.concatenate([v for v in (b_ub, np.array(ub_rhs)) if v.size]) \
-        if (b_ub.size or ub_rhs) else np.zeros(0)
+    a_ub_full = np.vstack([m for m in (a_ub, ub_rows) if m.size]) \
+        if (a_ub.size or ub_rows.size) else np.zeros((0, n))
+    b_ub_full = np.concatenate([v for v in (b_ub, ub_rhs) if v.size]) \
+        if (b_ub.size or ub_rhs.size) else np.zeros(0)
 
     a_ub_std = expand_rows(a_ub_full)
     a_eq_std = expand_rows(a_eq)

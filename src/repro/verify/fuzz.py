@@ -1,9 +1,10 @@
-"""Differential fuzzing across the five-way solver stack.
+"""Differential fuzzing across the six-way solver stack.
 
-One instance, every solver configuration: the pure branch-and-bound
-backend in dense, sparse, decomposed, parallel (2 workers), and
-cache-replay form, plus the scipy/HiGHS backend (dense, sparse,
-decomposed) when scipy is importable.  For each result the harness runs
+One instance, every solver configuration: the legacy dense two-phase
+tableau as the reference oracle, then the pure branch-and-bound backend
+over the revised simplex in dense, sparse, decomposed, parallel
+(2 workers), and cache-replay form, plus the scipy/HiGHS backend (dense,
+sparse, decomposed) when scipy is importable.  For each result the harness runs
 the MILP certificate checker and the schedule auditor, then asserts all
 configurations report the same objective.  Any disagreement is a bug in
 exactly one layer — the sparse export, the component recombination, the
@@ -51,11 +52,15 @@ def _configurations():
     asserts the replay is bit-equal before returning it — a cache hit that
     drifts from the original solve is itself a differential failure.
     """
-    def pure(arrays):
+    def pure(arrays, lp_engine="revised"):
         solver = BranchBoundSolver(BranchBoundOptions(rel_gap=_GAP,
-                                                      arrays=arrays))
+                                                      arrays=arrays,
+                                                      lp_engine=lp_engine))
         return solver.solve
 
+    # The legacy tableau goes first: it is the differential oracle every
+    # revised-simplex configuration must agree with.
+    yield "pure-tableau", pure("dense", lp_engine="tableau")
     yield "pure-dense", pure("dense")
     yield "pure-sparse", pure("sparse")
 
@@ -137,7 +142,7 @@ def check_instance(spec: FuzzInstance) -> dict:
                 1.0, abs(reference)):
             raise DifferentialFailure(
                 f"{name} objective {result.objective!r} disagrees with "
-                f"pure-dense reference {reference!r} "
+                f"pure-tableau oracle {reference!r} "
                 f"(all so far: {objectives})")
     return {"trivial": False, "jobs": len(exprs),
             "variables": compiled.model.num_variables,

@@ -73,6 +73,46 @@ def lp_problems(draw) -> dict:
 
 
 @st.composite
+def mixed_bound_lps(draw) -> dict:
+    """Random LPs mixing finite/infinite lower and upper bounds.
+
+    Unlike :func:`lp_problems` these may be INFEASIBLE or UNBOUNDED —
+    differential tests must compare *statuses* first and objectives only
+    on agreement at OPTIMAL.  This is the shape that exercises the
+    bounded-variable revised simplex's native bound handling (variables
+    sitting at either bound, free variables, bound flips) against the
+    legacy tableau's shift/split encoding.
+    """
+    import numpy as np
+
+    n = draw(st.integers(1, 4))
+    m_ub = draw(st.integers(0, 3))
+    m_eq = draw(st.integers(0, 2))
+    a_ub = np.array([
+        draw(st.lists(st.integers(-3, 4), min_size=n, max_size=n))
+        for _ in range(m_ub)], dtype=float).reshape(m_ub, n)
+    b_ub = np.array(draw(st.lists(st.integers(-2, 12),
+                                  min_size=m_ub, max_size=m_ub)), dtype=float)
+    a_eq = np.array([
+        draw(st.lists(st.integers(-2, 3), min_size=n, max_size=n))
+        for _ in range(m_eq)], dtype=float).reshape(m_eq, n)
+    b_eq = np.array(draw(st.lists(st.integers(0, 8),
+                                  min_size=m_eq, max_size=m_eq)), dtype=float)
+    c = np.array(draw(st.lists(st.integers(-4, 4), min_size=n, max_size=n)),
+                 dtype=float)
+    lb = np.array([
+        -np.inf if draw(st.booleans()) and draw(st.booleans())
+        else float(draw(st.integers(-3, 0))) for _ in range(n)])
+    ub = np.array([
+        np.inf if draw(st.booleans()) and draw(st.booleans())
+        else float(draw(st.integers(1, 9))) for _ in range(n)])
+    return {"c": c, "a_ub": a_ub if m_ub else None,
+            "b_ub": b_ub if m_ub else None,
+            "a_eq": a_eq if m_eq else None,
+            "b_eq": b_eq if m_eq else None, "lb": lb, "ub": ub}
+
+
+@st.composite
 def multi_component_models(draw) -> tuple[Model, int]:
     """A model of ``k`` independent knapsack blocks, plus that ``k``.
 
@@ -125,4 +165,4 @@ def fuzz_instances(draw) -> FuzzInstance:
 
 
 __all__ = ["fuzz_instances", "lp_problems", "milp_models",
-           "multi_component_models"]
+           "mixed_bound_lps", "multi_component_models"]

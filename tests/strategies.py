@@ -14,7 +14,8 @@ from repro.sim import GpuType, Job, MpiType, UnconstrainedType
 # Re-exported for property tests; the `python -m repro fuzz` harness uses
 # the same generators, so a distribution tweak changes both at once.
 from repro.verify.strategies import (fuzz_instances, lp_problems,  # noqa: F401
-                                     milp_models, multi_component_models)
+                                     milp_models, mixed_bound_lps,
+                                     multi_component_models)
 
 #: Workload-generator seeds (and similar "any reasonable seed" draws).
 seeds = st.integers(0, 10_000)
@@ -46,4 +47,5 @@ def sim_workloads(draw):
 
 
 __all__ = ["JOB_TYPES", "fuzz_instances", "lp_problems", "milp_models",
-           "multi_component_models", "seeds", "sim_workloads"]
+           "mixed_bound_lps", "multi_component_models", "seeds",
+           "sim_workloads"]
