@@ -58,6 +58,25 @@ class LeafRecord:
         return counts
 
 
+@dataclass(frozen=True)
+class ColumnMeta:
+    """Model columns of one start-time alternative, tagged with semantics.
+
+    One record per distinct leaf indicator: the indicator column plus every
+    partition variable of the leaves sharing it (a Min/Barrier gang shares
+    its parent's indicator, so its leaves fold into one record).  This is
+    the compiler-side mapping from model columns back to
+    job / start time / option that lazy column generation and relaxation
+    repair price and round against.
+    """
+
+    job_id: str
+    start: int            # earliest start quantum among the leaves
+    duration: int         # longest duration among the leaves
+    value: float          # best leaf value (seed-ordering heuristic)
+    columns: tuple[int, ...]  # indicator index + partition var indices
+
+
 @dataclass
 class PlannedPlacement:
     """One active leaf in the solved schedule: a space-time allocation."""
@@ -101,6 +120,42 @@ class CompiledBatch:
     job_order: list[str]
     stats: dict[str, int] = field(default_factory=dict)
     preemption_vars: dict[str, Variable] = field(default_factory=dict)
+
+    @property
+    def column_meta(self) -> list[ColumnMeta]:
+        """Per-start-time column metadata (see :class:`ColumnMeta`).
+
+        Built lazily from the leaf records, grouping by indicator variable
+        so gang leaves sharing one indicator land in one record.
+        """
+        by_indicator: dict[int, list[LeafRecord]] = {}
+        for rec in self.leaf_records:
+            by_indicator.setdefault(rec.indicator.index, []).append(rec)
+        meta: list[ColumnMeta] = []
+        for ind_index, recs in sorted(by_indicator.items()):
+            cols = {ind_index}
+            for rec in recs:
+                cols.update(v.index for v in rec.partition_vars.values())
+            meta.append(ColumnMeta(
+                job_id=recs[0].job_id,
+                start=min(rec.leaf.start for rec in recs),
+                duration=max(rec.leaf.duration for rec in recs),
+                value=max(rec.leaf.value for rec in recs),
+                columns=tuple(sorted(cols))))
+        return meta
+
+    def lazy_column_groups(self):
+        """Solver-layer :class:`~repro.solver.colgen.ColumnGroup` list.
+
+        The translation is trivial (the solver layer does not know about
+        leaves or durations) but keeps the dependency direction clean:
+        the solver consumes opaque column groups, only the compiler knows
+        how model columns map back to STRL semantics.
+        """
+        from repro.solver.colgen import ColumnGroup
+        return [ColumnGroup(job_id=m.job_id, start=m.start,
+                            columns=m.columns, value=m.value)
+                for m in self.column_meta]
 
     def preempted_jobs(self, x: np.ndarray) -> list[str]:
         """Preemption candidates the solution chose to kill."""

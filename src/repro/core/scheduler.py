@@ -103,6 +103,13 @@ class TetriSchedConfig:
     rel_gap: float = 0.01
     #: Wall-clock budget per solve, seconds (None = unlimited).
     solver_time_limit: float | None = None
+    #: Solve strategy: ``"exact"`` (branch and bound), ``"repair"`` (LP
+    #: relaxation + rounding repair with lazy start-time columns and an
+    #: audited gap), or ``"auto"`` (repair, escalating to exact when the
+    #: audited gap exceeds :attr:`repair_gap_threshold`).
+    solve_mode: str = "exact"
+    #: Audited-gap ceiling before ``"auto"`` escalates to exact search.
+    repair_gap_threshold: float = 0.05
     #: Worker processes for solving decomposed MILP components concurrently
     #: (0/1 = sequential in-process).  See :mod:`repro.solver.parallel`.
     solver_workers: int = 0
@@ -179,6 +186,13 @@ class CycleStats:
     #: structural near-misses (cached solution donated as a warm start).
     cache_hits: int = 0
     cache_warm_hits: int = 0
+    #: Repair-path telemetry: column-generation pricing rounds, columns
+    #: activated by pricing, worst audited (LP-bound) gap across this
+    #: cycle's repaired solves, and escalations to exact branch and bound.
+    colgen_rounds: int = 0
+    colgen_columns_priced: int = 0
+    repair_gap: float = 0.0
+    repair_escalations: int = 0
     #: Wall-clock seconds per pipeline stage.  Keys are the
     #: :class:`repro.pipeline.stages.StageName` values (plain strings after
     #: JSON round-trips; the str-mixin enum indexes both).
@@ -204,6 +218,10 @@ class SolveTelemetry:
     warm_start_hit: bool = False
     cache_hits: int = 0
     cache_warm_hits: int = 0
+    colgen_rounds: int = 0
+    colgen_columns_priced: int = 0
+    repair_gap: float = 0.0
+    repair_escalations: int = 0
 
     def absorb(self, res) -> None:
         """Fold one :class:`~repro.solver.result.MILPResult` in."""
@@ -216,6 +234,13 @@ class SolveTelemetry:
         self.lp_warm_hits += int(res.stats.get("lp_warm_hits", 0))
         self.cache_hits += int(res.stats.get("cache_hits", 0))
         self.cache_warm_hits += int(res.stats.get("cache_warm_hits", 0))
+        self.colgen_rounds += int(res.stats.get("colgen_rounds", 0))
+        self.colgen_columns_priced += int(
+            res.stats.get("colgen_columns_priced", 0))
+        # Worst audited gap across this cycle's repaired solves.
+        self.repair_gap = max(self.repair_gap,
+                              float(res.stats.get("repair_gap", 0.0)))
+        self.repair_escalations += int(res.stats.get("repair_escalations", 0))
 
 
 @dataclass
@@ -250,7 +275,9 @@ class TetriSched:
         self._backend = make_backend(
             self.config.backend,
             SolveOptions(rel_gap=self.config.rel_gap,
-                         time_limit=self.config.solver_time_limit))
+                         time_limit=self.config.solver_time_limit,
+                         solve_mode=self.config.solve_mode,
+                         repair_gap_threshold=self.config.repair_gap_threshold))
         self._component_cache = (ComponentCache()
                                  if self.config.component_cache else None)
         self._global_pipeline = global_pipeline(audit=self.config.audit_mode)
@@ -316,6 +343,10 @@ class TetriSched:
             warm_start_hit=tel.warm_start_hit,
             components=ctx.components, milp_nonzeros=ctx.nnz,
             cache_hits=tel.cache_hits, cache_warm_hits=tel.cache_warm_hits,
+            colgen_rounds=tel.colgen_rounds,
+            colgen_columns_priced=tel.colgen_columns_priced,
+            repair_gap=tel.repair_gap,
+            repair_escalations=tel.repair_escalations,
             stage_timings=dict(ctx.stage_timings))
         self.cycle_history.append(stats)
         result.stats = stats

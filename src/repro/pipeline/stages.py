@@ -163,6 +163,9 @@ class Solve:
         t0 = time.monotonic()
         if decomp is not None and (decomp.num_components > 1
                                    or decomp.free_indices.size):
+            # Column groups are expressed in the monolithic model's column
+            # space; component sub-models renumber columns, so decomposed
+            # repair solves run per-component LP + dive without colgen.
             res = solve_decomposed(
                 decomp, sched._backend,
                 options=SolveOptions(
@@ -170,9 +173,13 @@ class Solve:
                     workers=ctx.config.solver_workers,
                     component_cache=sched._component_cache))
         else:
+            groups = None
+            if ctx.config.solve_mode != "exact":
+                groups = tuple(ctx.compiled.lazy_column_groups())
             res = sched._backend.solve(
                 ctx.compiled.model,
-                options=SolveOptions(warm_start=ctx.warm_start))
+                options=SolveOptions(warm_start=ctx.warm_start,
+                                     column_groups=groups))
         tel.solver_latency_s += time.monotonic() - t0
         tel.absorb(res)
         if not res.status.has_solution:
@@ -232,24 +239,30 @@ class Audit:
     name = StageName.AUDIT
 
     def run(self, ctx: "CycleContext") -> None:
-        from repro.verify import audit_cycle, check_certificate
+        from repro.verify import audit_cycle, certify_gap, check_certificate
 
         compiled, res = ctx.compiled, ctx.solution
         if compiled is None or res is None:
             return
         cert = check_certificate(compiled.model, res)
+        # Repair-path results claim an LP-relaxation bound; re-derive it
+        # with an independent LP engine and certify the reported gap.
+        # Exact solves pass vacuously (no "repair_bound_source" tag).
+        gap_cert = certify_gap(compiled.model, res)
         report = audit_cycle(
             ctx.scheduler.state, compiled, res, ctx.exprs,
             quantum_s=ctx.config.quantum_s, now=ctx.now,
             allocations=ctx.result.allocations)
         obs.emit("scheduler.audit",
-                 certificate_ok=cert.ok, audit_ok=report.ok,
+                 certificate_ok=cert.ok, gap_certified=gap_cert.ok,
+                 audit_ok=report.ok,
                  placements=report.placements,
                  quanta_checked=report.quanta_checked,
                  objective_claimed=report.objective_claimed,
                  objective_recomputed=report.objective_recomputed)
         if not cert.ok:
             cert.raise_if_failed()
+        gap_cert.raise_if_failed()
         report.raise_if_failed()
 
 

@@ -12,12 +12,16 @@ Public surface:
 * :class:`MILPResult`, :class:`SolveStatus` — results;
 * :func:`solve_lp` — the standalone two-phase tableau LP solver (oracle);
 * :func:`solve_lp_revised` / :class:`RevisedSimplexEngine` — the
-  bounded-variable revised simplex (production LP core).
+  bounded-variable revised simplex (production LP core);
+* :class:`ColumnGroup` / :func:`colgen_root` / :class:`RepairSolver` — the
+  lazy column-generation + relaxation-repair fast path
+  (``solve_mode="repair"`` / ``"auto"``).
 """
 
 from repro.solver.backend import (BACKEND_NAMES, MILPBackend,
                                   backend_time_limit, make_backend)
 from repro.solver.branch_bound import BranchBoundOptions, BranchBoundSolver
+from repro.solver.colgen import ColgenRoot, ColumnGroup, colgen_root
 from repro.solver.decompose import Decomposition, decompose, solve_decomposed
 from repro.solver.expr import BINARY, CONTINUOUS, INTEGER, LinExpr, Variable, linear_sum
 from repro.solver.model import EQ, GE, LE, MAXIMIZE, MINIMIZE, Constraint, Model
@@ -25,6 +29,7 @@ from repro.solver.options import DEFAULT_OPTIONS, UNSET, SolveOptions
 from repro.solver.parallel import (CacheStats, ComponentCache, WorkerPool,
                                    component_fingerprint, shutdown_pools)
 from repro.solver.presolve import PresolveResult, presolve
+from repro.solver.repair import RepairSolver
 from repro.solver.result import LPResult, MILPResult, SolveStatus
 from repro.solver.revised_simplex import (BasisState, RevisedSimplexEngine,
                                           solve_lp_revised)
@@ -33,12 +38,15 @@ from repro.solver.simplex import solve_lp
 
 __all__ = [
     "BACKEND_NAMES", "BINARY", "BasisState", "BranchBoundOptions",
-    "BranchBoundSolver", "CONTINUOUS", "CacheStats", "ComponentCache",
+    "BranchBoundSolver", "CONTINUOUS", "CacheStats", "ColgenRoot",
+    "ColumnGroup", "ComponentCache",
     "Constraint", "DEFAULT_OPTIONS", "Decomposition", "EQ", "GE", "INTEGER",
     "LE", "LPResult", "LinExpr", "MAXIMIZE", "MILPBackend", "MILPResult",
-    "MINIMIZE", "Model", "PresolveResult", "RevisedSimplexEngine",
+    "MINIMIZE", "Model", "PresolveResult", "RepairSolver",
+    "RevisedSimplexEngine",
     "ScipyMILPSolver", "SolveOptions", "SolveStatus", "UNSET", "Variable",
-    "WorkerPool", "backend_time_limit", "component_fingerprint", "decompose",
+    "WorkerPool", "backend_time_limit", "colgen_root",
+    "component_fingerprint", "decompose",
     "linear_sum", "make_backend", "presolve", "scipy_available",
     "shutdown_pools", "solve_decomposed", "solve_lp", "solve_lp_revised",
 ]

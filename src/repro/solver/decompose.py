@@ -325,7 +325,11 @@ def solve_decomposed(decomp: Decomposition, backend,
     # cycle telemetry sees decomposed solves exactly like monolithic ones.
     lp_work = {key: 0 for key in ("lp_iterations", "lp_dual_pivots",
                                   "lp_refactorizations", "lp_warm_restarts",
-                                  "lp_warm_hits", "lp_cold_fallbacks")}
+                                  "lp_warm_hits", "lp_cold_fallbacks",
+                                  "colgen_rounds", "colgen_columns_priced",
+                                  "repair_escalations")}
+    #: Worst audited repair gap across components (max, not sum).
+    repair_gap = 0.0
     solve_time = 0.0
     proven = True
     solutions: list[np.ndarray] = []
@@ -337,6 +341,7 @@ def solve_decomposed(decomp: Decomposition, backend,
         solve_time += res.solve_time
         for key in lp_work:
             lp_work[key] += int(res.stats.get(key, 0))
+        repair_gap = max(repair_gap, float(res.stats.get("repair_gap", 0.0)))
         if res.status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED):
             # An infeasible/unbounded block makes the whole model so.
             return MILPResult(res.status, None,
@@ -364,10 +369,12 @@ def solve_decomposed(decomp: Decomposition, backend,
              sizes=decomp.component_sizes(),
              objective=objective, nodes=nodes,
              time_ms=1000.0 * solve_time)
+    stats = {"components": decomp.num_components,
+             "component_sizes": decomp.component_sizes(),
+             **lp_work, **cache_stats}
+    if repair_gap:
+        stats["repair_gap"] = repair_gap
     return MILPResult(
         status=SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE,
         x=x, objective=objective, bound=bound, gap=gap, nodes=nodes,
-        solve_time=solve_time,
-        stats={"components": decomp.num_components,
-               "component_sizes": decomp.component_sizes(),
-               **lp_work, **cache_stats})
+        solve_time=solve_time, stats=stats)

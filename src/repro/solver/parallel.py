@@ -237,13 +237,42 @@ def carve_time_budgets(total: float | None,
 
     ``None`` (unlimited) stays unlimited for everyone.  Shares are
     proportional to component size with a small floor, so a dominant block
-    gets most of the budget without starving the rest.
+    gets most of the budget without starving the rest.  The floor is paid
+    for by renormalizing the above-floor shares, so the carved budgets
+    never sum past ``total`` — with many tiny components a naive
+    ``max(floor, share)`` oversubscribes the cycle budget and the broken-
+    pool *sequential* fallback then blows the wall clock.
     """
     if total is None:
         return [None] * len(sizes)
+    n = len(sizes)
+    if not n:
+        return []
+    if total <= MIN_COMPONENT_BUDGET_S * n:
+        # Floor unaffordable: fall back to an even split of what there is.
+        return [total / n] * n
     weight = sum(sizes) or 1
-    return [max(MIN_COMPONENT_BUDGET_S, total * size / weight)
-            for size in sizes]
+    shares = [total * size / weight for size in sizes]
+    # Water-fill: components below the floor get exactly the floor; the
+    # rest share what remains, proportionally.  Renormalizing can push
+    # more shares under the floor, so iterate (n rounds at most).
+    floored = [s <= MIN_COMPONENT_BUDGET_S for s in shares]
+    while True:
+        above = [sizes[i] for i in range(n) if not floored[i]]
+        remaining = total - MIN_COMPONENT_BUDGET_S * (n - len(above))
+        above_weight = sum(above) or 1
+        changed = False
+        for i in range(n):
+            if floored[i]:
+                continue
+            shares[i] = remaining * sizes[i] / above_weight
+            if shares[i] <= MIN_COMPONENT_BUDGET_S:
+                floored[i] = True
+                changed = True
+        if not changed:
+            break
+    return [MIN_COMPONENT_BUDGET_S if floored[i] else shares[i]
+            for i in range(n)]
 
 
 # -- the persistent worker pool -----------------------------------------------

@@ -37,6 +37,14 @@ class LPResult:
     #: child nodes re-optimize with dual-simplex warm restarts.  ``None``
     #: for the tableau/scipy LP paths.
     basis: object | None = None
+    #: Simplex multipliers for the caller's rows, ordered ``[ub rows;
+    #: eq rows]``, in minimization orientation (``y_ub <= 0`` at
+    #: optimality).  ``None`` when the engine could not recover them.
+    duals: np.ndarray | None = None
+    #: Reduced costs ``c - [a_ub; a_eq]^T @ duals`` per structural
+    #: variable.  Bound duals are folded in: a nonbasic-at-lower variable
+    #: has ``reduced_costs >= 0``, nonbasic-at-upper ``<= 0``.
+    reduced_costs: np.ndarray | None = None
 
 
 @dataclass

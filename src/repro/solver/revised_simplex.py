@@ -135,8 +135,14 @@ class RevisedSimplexEngine:
 
     # -- public API ----------------------------------------------------------
     def solve(self, lb=None, ub=None, start: BasisState | None = None,
-              max_iter: int = 50_000) -> LPResult:
+              max_iter: int = 50_000, restart: str = "dual") -> LPResult:
         """Solve under the given bounds; warm-restart from ``start`` if set.
+
+        ``restart`` picks the reoptimization phase used with ``start``:
+        ``"dual"`` (the branch-and-bound case — bound *tightening* keeps the
+        inherited basis dual-feasible) or ``"primal"`` (the column-generation
+        case — bound *relaxation* keeps it primal-feasible instead, so the
+        engine reruns the primal phases from the inherited basis).
 
         Returns an :class:`~repro.solver.result.LPResult` whose ``basis``
         field carries the terminal :class:`BasisState` (for OPTIMAL
@@ -153,7 +159,10 @@ class RevisedSimplexEngine:
         result: LPResult | None = None
         if start is not None:
             self.counters["warm_restarts"] += 1
-            result = self._warm_solve(start, max_iter)
+            if restart == "primal":
+                result = self._primal_restart(start, max_iter)
+            else:
+                result = self._warm_solve(start, max_iter)
             if result is not None:
                 self.counters["warm_hits"] += 1
             else:
@@ -207,31 +216,9 @@ class RevisedSimplexEngine:
         singular factorization, lost dual feasibility, stalled dual phase)
         — the caller then falls back to a cold solve.
         """
-        n, m = self.n, self.m
-        if start.basic.shape[0] != m or start.vstat.shape[0] != n + m:
+        if not self._install_start(start):
             return None
-        basic = start.basic.copy()
-        vstat = start.vstat.copy()
-        # Repair nonbasic statuses against the *current* bounds: a status
-        # can point at a bound that is not finite here (e.g. a basis
-        # donated across presolve variants).
-        lb, ub = self._lb, self._ub
-        nonbasic = vstat != BASIC
-        bad_lo = nonbasic & (vstat == NB_LOWER) & ~np.isfinite(lb)
-        vstat[bad_lo & np.isfinite(ub)] = NB_UPPER
-        vstat[bad_lo & ~np.isfinite(ub)] = NB_FREE
-        bad_hi = nonbasic & (vstat == NB_UPPER) & ~np.isfinite(ub)
-        vstat[bad_hi & np.isfinite(lb)] = NB_LOWER
-        vstat[bad_hi & ~np.isfinite(lb)] = NB_FREE
-        self._basic = basic
-        self._vstat = vstat
-        self._iters = 0
-        try:
-            self._refactorize()
-        except np.linalg.LinAlgError:
-            return None
-        self._set_nonbasic_values()
-        self._recompute_basics()
+        vstat = self._vstat
         # The inherited basis must still price dual-feasible; bound changes
         # never break this (reduced costs ignore bounds), but guard anyway.
         # A fixed column (lb == ub) is dual-feasible at any reduced cost —
@@ -255,6 +242,64 @@ class RevisedSimplexEngine:
         if status != "optimal":
             return None
         return self._package()
+
+    def _primal_restart(self, start: BasisState,
+                        max_iter: int) -> LPResult | None:
+        """Primal reoptimization from an inherited basis.
+
+        The column-generation path *relaxes* bounds (lazy columns move from
+        ``ub == lb`` to their true upper bound), which preserves primal
+        feasibility of the incumbent basis but not dual feasibility — so
+        the engine reruns the primal phases from the inherited basis
+        instead of the dual phase.  Phase 1 terminates immediately when the
+        basis is still primal-feasible.  Returns ``None`` on any failure;
+        the caller falls back to a cold solve.
+        """
+        if not self._install_start(start):
+            return None
+        try:
+            status = self._primal(phase1=True, max_iter=max_iter)
+            if status == "infeasible":
+                return LPResult(SolveStatus.INFEASIBLE, None, np.inf,
+                                self._iters)
+            if status != "feasible":
+                return None
+            status = self._primal(phase1=False, max_iter=max_iter)
+        except _NumericalTrouble:
+            return None
+        if status == "unbounded":
+            return LPResult(SolveStatus.UNBOUNDED, None, -np.inf, self._iters)
+        if status != "optimal":
+            return None
+        return self._package()
+
+    def _install_start(self, start: BasisState) -> bool:
+        """Adopt an inherited basis: repair statuses, refactorize, price."""
+        n, m = self.n, self.m
+        if start.basic.shape[0] != m or start.vstat.shape[0] != n + m:
+            return False
+        vstat = start.vstat.copy()
+        # Repair nonbasic statuses against the *current* bounds: a status
+        # can point at a bound that is not finite here (e.g. a basis
+        # donated across presolve variants).
+        lb, ub = self._lb, self._ub
+        nonbasic = vstat != BASIC
+        bad_lo = nonbasic & (vstat == NB_LOWER) & ~np.isfinite(lb)
+        vstat[bad_lo & np.isfinite(ub)] = NB_UPPER
+        vstat[bad_lo & ~np.isfinite(ub)] = NB_FREE
+        bad_hi = nonbasic & (vstat == NB_UPPER) & ~np.isfinite(ub)
+        vstat[bad_hi & np.isfinite(lb)] = NB_LOWER
+        vstat[bad_hi & ~np.isfinite(lb)] = NB_FREE
+        self._basic = start.basic.copy()
+        self._vstat = vstat
+        self._iters = 0
+        try:
+            self._refactorize()
+        except np.linalg.LinAlgError:
+            return False
+        self._set_nonbasic_values()
+        self._recompute_basics()
+        return True
 
     # -- linear algebra ------------------------------------------------------
     def _refactorize(self) -> None:
@@ -500,11 +545,24 @@ class RevisedSimplexEngine:
 
     # -- result packaging ----------------------------------------------------
     def _package(self) -> LPResult:
-        x = self._x[:self.n].copy()
-        obj = float(self.c_full[:self.n] @ x)
+        n = self.n
+        x = self._x[:n].copy()
+        obj = float(self.c_full[:n] @ x)
         basis = BasisState(self._basic.copy(), self._vstat.copy())
+        # Simplex multipliers for the caller's rows ([ub; eq] order, the
+        # construction order of a_full) and structural reduced costs.  A
+        # nonbasic slack of a binding <= row sits at its lower bound, so
+        # its reduced cost -y_i is >= 0, i.e. y_ub <= 0 at optimality —
+        # the same sign convention HiGHS reports for marginals.
+        if self.m:
+            y = self._binv.T @ self.c_full[self._basic]
+            d = self.c_full[:n] - self.a_full[:, :n].T @ y
+        else:
+            y = np.zeros(0)
+            d = self.c_full[:n].copy()
+        d[self._vstat[:n] == BASIC] = 0.0
         return LPResult(SolveStatus.OPTIMAL, x, obj, self._iters,
-                        basis=basis)
+                        basis=basis, duals=y, reduced_costs=d)
 
 
 def solve_lp_revised(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None,

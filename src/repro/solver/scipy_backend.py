@@ -63,8 +63,25 @@ def solve_lp_scipy(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None,
         return LPResult(SolveStatus.UNBOUNDED, None, -np.inf)
     if not res.success:
         raise SolverError(f"linprog failed: {res.message}")
+    duals = reduced = None
+    ineq = getattr(res, "ineqlin", None)
+    eq = getattr(res, "eqlin", None)
+    if ineq is not None and eq is not None:
+        # HiGHS marginals are d(objective)/d(rhs) in minimization
+        # orientation (<= 0 for binding <= rows), the same convention the
+        # pure engines report.  Reduced costs are recomputed in caller
+        # space so bound-row duals fold in identically across engines.
+        y_ub = np.asarray(ineq.marginals, dtype=float)
+        y_eq = np.asarray(eq.marginals, dtype=float)
+        duals = np.concatenate([y_ub, y_eq])
+        reduced = c.copy()
+        if a_ub is not None and np.size(a_ub):
+            reduced -= np.asarray(a_ub, dtype=float).T @ y_ub
+        if a_eq is not None and np.size(a_eq):
+            reduced -= np.asarray(a_eq, dtype=float).T @ y_eq
     return LPResult(SolveStatus.OPTIMAL, np.asarray(res.x), float(res.fun),
-                    iterations=int(getattr(res, "nit", 0)))
+                    iterations=int(getattr(res, "nit", 0)),
+                    duals=duals, reduced_costs=reduced)
 
 
 class ScipyMILPSolver:

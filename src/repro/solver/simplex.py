@@ -53,6 +53,13 @@ class _StandardForm:
     # per original variable: (kind, col[, col_neg]) where kind in
     # {"shift", "split"}; shift also carries the lb offset.
     recover: list[tuple]
+    # Row layout before sign normalization: caller <= rows, then one row
+    # per finite upper bound, then equality rows; ``neg`` marks rows whose
+    # sign was flipped to make the RHS nonnegative.  Dual recovery needs
+    # all three to map standard-form multipliers back to caller rows.
+    m_ub_caller: int = 0
+    m_bound: int = 0
+    neg: np.ndarray | None = None
 
 
 def _to_standard_form(c, a_ub, b_ub, a_eq, b_eq, lb, ub) -> _StandardForm:
@@ -134,7 +141,9 @@ def _to_standard_form(c, a_ub, b_ub, a_eq, b_eq, lb, ub) -> _StandardForm:
     b[neg] *= -1.0
 
     return _StandardForm(a=a, b=b, c=c_full, obj_shift=obj_shift,
-                         n_orig=n, recover=recover)
+                         n_orig=n, recover=recover,
+                         m_ub_caller=int(b_ub.shape[0]),
+                         m_bound=int(finite_ub.size), neg=neg)
 
 
 def _simplex_core(a: np.ndarray, b: np.ndarray, c: np.ndarray,
@@ -230,7 +239,8 @@ def _solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub, max_iter: int) -> LPResult:
         if np.any(sf.c < -_OPT_TOL):
             return LPResult(SolveStatus.UNBOUNDED, None, -np.inf)
         x = _recover(sf, x_std, n)
-        return LPResult(SolveStatus.OPTIMAL, x, float(c @ x))
+        return LPResult(SolveStatus.OPTIMAL, x, float(c @ x),
+                        duals=np.zeros(0), reduced_costs=c.copy())
 
     # Phase 1: artificial variables on every row (simple and robust).
     a1 = np.hstack([sf.a, np.eye(m)])
@@ -281,7 +291,44 @@ def _solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub, max_iter: int) -> LPResult:
     x_std[basis2] = bvals
     x = _recover(sf, x_std, n)
     obj = float(c @ x)
-    return LPResult(SolveStatus.OPTIMAL, x, obj, it1 + it2)
+    duals, reduced = _recover_duals(sf, keep_rows, basis2, c, a_ub, a_eq)
+    return LPResult(SolveStatus.OPTIMAL, x, obj, it1 + it2,
+                    duals=duals, reduced_costs=reduced)
+
+
+def _recover_duals(sf: _StandardForm, keep_rows: np.ndarray,
+                   basis2: np.ndarray, c: np.ndarray, a_ub: np.ndarray,
+                   a_eq: np.ndarray) -> tuple:
+    """Simplex multipliers for the caller's rows from the phase-2 basis.
+
+    ``sf.a`` is never touched by the pivoting (phase 1 hstacks a copy), so
+    the final basis columns read off it give the true basis matrix ``B``;
+    ``B^T y = c_B`` then yields the multipliers of the kept, sign-normalized
+    rows.  Rows dropped as redundant take dual 0 (always valid for a
+    redundant row), the sign normalization is undone, and the finite-upper-
+    bound rows are skipped: their multipliers fold into the caller-space
+    reduced costs ``c - [a_ub; a_eq]^T y`` automatically, giving the same
+    bounded-variable convention the revised engine reports (a variable
+    nonbasic at its upper bound prices ``<= 0``).  Returns ``(None, None)``
+    when the basis matrix cannot be solved.
+    """
+    m = sf.a.shape[0]
+    try:
+        y_norm = np.zeros(m)
+        if m:
+            bmat = sf.a[keep_rows][:, basis2]
+            y_norm[keep_rows] = np.linalg.solve(bmat.T, sf.c[basis2])
+        y_rows = np.where(sf.neg, -y_norm, y_norm)
+    except np.linalg.LinAlgError:
+        return None, None
+    m_ub_full = sf.m_ub_caller + sf.m_bound
+    y = np.concatenate([y_rows[:sf.m_ub_caller], y_rows[m_ub_full:]])
+    reduced = c.copy()
+    if a_ub.size:
+        reduced -= a_ub.T @ y_rows[:sf.m_ub_caller]
+    if a_eq.size:
+        reduced -= a_eq.T @ y_rows[m_ub_full:]
+    return y, reduced
 
 
 def _recover(sf: _StandardForm, x_std: np.ndarray, n: int) -> np.ndarray:

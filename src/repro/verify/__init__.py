@@ -26,7 +26,9 @@ The auditor runs per-cycle inside the scheduling pipeline when
 
 from repro.verify.audit import (AuditReport, AuditViolation, Violation,
                                 audit_cycle)
-from repro.verify.certificate import CertificateReport, check_certificate
+from repro.verify.certificate import (CertificateReport, GapCertificate,
+                                      certify_gap, check_certificate)
 
-__all__ = ["AuditReport", "AuditViolation", "CertificateReport", "Violation",
-           "audit_cycle", "check_certificate"]
+__all__ = ["AuditReport", "AuditViolation", "CertificateReport",
+           "GapCertificate", "Violation", "audit_cycle", "certify_gap",
+           "check_certificate"]

@@ -27,10 +27,11 @@ from pathlib import Path
 
 from repro.solver import (BranchBoundOptions, BranchBoundSolver,
                           ComponentCache, ScipyMILPSolver, SolveOptions,
-                          scipy_available, shutdown_pools, solve_decomposed)
+                          make_backend, scipy_available, shutdown_pools,
+                          solve_decomposed)
 from repro.solver.decompose import decompose
 from repro.verify.audit import audit_cycle
-from repro.verify.certificate import check_certificate
+from repro.verify.certificate import certify_gap, check_certificate
 from repro.verify.instance import FuzzInstance, build_instance
 
 #: Relative tolerance for cross-configuration objective agreement.  The
@@ -39,18 +40,27 @@ from repro.verify.instance import FuzzInstance, build_instance
 AGREEMENT_TOL = 1e-6
 _GAP = 1e-9
 
+#: Configurations allowed to undershoot the oracle by their own *audited*
+#: gap (the repair fast path trades exactness for speed); every other
+#: configuration must agree with the oracle to :data:`AGREEMENT_TOL`.
+GAP_TOLERANT = frozenset({"pure-repair", "pure-repair-colgen"})
+
 
 class DifferentialFailure(AssertionError):
     """Two solver configurations (or a config and an oracle) disagreed."""
 
 
-def _configurations():
+def _configurations(compiled=None):
     """Yield ``(name, solve_fn)`` pairs for every available configuration.
 
     Each ``solve_fn(model)`` returns a :class:`MILPResult`.  The cached
     configuration solves twice through one :class:`ComponentCache` and
     asserts the replay is bit-equal before returning it — a cache hit that
     drifts from the original solve is itself a differential failure.
+
+    ``compiled`` (the instance's :class:`CompiledBatch`, when available)
+    additionally enables the column-generation repair configuration, whose
+    lazy groups come from the compiler's column metadata.
     """
     def pure(arrays, lp_engine="revised"):
         solver = BranchBoundSolver(BranchBoundOptions(rel_gap=_GAP,
@@ -92,6 +102,26 @@ def _configurations():
         return replay
     yield "pure-cached", pure_cached
 
+    # Relaxation-repair fast path: LP root (+ lazy columns when compiler
+    # metadata is available) and rounding repair, compared against the
+    # oracle with a gap tolerance; the forced-escalation auto config must
+    # reproduce the exact objective.
+    def repair(groups=None, mode="repair", threshold=0.05):
+        backend = make_backend("pure", SolveOptions(
+            rel_gap=_GAP, solve_mode=mode, repair_gap_threshold=threshold))
+
+        def solve_fn(model):
+            return backend.solve(model, SolveOptions(column_groups=groups))
+        return solve_fn
+
+    yield "pure-repair", repair()
+    if compiled is not None:
+        yield "pure-repair-colgen", repair(
+            groups=tuple(compiled.lazy_column_groups()))
+    # gap > threshold with threshold = -1.0 always holds (gap >= 0), so
+    # this config deterministically escalates and must match exactly.
+    yield "pure-auto-exact", repair(mode="auto", threshold=-1.0)
+
     if scipy_available():
         def scipy_solver(use_sparse):
             solver = ScipyMILPSolver(rel_gap=_GAP, use_sparse=use_sparse)
@@ -118,7 +148,7 @@ def check_instance(spec: FuzzInstance) -> dict:
         return {"trivial": True}
     objectives: dict[str, float] = {}
     reference: float | None = None
-    for name, solve_fn in _configurations():
+    for name, solve_fn in _configurations(compiled):
         result = solve_fn(compiled.model)
         if not result.status.has_solution:
             raise DifferentialFailure(
@@ -129,6 +159,11 @@ def check_instance(spec: FuzzInstance) -> dict:
             raise DifferentialFailure(
                 f"{name}: certificate rejected — "
                 + "; ".join(str(v) for v in cert.violations))
+        gap_cert = certify_gap(compiled.model, result)
+        if not gap_cert.ok:
+            raise DifferentialFailure(
+                f"{name}: gap certification rejected — "
+                + "; ".join(str(v) for v in gap_cert.violations))
         report = audit_cycle(state, compiled, result, exprs,
                              quantum_s=spec.quantum_s)
         if not report.ok:
@@ -136,10 +171,21 @@ def check_instance(spec: FuzzInstance) -> dict:
                 f"{name}: audit rejected — "
                 + "; ".join(str(v) for v in report.violations))
         objectives[name] = result.objective
+        scale = max(1.0, abs(reference)) if reference is not None else 1.0
         if reference is None:
             reference = result.objective
-        elif abs(result.objective - reference) > AGREEMENT_TOL * max(
-                1.0, abs(reference)):
+        elif name in GAP_TOLERANT:
+            # The repaired incumbent may undershoot the optimum, but only
+            # within its own audited gap — and never overshoot it.
+            shortfall = reference - result.objective
+            allowance = result.gap * max(1.0, abs(result.objective))
+            if shortfall > allowance + AGREEMENT_TOL * scale \
+                    or shortfall < -AGREEMENT_TOL * scale:
+                raise DifferentialFailure(
+                    f"{name} objective {result.objective!r} outside its "
+                    f"audited gap {result.gap!r} of the oracle "
+                    f"{reference!r} (all so far: {objectives})")
+        elif abs(result.objective - reference) > AGREEMENT_TOL * scale:
             raise DifferentialFailure(
                 f"{name} objective {result.objective!r} disagrees with "
                 f"pure-tableau oracle {reference!r} "

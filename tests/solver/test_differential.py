@@ -18,7 +18,8 @@ from repro.solver import (BranchBoundSolver, SolveOptions, SolveStatus,
 from repro.solver.decompose import decompose, solve_decomposed
 from repro.solver.simplex import solve_lp
 from repro.verify import check_certificate
-from tests.strategies import lp_problems, multi_component_models
+from tests.strategies import (lp_problems, mixed_bound_lps,
+                              multi_component_models)
 
 needs_scipy = pytest.mark.skipif(not scipy_available(),
                                  reason="scipy required")
@@ -75,3 +76,84 @@ class TestDecomposedMatchesMonolithic:
         res = solve_decomposed(decompose(model), ScipyMILPSolver(),
                                SolveOptions())
         assert res.objective == pytest.approx(mono.objective, abs=1e-6)
+
+
+def _dual_objective(lp, res):
+    """Strong-duality lower bound implied by ``duals``/``reduced_costs``.
+
+    Minimization orientation, ``[a_ub; a_eq]`` row order, bound-row duals
+    folded into the reduced costs: ``y @ b`` plus each nonbasic variable's
+    reduced cost times the bound it sits at.  Comparing this to the primal
+    optimum certifies the whole dual vector at once without assuming dual
+    uniqueness (degenerate LPs admit many optimal dual solutions).
+    """
+    import numpy as np
+
+    def _rhs(v):
+        return np.zeros(0) if v is None \
+            else np.atleast_1d(np.asarray(v, dtype=float))
+
+    y, d = res.duals, res.reduced_costs
+    b = np.concatenate([_rhs(lp.get("b_ub")), _rhs(lp.get("b_eq"))])
+    obj = float(y @ b) if y.size else 0.0
+    pos, neg = d > 1e-9, d < -1e-9
+    return obj + float(d[pos] @ lp["lb"][pos]) + float(d[neg] @ lp["ub"][neg])
+
+
+class TestDualsCertifyOptimality:
+    """Every LP engine's duals must prove its own primal optimum."""
+
+    def _engines(self):
+        from repro.solver.revised_simplex import solve_lp_revised
+        yield "tableau", solve_lp
+        yield "revised", solve_lp_revised
+        if scipy_available():
+            from repro.solver.scipy_backend import solve_lp_scipy
+            yield "scipy", solve_lp_scipy
+
+    @settings(max_examples=40, deadline=None)
+    @given(lp=lp_problems())
+    def test_strong_duality_on_bounded_lps(self, lp):
+        import numpy as np
+
+        for name, solve_fn in self._engines():
+            res = solve_fn(**lp)
+            assert res.status == SolveStatus.OPTIMAL, name
+            assert res.duals is not None and res.reduced_costs is not None
+            m_ub = lp["b_ub"].shape[0]
+            # <=-row marginals are nonpositive in minimization (HiGHS's
+            # sign convention, adopted by all three engines).
+            assert np.all(res.duals[:m_ub] <= 1e-7), name
+            assert _dual_objective(lp, res) == pytest.approx(
+                res.objective, abs=1e-6), name
+
+    @settings(max_examples=40, deadline=None)
+    @given(lp=mixed_bound_lps())
+    def test_engines_agree_through_their_duals(self, lp):
+        from repro.solver.revised_simplex import solve_lp_revised
+        ours = solve_lp(**lp)
+        ref = solve_lp_revised(**lp)
+        assert ours.status == ref.status
+        if ours.status != SolveStatus.OPTIMAL:
+            return
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+        for res in (ours, ref):
+            assert _dual_objective(lp, res) == pytest.approx(
+                res.objective, abs=1e-6)
+
+    @needs_scipy
+    @settings(max_examples=40, deadline=None)
+    @given(lp=lp_problems())
+    def test_reduced_costs_match_higgs_pricing(self, lp):
+        """HiGHS and the pure engines agree on which columns price in.
+
+        Elementwise dual equality is too strong under degeneracy, but the
+        *certificates* must agree: each engine's duals bound the shared
+        optimum, which is exactly what column generation consumes.
+        """
+        from repro.solver.scipy_backend import solve_lp_scipy
+        ref = solve_lp_scipy(**lp)
+        ours = solve_lp(**lp)
+        assert ref.status == ours.status == SolveStatus.OPTIMAL
+        assert _dual_objective(lp, ref) == pytest.approx(
+            _dual_objective(lp, ours), abs=1e-6)

@@ -7,6 +7,8 @@ recombined solution and objective are bit-equal to the sequential solve.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.solver import (BranchBoundSolver, ComponentCache, Model,
                           SolveOptions, WorkerPool, component_fingerprint,
@@ -177,6 +179,30 @@ class TestBudgets:
 
     def test_empty_components(self):
         assert carve_time_budgets(1.0, []) == []
+
+    def test_hundred_tiny_components_never_oversubscribe(self):
+        # Regression: the old proportional carve topped every small
+        # share up to MIN_COMPONENT_BUDGET_S without renormalizing, so
+        # 100 tiny components were handed 5s of a 1s budget.  The
+        # water-filled split degrades to even shares instead.
+        budgets = carve_time_budgets(1.0, [1] * 100)
+        assert sum(budgets) <= 1.0 + 1e-9
+        assert all(b == pytest.approx(0.01) for b in budgets)
+
+    def test_floor_topups_come_out_of_the_large_shares(self):
+        budgets = carve_time_budgets(1.0, [997, 1, 1, 1])
+        assert budgets[1:] == [MIN_COMPONENT_BUDGET_S] * 3
+        assert budgets[0] == pytest.approx(1.0 - 3 * MIN_COMPONENT_BUDGET_S)
+        assert sum(budgets) <= 1.0 + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(total=st.floats(0.01, 10.0),
+           sizes=st.lists(st.integers(1, 1000), min_size=1, max_size=120))
+    def test_sum_never_exceeds_total(self, total, sizes):
+        budgets = carve_time_budgets(total, sizes)
+        assert len(budgets) == len(sizes)
+        assert all(b > 0.0 for b in budgets)
+        assert sum(budgets) <= total + 1e-9
 
 
 class TestWorkerPool:

@@ -114,3 +114,54 @@ class TestSolverIntegration:
         assert ours.status.has_solution == ref.status.has_solution
         if ours.status.has_solution:
             assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+
+
+class TestRowActivityBounds:
+    """``_row_activity_bounds`` with infinite bounds on either side.
+
+    The helper feeds redundancy/infeasibility detection; with free
+    variables in the row it must degrade to ``-inf``/``+inf`` activity
+    (never NaN from a ``0 * inf``), so the caller keeps the row instead
+    of misclassifying it.
+    """
+
+    def test_free_variable_both_sides_infinite(self):
+        from repro.solver.presolve import _row_activity_bounds
+        lo, hi = _row_activity_bounds(
+            np.array([1.0]), np.array([-np.inf]), np.array([np.inf]))
+        assert lo == -np.inf and hi == np.inf
+
+    def test_mixed_signs_against_free_variables(self):
+        from repro.solver.presolve import _row_activity_bounds
+        # +2x with x free below and -3y with y free above both drive the
+        # minimum activity down — the infinities accumulate on the same
+        # side (no inf - inf NaN) while the maximum stays finite.
+        lo, hi = _row_activity_bounds(
+            np.array([2.0, -3.0]),
+            np.array([-np.inf, 0.0]), np.array([5.0, np.inf]))
+        assert lo == -np.inf
+        assert hi == pytest.approx(10.0)
+        assert not np.isnan(lo) and not np.isnan(hi)
+
+    def test_one_sided_infinity_keeps_finite_side(self):
+        from repro.solver.presolve import _row_activity_bounds
+        lo, hi = _row_activity_bounds(
+            np.array([1.0, 1.0]),
+            np.array([-np.inf, 1.0]), np.array([2.0, 3.0]))
+        assert lo == -np.inf
+        assert hi == pytest.approx(5.0)
+
+    def test_zero_coefficients_ignore_infinite_bounds(self):
+        from repro.solver.presolve import _row_activity_bounds
+        # The zero column's infinite box must not leak into the bounds.
+        lo, hi = _row_activity_bounds(
+            np.array([0.0, 2.0]),
+            np.array([-np.inf, 1.0]), np.array([np.inf, 4.0]))
+        assert lo == pytest.approx(2.0)
+        assert hi == pytest.approx(8.0)
+
+    def test_empty_row_is_zero_activity(self):
+        from repro.solver.presolve import _row_activity_bounds
+        lo, hi = _row_activity_bounds(
+            np.zeros(3), np.full(3, -np.inf), np.full(3, np.inf))
+        assert (lo, hi) == (0.0, 0.0)
