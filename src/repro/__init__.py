@@ -19,6 +19,9 @@ EuroSys'16), including every substrate the paper depends on:
   paper's 256/80-node testbeds);
 * :mod:`repro.workloads` — SWIM-derived and synthetic workload generators
   (Table 1 compositions);
+* :mod:`repro.service` — long-lived asyncio scheduler service: HTTP/JSON
+  API (submit, cancel, cluster events, graceful drain) over a
+  timer-driven cycle loop with cross-cycle delta compilation;
 * :mod:`repro.experiments` — one driver per paper table/figure;
 * :mod:`repro.verify` — independent schedule auditor, MILP certificate
   checker, and the differential fuzz harness (``python -m repro fuzz``).
@@ -38,13 +41,16 @@ Quickstart
 """
 
 from repro.cluster import Cluster, ClusterState, Node
-from repro.core import (Allocation, JobRequest, PriorityClass, StrlCompiler,
-                        TetriSched, TetriSchedConfig)
+from repro.core import (Allocation, CycleDelta, DeltaDivergence, JobRequest,
+                        PriorityClass, StrlCompiler, TetriSched,
+                        TetriSchedConfig)
 from repro.pipeline import (CyclePipeline, StageName, global_pipeline,
                             greedy_pipeline)
 from repro.reservation import RayonReservationSystem
-from repro.sim import (GpuType, Job, MpiType, Simulation, SimulationResult,
-                       TetriSchedAdapter, UnconstrainedType)
+from repro.service import SchedulerService, ServiceServer
+from repro.sim import (GpuType, Job, MpiType, ServiceAdapter, Simulation,
+                       SimulationResult, TetriSchedAdapter,
+                       UnconstrainedType)
 from repro.solver import (ComponentCache, Model, SolveOptions, SolveStatus,
                           make_backend)
 from repro.strl import (Barrier, LnCk, Max, Min, NCk, Scale, SpaceOption,
@@ -58,9 +64,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Allocation", "AuditReport", "AuditViolation", "Barrier",
     "CertificateReport", "Cluster", "ClusterState", "ComponentCache",
-    "CyclePipeline", "GpuType", "Job", "JobRequest", "LnCk", "Max", "Min",
-    "Model", "MpiType", "NCk", "Node", "PriorityClass",
-    "RayonReservationSystem", "Scale", "Simulation", "SimulationResult",
+    "CycleDelta", "CyclePipeline", "DeltaDivergence", "GpuType", "Job",
+    "JobRequest", "LnCk", "Max", "Min", "Model", "MpiType", "NCk", "Node",
+    "PriorityClass", "RayonReservationSystem", "Scale", "SchedulerService",
+    "ServiceAdapter", "ServiceServer", "Simulation", "SimulationResult",
     "SolveOptions", "SolveStatus", "SpaceOption", "StageName", "StrlCompiler",
     "Sum", "TetriSched", "TetriSchedAdapter", "TetriSchedConfig",
     "UnconstrainedType", "audit_cycle", "best_effort_value",

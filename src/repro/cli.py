@@ -24,6 +24,12 @@ Commands
     with per-stage timings, component counts, worker-pool and
     component-cache statistics, and exit nonzero if the configurations
     disagree on the objective.
+``serve``
+    Run the long-lived asyncio scheduler service (:mod:`repro.service`)
+    with its HTTP/JSON API: clients submit/cancel jobs and post cluster
+    events while a timer drives scheduling cycles; ``POST /drain``
+    stops it gracefully.  ``--smoke`` runs a self-contained end-to-end
+    check over real sockets instead (used by CI).
 ``fuzz``
     Differential fuzzing: generate seeded random cluster/workload
     instances, solve each under every solver configuration (pure dense /
@@ -131,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--plan-ahead", type=float, default=60.0)
     p_prof.add_argument("--quantum", type=float, default=10.0)
     p_prof.add_argument("--backend", default="auto")
+    p_prof.add_argument("--delta-mode", default="on",
+                        choices=["off", "on", "verify"],
+                        help="cross-cycle delta compilation (surfaces the "
+                             "fragment-reuse and patch-size counters)")
     p_prof.add_argument("--out", default="profile.jsonl",
                         help="JSONL event-stream output path")
 
@@ -149,6 +159,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for the parallel mode")
     p_bench.add_argument("--out", default="results/BENCH_cycle.json",
                          help="JSON report output path")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived scheduler service with the HTTP/JSON API")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 = ephemeral)")
+    p_serve.add_argument("--cluster", type=_cluster_spec, default="2x4:1",
+                         help="RACKSxNODES[:GPU_RACKS], e.g. 4x8:2")
+    p_serve.add_argument("--quantum", type=float, default=10.0)
+    p_serve.add_argument("--plan-ahead", type=float, default=60.0)
+    p_serve.add_argument("--cycle", type=float, default=None,
+                         help="scheduling-cycle period in wall seconds "
+                              "(default: one quantum)")
+    p_serve.add_argument("--backend", default="pure")
+    p_serve.add_argument("--delta-mode", default="on",
+                         choices=["off", "on", "verify"],
+                         help="cross-cycle delta compilation mode")
+    p_serve.add_argument("--stats", default=None,
+                         help="write final drain stats JSON here")
+    p_serve.add_argument("--smoke", action="store_true",
+                         help="self-test: drive the running server over "
+                              "HTTP (submit, cycle, cancel, drain) and "
+                              "exit nonzero on any failure")
 
     p_fuzz = sub.add_parser(
         "fuzz",
@@ -254,7 +288,8 @@ def _cmd_profile(args) -> int:
                    cluster=args.cluster, num_jobs=args.jobs, seed=args.seed,
                    target_utilization=args.util,
                    plan_ahead_s=args.plan_ahead, quantum_s=args.quantum,
-                   cycle_s=args.quantum, backend=args.backend)
+                   cycle_s=args.quantum, backend=args.backend,
+                   delta_mode=args.delta_mode)
     sink = obs.JsonlSink()
     obs.set_enabled(True, sink=sink)
     try:
@@ -294,6 +329,153 @@ def _cmd_bench_cycle(args) -> int:
         print("FAIL: pipeline configurations disagree on the objective",
               file=sys.stderr)
         return 1
+    delta = report.get("delta", {})
+    if not (delta.get("bit_equal") and delta.get("verify_ok")
+            and delta.get("churn_below_20pct")):
+        print("FAIL: delta compilation diverged from the full rebuild",
+              file=sys.stderr)
+        return 1
+    if not delta.get("speedup_ok"):
+        # Timing, not correctness: report loudly but do not hard-fail a
+        # loaded CI box on a wall-clock ratio.
+        print(f"WARN: delta compile+build speedup "
+              f"{delta.get('speedup_compile_build', 0.0):.2f}x below the "
+              f"3x target", file=sys.stderr)
+    return 0
+
+
+def _serve_smoke(service, host: str, cycle_s: float) -> int:
+    """End-to-end self-test of a live server over real HTTP sockets.
+
+    The server (and its cycle timer) runs on a background event-loop
+    thread; this thread plays the external client with blocking urllib
+    calls — the same split a real deployment has.
+    """
+    import asyncio
+    import json
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from repro.service import ServiceServer
+
+    started = threading.Event()
+    box: dict[str, object] = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            server = ServiceServer(service, host=host, port=0,
+                                   cycle_s=cycle_s)
+            await server.start()
+            box["port"] = server.port
+            started.set()
+            await server.wait_drained()
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surfaced to the client thread
+            box["error"] = exc
+            started.set()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    if not started.wait(10.0) or "error" in box:
+        print(f"smoke FAIL: server did not start ({box.get('error')})",
+              file=sys.stderr)
+        return 1
+    port = box["port"]
+
+    def call(method: str, path: str, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(f"http://{host}:{port}{path}",
+                                     data=data, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def check(ok: bool, what: str) -> None:
+        if not ok:
+            raise RuntimeError(f"smoke check failed: {what}")
+
+    quantum = service.config.quantum_s
+    try:
+        check(call("GET", "/healthz")[1] == {"ok": True}, "healthz")
+        spec = {"options": [{"k": 1, "duration_s": quantum}],
+                "value": 100.0, "deadline": 100000.0}
+        for i in range(3):
+            status, rec = call("POST", "/jobs", dict(spec, job_id=f"smoke-{i}"))
+            check(status == 201 and rec["state"] == "pending",
+                  f"submit smoke-{i}")
+        call("POST", "/jobs", dict(spec, job_id="smoke-cancel"))
+        status, rec = call("DELETE", "/jobs/smoke-cancel")
+        check(status == 200 and rec["state"] == "cancelled", "cancel")
+
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            status_payload = call("GET", "/status")[1]
+            if status_payload["jobs"].get("completed", 0) >= 3:
+                break
+            time.sleep(0.2)
+        else:
+            raise RuntimeError(
+                f"smoke timeout: jobs never completed "
+                f"(status {status_payload})")
+        check(status_payload["cycles_run"] > 0, "cycles ran")
+        if service.config.delta_mode != "off":
+            check(status_payload["delta"]["cycles"] > 0, "delta engaged")
+
+        node = sorted(service.cluster.node_names)[0]
+        check(call("POST", "/cluster/events",
+                   {"action": "drain", "node": node})[0] == 200, "drain node")
+        check(call("POST", "/cluster/events",
+                   {"action": "restore", "node": node})[0] == 200,
+              "restore node")
+
+        status, final = call("POST", "/drain")
+        check(status == 200 and final["clean"] is True, "graceful drain")
+        check(final["status"]["cycles_run"] > 0,
+              "final stats carry cycle count")
+    except (RuntimeError, OSError) as exc:
+        print(f"smoke FAIL: {exc}", file=sys.stderr)
+        return 1
+    thread.join(10.0)
+    print(f"smoke ok: jobs {final['status']['jobs']} over "
+          f"{final['status']['cycles_run']} cycles, clean drain")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.core.scheduler import TetriSchedConfig
+    from repro.service import SchedulerService, serve
+
+    cluster = args.cluster.build()
+    cfg = TetriSchedConfig(
+        quantum_s=args.quantum, cycle_s=args.cycle or args.quantum,
+        plan_ahead_s=args.plan_ahead, backend=args.backend,
+        delta_mode=args.delta_mode)
+    stats = pathlib.Path(args.stats) if args.stats else None
+    service = SchedulerService(cluster, cfg, stats_path=stats)
+    if args.smoke:
+        return _serve_smoke(service, args.host,
+                            cycle_s=args.cycle or 0.25)
+
+    async def main() -> None:
+        server = await serve(service, host=args.host, port=args.port,
+                             cycle_s=args.cycle)
+        print(f"[service on http://{args.host}:{server.port} — "
+              f"{len(cluster)} nodes, delta_mode={cfg.delta_mode}; "
+              f"POST /drain to stop]")
+        await server.wait_drained()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        final = service.drain()
+        print(f"[interrupted: drained {final['jobs']} "
+              f"after {final['cycles']} cycles]")
     return 0
 
 
@@ -348,6 +530,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_profile(args)
         if args.command == "bench-cycle":
             return _cmd_bench_cycle(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
     except ReproError as exc:

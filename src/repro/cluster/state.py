@@ -46,6 +46,7 @@ class ClusterState:
         self.universe = universe
         self._allocations: dict[str, RunningAllocation] = {}
         self._node_owner: dict[str, str] = {}
+        self._drained: set[str] = set()
 
     # -- lifecycle ----------------------------------------------------------
     def start(self, job_id: str, nodes: frozenset[str], start_time: float,
@@ -91,6 +92,32 @@ class ClusterState:
         if new_expected_end > alloc.expected_end:
             alloc.expected_end = new_expected_end
 
+    # -- node lifecycle ------------------------------------------------------
+    def drain(self, node: str) -> None:
+        """Take a node out of service (cluster event: node removal).
+
+        The node universe is fixed — drained nodes stay known (partition
+        membership, MILP column layout and existing allocations are
+        unaffected) but offer zero supply to future cycles: they drop out
+        of :meth:`free_nodes` and hold their availability-profile slot for
+        the whole horizon.  A running job keeps a drained node until it
+        finishes; the scheduler just never places on it again.
+        """
+        if node not in self.universe:
+            raise ClusterError(f"unknown node {node!r}")
+        self._drained.add(node)
+
+    def restore(self, node: str) -> None:
+        """Return a drained node to service (cluster event: node add)."""
+        if node not in self.universe:
+            raise ClusterError(f"unknown node {node!r}")
+        self._drained.discard(node)
+
+    @property
+    def drained_nodes(self) -> frozenset[str]:
+        """Nodes currently out of service."""
+        return frozenset(self._drained)
+
     # -- queries -------------------------------------------------------------
     def is_running(self, job_id: str) -> bool:
         return job_id in self._allocations
@@ -106,8 +133,8 @@ class ClusterState:
             raise SchedulerError(f"job {job_id!r} is not running") from None
 
     def free_nodes(self) -> frozenset[str]:
-        """Nodes not held by any running job right now."""
-        return self.universe - self._node_owner.keys()
+        """Nodes not held by any running job (drained nodes excluded)."""
+        return self.universe - self._node_owner.keys() - self._drained
 
     def busy_quanta(self, now: float, quantum_s: float) -> dict[str, int]:
         """Per busy node: how many whole quanta from ``now`` it stays held.
@@ -138,7 +165,11 @@ class ClusterState:
         busy = self.busy_quanta(now, quantum_s)
         profile = [len(nodes)] * horizon_quanta
         for n in nodes:
-            held = busy.get(n, 0)
+            # A drained node offers no supply anywhere in the horizon —
+            # whether or not a running job still holds it (never both
+            # subtractions, so the profile cannot go negative).
+            held = (horizon_quanta if n in self._drained
+                    else busy.get(n, 0))
             for t in range(min(held, horizon_quanta)):
                 profile[t] -= 1
         return profile

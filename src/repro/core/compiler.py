@@ -17,6 +17,18 @@ The compiler walks the aggregated STRL expression with a single recursive
 
 Compilation is independent of any solver backend; the result carries enough
 bookkeeping to map a MILP solution back to per-job space-time allocations.
+
+Since the delta-compilation refactor the unit of compilation is one job: a
+:class:`JobFragment` holds a job's variables, constraints, objective terms
+and used-ledger entries in a *local* (fragment-relative) column space, plus
+its CSR export.  :func:`assemble_batch` relocates fragments to their column
+offsets, rebuilds the cross-job supply rows, and concatenates the cached
+CSR blocks into the cycle model's sparse export — so a fragment compiled in
+an earlier cycle can be reused verbatim by
+:class:`repro.core.delta.DeltaCompiler` as long as its STRL expression and
+the cycle partitioning are unchanged.  Variable names are job-scoped
+(``nCk[job-3]#2``) so fragments never collide and names are stable across
+cycles regardless of batch composition.
 """
 
 from __future__ import annotations
@@ -29,7 +41,8 @@ from repro.cluster.partitions import Partition, Partitioning
 from repro.cluster.state import ClusterState
 from repro.errors import SchedulerError
 from repro.solver.expr import LinExpr, Variable, linear_sum
-from repro.solver.model import Model
+from repro.solver.model import (LE, Constraint, Model, SparseArrays,
+                                SparseMatrix, _rows_to_csr)
 from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
 
 
@@ -195,6 +208,241 @@ class CompiledBatch:
                 for comp in decomp.components]
 
 
+@dataclass
+class JobFragment:
+    """One job's compiled STRL slice, relocatable within a cycle model.
+
+    Everything is expressed in a *local* column space (variable indices
+    0..n-1, index 0 always the job's top-level indicator) so the fragment
+    can be placed at any column offset of the assembled cycle model.  The
+    fragment is valid as long as its ``expr`` and the cycle
+    :class:`~repro.cluster.partitions.Partitioning` are unchanged: nothing
+    in it depends on cluster *availability* (supply right-hand sides are
+    rebuilt per cycle by :func:`assemble_batch`), only on partition
+    membership and capacity.
+    """
+
+    job_id: str
+    expr: StrlNode
+    horizon: int
+    #: Local-index variables; ``variables[0]`` is ``I[job_id]``.
+    variables: list[Variable]
+    #: Normalized constraints with local-index coefficients.
+    constraints: list[Constraint]
+    #: Objective contribution, local index -> coefficient (maximize sense).
+    objective_coeffs: dict[int, float]
+    objective_constant: float
+    #: Per leaf: (leaf, indicator local index, {pid -> partition-var local}).
+    leaf_specs: list[tuple[NCk | LnCk, int, dict[int, int]]]
+    #: Used ledger: (pid, t) -> local partition-var indices, registration
+    #: order preserved (supply-row coefficient order depends on it).
+    used: dict[tuple[int, int], tuple[int, ...]]
+    #: Local CSR export (minimization orientation, GE rows pre-negated).
+    sparse: SparseArrays
+    #: SHA-256 of the local export (cross-cycle diff accounting).
+    fingerprint: str = ""
+
+    # Materialization cache: model-ready objects built at a column offset.
+    # Reused verbatim when the fragment lands at the same offset next cycle
+    # (Variable/Constraint are immutable, so sharing across models is safe).
+    _mat_offset: int = -1
+    _mat_vars: list[Variable] | None = None
+    _mat_cons: list[Constraint] | None = None
+    _mat_records: list[LeafRecord] | None = None
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def materialize(self, offset: int) -> tuple[
+            list[Variable], list[Constraint], list[LeafRecord]]:
+        """(variables, constraints, leaf records) at global ``offset``."""
+        if self._mat_offset != offset:
+            if offset == 0:
+                variables, constraints = self.variables, self.constraints
+            else:
+                variables = [
+                    Variable(v.name, v.index + offset, v.lb, v.ub, v.domain)
+                    for v in self.variables]
+                constraints = [
+                    Constraint(c.name,
+                               LinExpr({i + offset: coef
+                                        for i, coef in c.expr.coeffs.items()}),
+                               c.sense, c.rhs)
+                    for c in self.constraints]
+            self._mat_vars = variables
+            self._mat_cons = constraints
+            self._mat_records = [
+                LeafRecord(self.job_id, leaf, variables[ind],
+                           {pid: variables[li] for pid, li in pmap.items()})
+                for leaf, ind, pmap in self.leaf_specs]
+            self._mat_offset = offset
+        assert (self._mat_vars is not None and self._mat_cons is not None
+                and self._mat_records is not None)
+        return self._mat_vars, self._mat_cons, self._mat_records
+
+
+def _stack_csr(blocks: list[tuple[SparseMatrix, int]],
+               ncols: int) -> SparseMatrix:
+    """Vertically stack CSR blocks, shifting each block's columns by its
+    offset.  ``O(total nonzeros)`` in numpy — no per-row Python work."""
+    rows = sum(int(m.shape[0]) for m, _ in blocks)
+    counts = [np.diff(m.indptr) for m, _ in blocks]
+    all_counts = np.concatenate(counts)
+    indptr = np.zeros(rows + 1, dtype=np.int64)
+    if all_counts.size:
+        np.cumsum(all_counts, out=indptr[1:])
+    indices = np.concatenate(
+        [(m.indices + off) if off else m.indices for m, off in blocks])
+    data = np.concatenate([m.data for m, _ in blocks])
+    return SparseMatrix((rows, ncols), indptr,
+                        indices.astype(np.int64, copy=False), data)
+
+
+def _assemble_sparse(fragments: list[JobFragment],
+                     preemptible: list["PreemptionCandidate"],
+                     supply_rows: list[tuple[dict, float]],
+                     obj_constant: float, n: int) -> SparseArrays:
+    """Concatenate fragment CSR blocks + supply rows into the cycle export.
+
+    Produces arrays bit-equal to ``Model.to_sparse_arrays()`` on the
+    assembled model: fragment blocks come from each scratch model's own
+    canonical export (same within-row coefficient order), the supply block
+    goes through the same ``_rows_to_csr`` packer, and row/column order
+    matches the assembled model's constraint/variable order by
+    construction.  ``delta_mode=verify`` recomputes the canonical export
+    and asserts exactly this equality every cycle.
+    """
+    c_parts = [frag.sparse.c for frag in fragments]
+    lb_parts = [frag.sparse.lb for frag in fragments]
+    ub_parts = [frag.sparse.ub for frag in fragments]
+    int_parts = [frag.sparse.integrality for frag in fragments]
+    if preemptible:
+        n_r = len(preemptible)
+        # Maximize-sense objective coefficient -penalty => c = +penalty.
+        c_parts.append(np.array([float(cand.penalty) for cand in preemptible]))
+        lb_parts.append(np.zeros(n_r))
+        ub_parts.append(np.ones(n_r))
+        int_parts.append(np.ones(n_r, dtype=bool))
+    supply_m, supply_b = _rows_to_csr(supply_rows, n,
+                                      [1.0] * len(supply_rows))
+    ub_blocks: list[tuple[SparseMatrix, int]] = []
+    eq_blocks: list[tuple[SparseMatrix, int]] = []
+    b_ub_parts: list[np.ndarray] = []
+    b_eq_parts: list[np.ndarray] = []
+    off = 0
+    for frag in fragments:
+        ub_blocks.append((frag.sparse.a_ub, off))
+        eq_blocks.append((frag.sparse.a_eq, off))
+        b_ub_parts.append(frag.sparse.b_ub)
+        b_eq_parts.append(frag.sparse.b_eq)
+        off += frag.num_variables
+    ub_blocks.append((supply_m, 0))
+    b_ub_parts.append(supply_b)
+    return SparseArrays(
+        c=np.concatenate(c_parts),
+        obj_constant=obj_constant, obj_sign=-1.0,
+        a_ub=_stack_csr(ub_blocks, n), b_ub=np.concatenate(b_ub_parts),
+        a_eq=_stack_csr(eq_blocks, n),
+        b_eq=(np.concatenate(b_eq_parts) if b_eq_parts else np.zeros(0)),
+        lb=np.concatenate(lb_parts), ub=np.concatenate(ub_parts),
+        integrality=np.concatenate(int_parts))
+
+
+def assemble_batch(fragments: list[JobFragment], partitioning: Partitioning,
+                   horizon: int, state: ClusterState, quantum_s: float,
+                   now: float,
+                   preemptible: list[PreemptionCandidate] | None = None
+                   ) -> CompiledBatch:
+    """Assemble compiled job fragments into one cycle :class:`CompiledBatch`.
+
+    Both the from-scratch path (:meth:`StrlCompiler.compile`) and the
+    cross-cycle delta path (:class:`repro.core.delta.DeltaCompiler`) end
+    here, so the two produce bit-identical models by construction; the only
+    way they can diverge is a stale cached fragment, which is exactly what
+    ``delta_mode=verify`` checks for.
+
+    Per-cycle work is the part that depends on cluster availability: the
+    supply rows (``sum of P in used(x,t) <= avail(x,t)`` plus nodes freed
+    by chosen preemptions) and the preemption decision variables.
+    """
+    preemptible = preemptible or []
+    model = Model("tetrisched-cycle")
+    job_indicators: dict[str, Variable] = {}
+    records: list[LeafRecord] = []
+    used: dict[tuple[int, int], list[int]] = {}
+    obj_coeffs: dict[int, float] = {}
+    obj_constant = 0.0
+    offset = 0
+    for frag in fragments:
+        variables, constraints, recs = frag.materialize(offset)
+        model.adopt_variables(variables)
+        model.adopt_constraints(constraints)
+        job_indicators[frag.job_id] = variables[0]
+        records.extend(recs)
+        for idx, coef in frag.objective_coeffs.items():
+            obj_coeffs[idx + offset] = coef
+        obj_constant += frag.objective_constant
+        for key, local_indices in frag.used.items():
+            used.setdefault(key, []).extend(i + offset
+                                            for i in local_indices)
+        offset += frag.num_variables
+
+    # Preemption extension: binary kill-decision per candidate.
+    preemption_vars: dict[str, Variable] = {}
+    victim_busy: dict[str, dict[str, int]] = {}
+    if preemptible:
+        busy = state.busy_quanta(now, quantum_s)
+        for cand in preemptible:
+            r = model.add_binary(f"R[{cand.job_id}]")
+            preemption_vars[cand.job_id] = r
+            victim_busy[cand.job_id] = {n: busy.get(n, 0) for n in cand.nodes}
+            obj_coeffs[r.index] = obj_coeffs.get(r.index, 0.0) - cand.penalty
+
+    # Supply constraints: sum of P in used(x, t) <= avail(x, t)
+    # (+ nodes freed by any chosen preemptions).  Drained nodes never
+    # return to supply, even when their holder is preempted.
+    drained = getattr(state, "drained_nodes", frozenset())
+    supply_cons: list[Constraint] = []
+    supply_rows: list[tuple[dict, float]] = []
+    for part in partitioning.partitions:
+        profile = state.availability_profile(
+            part.nodes, horizon, now, quantum_s)
+        for t in range(horizon):
+            users = used.get((part.pid, t))
+            if not users:
+                continue
+            coeffs: dict[int, float] = {}
+            for gi in users:
+                coeffs[gi] = coeffs.get(gi, 0.0) + 1.0
+            for cand in preemptible:
+                freed = sum(
+                    1 for n in cand.nodes
+                    if n in part.nodes and n not in drained
+                    and victim_busy[cand.job_id][n] > t)
+                if freed:
+                    ri = preemption_vars[cand.job_id].index
+                    coeffs[ri] = coeffs.get(ri, 0.0) - freed
+            con = Constraint(f"supply[p{part.pid},t{t}]",
+                             LinExpr(coeffs, 0.0), LE, float(profile[t]))
+            supply_cons.append(con)
+            supply_rows.append((con.expr.coeffs, con.rhs))
+    model.adopt_constraints(supply_cons)
+    model.set_objective(LinExpr(obj_coeffs, obj_constant), sense="maximize")
+    model.install_sparse_arrays(_assemble_sparse(
+        fragments, preemptible, supply_rows, obj_constant,
+        model.num_variables))
+    return CompiledBatch(
+        model=model, partitioning=partitioning, horizon=horizon,
+        job_indicators=job_indicators, leaf_records=records,
+        job_order=[frag.job_id for frag in fragments],
+        stats=model.stats(), preemption_vars=preemption_vars)
+
+
 class StrlCompiler:
     """Compiles a batch of per-job STRL expressions into one MILP.
 
@@ -235,90 +483,78 @@ class StrlCompiler:
         """
         if not batch:
             raise SchedulerError("cannot compile an empty batch")
-        preemptible = preemptible or []
         seen_ids = set()
         for job_id, _ in batch:
             if job_id in seen_ids:
                 raise SchedulerError(f"duplicate job id {job_id!r} in batch")
             seen_ids.add(job_id)
 
-        # Dynamic minimal partitioning over this batch's equivalence sets.
-        eq_sets = []
-        for _, expr in batch:
-            for leaf in expr.leaves():
-                eq_sets.append(leaf.nodes)
-        if self.minimal_partitioning:
-            partitioning = Partitioning(self.state.universe, eq_sets)
-        else:
-            # Ablation: singleton partitions (one integer variable per node
-            # per leaf) — the naive formulation the paper optimizes away.
-            singletons = [frozenset({n}) for n in self.state.universe]
-            partitioning = Partitioning(self.state.universe,
-                                        eq_sets + singletons)
+        partitioning = self.build_partitioning([expr for _, expr in batch])
+        fragments = [self.compile_fragment(job_id, expr, partitioning)
+                     for job_id, expr in batch]
+        horizon = max(frag.horizon for frag in fragments)
+        return assemble_batch(fragments, partitioning, horizon, self.state,
+                              self.quantum_s, self.now,
+                              preemptible=preemptible)
 
-        model = Model("tetrisched-cycle")
-        self._model = model
+    def build_partitioning(self, exprs: list[StrlNode]) -> Partitioning:
+        """Dynamic minimal partitioning over a batch's equivalence sets."""
+        eq_sets = [leaf.nodes for expr in exprs for leaf in expr.leaves()]
+        if self.minimal_partitioning:
+            return Partitioning(self.state.universe, eq_sets)
+        # Ablation: singleton partitions (one integer variable per node
+        # per leaf) — the naive formulation the paper optimizes away.
+        singletons = [frozenset({n}) for n in self.state.universe]
+        return Partitioning(self.state.universe, eq_sets + singletons)
+
+    def compile_fragment(self, job_id: str, expr: StrlNode,
+                         partitioning: Partitioning) -> JobFragment:
+        """Compile one job's STRL into a relocatable :class:`JobFragment`.
+
+        Runs Algorithm 1's ``gen`` against a throwaway scratch model whose
+        column space is the fragment's local index space, then snapshots
+        variables, constraints, objective terms, leaf bookkeeping, the
+        used ledger and the scratch model's own CSR export.  Nothing here
+        reads cluster availability or ``now`` — fragments stay valid
+        across cycles while ``expr`` and ``partitioning`` are unchanged.
+        """
+        scratch = Model(f"frag[{job_id}]")
+        self._model = scratch
         self._partitioning = partitioning
         self._used: dict[tuple[int, int], list[Variable]] = {}
         self._records: list[LeafRecord] = []
         self._counter = 0
-        horizon = max(expr.horizon() for _, expr in batch)
-
-        job_indicators: dict[str, Variable] = {}
-        objective = LinExpr()
-        for job_id, expr in batch:
-            self._job_id = job_id
-            ind = model.add_binary(f"I[{job_id}]")
-            job_indicators[job_id] = ind
-            objective = objective + self._gen(expr, ind)
-
-        # Preemption extension: binary kill-decision per candidate.
-        preemption_vars: dict[str, Variable] = {}
-        victim_busy: dict[str, dict[str, int]] = {}
-        if preemptible:
-            busy = self.state.busy_quanta(self.now, self.quantum_s)
-            for cand in preemptible:
-                r = model.add_binary(f"R[{cand.job_id}]")
-                preemption_vars[cand.job_id] = r
-                victim_busy[cand.job_id] = {
-                    n: busy.get(n, 0) for n in cand.nodes}
-                objective = objective - cand.penalty * r
-
-        # Supply constraints: sum of P in used(x, t) <= avail(x, t)
-        # (+ nodes freed by any chosen preemptions).
-        for part in partitioning.partitions:
-            profile = self.state.availability_profile(
-                part.nodes, horizon, self.now, self.quantum_s)
-            for t in range(horizon):
-                users = self._used.get((part.pid, t))
-                if not users:
-                    continue
-                rhs = LinExpr(constant=profile[t])
-                for cand in preemptible:
-                    freed = sum(
-                        1 for n in cand.nodes
-                        if n in part.nodes
-                        and victim_busy[cand.job_id][n] > t)
-                    if freed:
-                        rhs.add_term(preemption_vars[cand.job_id], freed)
-                model.add_constraint(
-                    linear_sum(users), "<=", rhs,
-                    name=f"supply[p{part.pid},t{t}]")
-
-        model.set_objective(objective, sense="maximize")
-        compiled = CompiledBatch(
-            model=model, partitioning=partitioning, horizon=horizon,
-            job_indicators=job_indicators, leaf_records=self._records,
-            job_order=[job_id for job_id, _ in batch],
-            stats=model.stats(), preemption_vars=preemption_vars)
+        self._job_id = job_id
+        indicator = scratch.add_binary(f"I[{job_id}]")
+        objective = self._gen(expr, indicator)
+        scratch.set_objective(objective, sense="maximize")
+        sparse = scratch.to_sparse_arrays()
+        from repro.solver.parallel import fingerprint_arrays
+        fragment = JobFragment(
+            job_id=job_id, expr=expr, horizon=expr.horizon(),
+            variables=list(scratch.variables),
+            constraints=list(scratch.constraints),
+            objective_coeffs=dict(scratch.objective.coeffs),
+            objective_constant=scratch.objective.constant,
+            leaf_specs=[
+                (rec.leaf, rec.indicator.index,
+                 {pid: v.index for pid, v in rec.partition_vars.items()})
+                for rec in self._records],
+            used={key: tuple(v.index for v in pvars)
+                  for key, pvars in self._used.items()},
+            sparse=sparse,
+            fingerprint=fingerprint_arrays(sparse).exact)
         # Release builder state.
         del self._model, self._partitioning, self._used, self._records
-        return compiled
+        return fragment
 
     # -- Algorithm 1's gen(expr, I) -----------------------------------------
     def _fresh(self, tag: str) -> str:
+        # Job-scoped naming: the counter restarts per fragment and the tag
+        # embeds the job id, so names are unique across any batch and
+        # *stable* across cycles no matter which jobs come and go.
         self._counter += 1
-        return f"{tag}#{self._counter}"
+        return f"{tag}[{self._job_id}]#{self._counter}"
 
     def _gen(self, expr: StrlNode, indicator: Variable) -> LinExpr:
         if isinstance(expr, NCk):

@@ -137,6 +137,16 @@ class TetriSchedConfig:
     #: scheduled jobs to complete if their deadline has not passed",
     #: Sec. 7.1).  Attainment metrics always use the true deadline.
     deadline_grace_quanta: float = 1.0
+    #: Cross-cycle delta compilation (``off`` | ``on`` | ``verify``).  With
+    #: ``on``, the global pipeline keeps each job's compiled STRL fragment
+    #: across cycles and re-runs Algorithm 1 only for jobs whose expression
+    #: changed, patching the shared sparse model instead of reconstructing
+    #: it.  ``verify`` additionally runs the full recompile alongside every
+    #: cycle and raises :class:`~repro.core.delta.DeltaDivergence` unless
+    #: the two models are bit-identical.  Ignored by the greedy (-NG) path,
+    #: whose per-job models see tentative-reservation-capped availability
+    #: and are never cacheable.
+    delta_mode: str = "off"
     #: Run the :mod:`repro.verify` oracles on every global cycle: replay
     #: the solve through the MILP certificate checker and the space-time
     #: schedule auditor, raising
@@ -193,6 +203,21 @@ class CycleStats:
     colgen_columns_priced: int = 0
     repair_gap: float = 0.0
     repair_escalations: int = 0
+    #: Component-cache LRU evictions observed during this cycle's solves.
+    cache_evictions: int = 0
+    #: Jobs cancelled by :meth:`TetriSched.cancel` and drained this cycle.
+    cancelled: int = 0
+    #: Delta-compilation accounting (``delta_mode != off``; zero otherwise).
+    #: ``jobs_dirty`` counts fragments recompiled this cycle (new arrivals
+    #: plus changed expressions), ``jobs_clean`` counts cached fragments
+    #: replayed verbatim; ``rows_patched`` / ``cols_patched`` are the model
+    #: rows/columns actually rewritten (recompiled fragments plus the
+    #: per-cycle supply rows and preemption columns).
+    jobs_dirty: int = 0
+    jobs_clean: int = 0
+    rows_patched: int = 0
+    cols_patched: int = 0
+    delta_full_rebuild: bool = False
     #: Wall-clock seconds per pipeline stage.  Keys are the
     #: :class:`repro.pipeline.stages.StageName` values (plain strings after
     #: JSON round-trips; the str-mixin enum indexes both).
@@ -222,6 +247,7 @@ class SolveTelemetry:
     colgen_columns_priced: int = 0
     repair_gap: float = 0.0
     repair_escalations: int = 0
+    cache_evictions: int = 0
 
     def absorb(self, res) -> None:
         """Fold one :class:`~repro.solver.result.MILPResult` in."""
@@ -234,6 +260,7 @@ class SolveTelemetry:
         self.lp_warm_hits += int(res.stats.get("lp_warm_hits", 0))
         self.cache_hits += int(res.stats.get("cache_hits", 0))
         self.cache_warm_hits += int(res.stats.get("cache_warm_hits", 0))
+        self.cache_evictions += int(res.stats.get("cache_evictions", 0))
         self.colgen_rounds += int(res.stats.get("colgen_rounds", 0))
         self.colgen_columns_priced += int(
             res.stats.get("colgen_columns_priced", 0))
@@ -251,6 +278,8 @@ class CycleResult:
     culled: list[str] = field(default_factory=list)
     #: Running jobs killed by the preemption extension this cycle.
     preempted: list[str] = field(default_factory=list)
+    #: Jobs whose :meth:`TetriSched.cancel` request was honored this cycle.
+    cancelled: list[str] = field(default_factory=list)
     stats: CycleStats | None = None
 
 
@@ -269,6 +298,10 @@ class TetriSched:
                  config: TetriSchedConfig | None = None) -> None:
         self.cluster = cluster
         self.config = config or TetriSchedConfig()
+        if self.config.delta_mode not in ("off", "on", "verify"):
+            raise SchedulerError(
+                f"delta_mode must be 'off', 'on' or 'verify', "
+                f"got {self.config.delta_mode!r}")
         self.state = ClusterState(cluster.node_names)
         self.queues: PriorityQueues = PriorityQueues()
         self.cycle_history: list[CycleStats] = []
@@ -287,6 +320,18 @@ class TetriSched:
         self._prev_now: float = 0.0
         # Requests of currently running jobs (for preemption re-queuing).
         self._launched: dict[str, JobRequest] = {}
+        # Cross-cycle fragment cache (delta_mode on/verify, global only).
+        self._delta = None
+        if (self.config.delta_mode != "off"
+                and self.config.global_scheduling):
+            from repro.core.delta import DeltaCompiler
+            self._delta = DeltaCompiler(self.state, self.config.quantum_s)
+        # Cancellation requests not yet drained.  ``cancel`` may be called
+        # from another thread mid-cycle (the async service does); requests
+        # are honored only at safe points — cycle start, the launch loop
+        # (a cancelled job is never ``state.start``-ed), and cycle end — so
+        # a cancel can never strand an allocation-ledger entry.
+        self._cancelled: set[str] = set()
 
     # -- queue management ----------------------------------------------------
     def submit(self, request: JobRequest) -> None:
@@ -297,6 +342,39 @@ class TetriSched:
         """Signal job completion; frees its nodes (Sec. 3.3 interface (c))."""
         self._launched.pop(job_id, None)
         return self.state.finish(job_id)
+
+    def cancel(self, job_id: str) -> None:
+        """Request cancellation of a queued or running job.
+
+        Safe to call from another thread while a cycle is in flight (set
+        addition is atomic under the GIL); the request is honored at the
+        next safe point.  Unknown ids are silently discarded at drain time
+        (the job may have finished in the meantime).
+        """
+        self._cancelled.add(job_id)
+
+    def _drain_cancellations(self) -> list[str]:
+        """Apply pending cancellations; returns the job ids drained.
+
+        Queued jobs leave the queue; running jobs are finished on the
+        cluster ledger and dropped from the launch registry — the paired
+        removal is what keeps the allocation ledger orphan-free (the audit
+        oracle checks the invariant every audited cycle).
+        """
+        if not self._cancelled:
+            return []
+        drained: list[str] = []
+        for job_id in sorted(self._cancelled):
+            if job_id in self.queues:
+                self.queues.remove(job_id)
+                drained.append(job_id)
+            elif self.state.is_running(job_id):
+                self.state.finish(job_id)
+                self._launched.pop(job_id, None)
+                drained.append(job_id)
+            # else: already finished/culled — nothing to undo.
+        self._cancelled.clear()
+        return drained
 
     @property
     def pending_count(self) -> int:
@@ -312,6 +390,7 @@ class TetriSched:
         """
         t_cycle = time.monotonic()
         result = CycleResult()
+        result.cancelled.extend(self._drain_cancellations())
         tel = SolveTelemetry()
         ctx = CycleContext(scheduler=self, now=now, result=result,
                            telemetry=tel)
@@ -320,12 +399,22 @@ class TetriSched:
 
         with obs.span("cycle"):
             pipeline.run(ctx)
+            kept: list[Allocation] = []
             for alloc in result.allocations:
+                if alloc.job_id in self._cancelled:
+                    # Cancelled while the solver ran: never start it, never
+                    # touch the ledger.  The job is still queued, so the
+                    # drain below removes it cleanly.
+                    continue
                 req = self.queues.remove(alloc.job_id)
                 self._launched[alloc.job_id] = req
                 self.state.start(alloc.job_id, alloc.nodes,
                                  alloc.start_time, alloc.expected_end)
+                kept.append(alloc)
+            result.allocations = kept
+        result.cancelled.extend(self._drain_cancellations())
 
+        delta = ctx.delta
         stats = CycleStats(
             now=now, pending=self.pending_count,
             launched=len(result.allocations), culled=len(result.culled),
@@ -347,6 +436,13 @@ class TetriSched:
             colgen_columns_priced=tel.colgen_columns_priced,
             repair_gap=tel.repair_gap,
             repair_escalations=tel.repair_escalations,
+            cache_evictions=tel.cache_evictions,
+            cancelled=len(result.cancelled),
+            jobs_dirty=delta.jobs_dirty if delta else 0,
+            jobs_clean=delta.jobs_clean if delta else 0,
+            rows_patched=delta.rows_patched if delta else 0,
+            cols_patched=delta.cols_patched if delta else 0,
+            delta_full_rebuild=bool(delta and delta.full_rebuild),
             stage_timings=dict(ctx.stage_timings))
         self.cycle_history.append(stats)
         result.stats = stats

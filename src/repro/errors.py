@@ -47,6 +47,10 @@ class ReservationError(ReproError):
     """Reservation system misuse."""
 
 
+class ServiceError(ReproError):
+    """Raised by the long-lived scheduler service on invalid requests."""
+
+
 class SimulationError(ReproError):
     """Discrete-event simulator invariant violation."""
 

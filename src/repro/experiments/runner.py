@@ -73,6 +73,8 @@ class RunSpec:
     max_time_s: float = 100_000.0
     #: Extension: MILP-native preemption of running best-effort jobs.
     enable_preemption: bool = False
+    #: Cross-cycle delta compilation: ``off`` | ``on`` | ``verify``.
+    delta_mode: str = "off"
     #: Arrival burstiness (CV of inter-arrival gaps; 1.0 = Poisson).
     burstiness: float = 1.0
     #: Heterogeneity intensity: sub-optimal-placement slowdown factor.
@@ -88,7 +90,8 @@ def _tetrisched_config(spec: RunSpec, variant: str) -> TetriSchedConfig:
                    plan_ahead_s=spec.plan_ahead_s, backend=spec.backend,
                    rel_gap=spec.rel_gap,
                    solver_time_limit=spec.solver_time_limit,
-                   enable_preemption=spec.enable_preemption)
+                   enable_preemption=spec.enable_preemption,
+                   delta_mode=spec.delta_mode)
 
 
 def build_scheduler(spec: RunSpec, cluster: Cluster,

@@ -49,10 +49,19 @@ _HEADLINE_COUNTERS = (
     ("solver.lp.warm_hits", "LP warm-restart hits"),
     ("solver.presolve.rows_dropped", "presolve rows dropped"),
     ("solver.presolve.bounds_tightened", "presolve bounds tightened"),
+    ("solver.cache.hits", "component-cache exact hits"),
+    ("solver.cache.warm_hits", "component-cache warm hits"),
+    ("solver.cache.evictions", "component-cache evictions"),
     ("scheduler.launched", "jobs launched"),
     ("scheduler.culled", "jobs culled"),
+    ("scheduler.cancelled", "jobs cancelled"),
     ("scheduler.warm_start.attempts", "warm-start attempts"),
     ("scheduler.warm_start.hits", "warm-start hits"),
+    ("scheduler.delta.jobs_dirty", "delta fragments recompiled"),
+    ("scheduler.delta.jobs_clean", "delta fragments reused"),
+    ("scheduler.delta.rows_patched", "delta rows patched"),
+    ("scheduler.delta.cols_patched", "delta cols patched"),
+    ("scheduler.delta.full_rebuilds", "delta full rebuilds"),
 )
 
 

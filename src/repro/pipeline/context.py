@@ -9,6 +9,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only, avoids import cycle
     from repro.core.compiler import CompiledBatch
+    from repro.core.delta import CycleDelta
     from repro.core.scheduler import (CycleResult, JobRequest, SolveTelemetry,
                                       TetriSched, TetriSchedConfig)
     from repro.solver.decompose import Decomposition
@@ -33,6 +34,8 @@ class CycleContext:
     exprs: list[tuple[str, "StrlNode"]] = field(default_factory=list)
     requests: dict[str, "JobRequest"] = field(default_factory=dict)
     compiled: "CompiledBatch | None" = None
+    #: What the delta compiler recompiled vs replayed (``delta_mode != off``).
+    delta: "CycleDelta | None" = None
     warm_start: np.ndarray | None = None
     decomposition: "Decomposition | None" = None
     solution: "MILPResult | None" = None

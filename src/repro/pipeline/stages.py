@@ -81,16 +81,31 @@ class StrlGeneration:
 
 
 class Compilation:
-    """Aggregate STRL under the top-level SUM and compile to a MILP."""
+    """Aggregate STRL under the top-level SUM and compile to a MILP.
+
+    With ``delta_mode`` on, compilation goes through the scheduler's
+    persistent :class:`~repro.core.delta.DeltaCompiler`: cached fragments
+    of unchanged jobs are replayed and only dirty jobs re-run Algorithm 1;
+    the per-cycle :class:`~repro.core.delta.CycleDelta` lands on the
+    context for the stats record.  ``delta_mode=verify`` additionally
+    recompiles from scratch and asserts bit-equality.
+    """
 
     name = StageName.COMPILE
 
     def run(self, ctx: "CycleContext") -> None:
         sched = ctx.scheduler
-        compiler = StrlCompiler(sched.state, ctx.config.quantum_s, ctx.now)
         preemptible = (sched._preemption_candidates()
                        if ctx.config.enable_preemption else [])
-        ctx.compiled = compiler.compile(ctx.exprs, preemptible=preemptible)
+        if sched._delta is not None:
+            ctx.compiled, ctx.delta = sched._delta.compile_cycle(
+                ctx.exprs, preemptible=preemptible, now=ctx.now,
+                verify=ctx.config.delta_mode == "verify")
+        else:
+            compiler = StrlCompiler(sched.state, ctx.config.quantum_s,
+                                    ctx.now)
+            ctx.compiled = compiler.compile(ctx.exprs,
+                                            preemptible=preemptible)
         ctx.telemetry.milp_variables = ctx.compiled.stats["variables"]
         ctx.telemetry.milp_constraints = ctx.compiled.stats["constraints"]
 
@@ -239,7 +254,18 @@ class Audit:
     name = StageName.AUDIT
 
     def run(self, ctx: "CycleContext") -> None:
-        from repro.verify import audit_cycle, certify_gap, check_certificate
+        from repro.verify import (AuditViolation, audit_cycle, certify_gap,
+                                  check_certificate)
+        from repro.verify.audit import check_ledger_orphans
+
+        # Ledger-registry consistency first: a cancellation that finished a
+        # running job on the cluster ledger must have dropped it from the
+        # launch registry in the same drain — an orphan here means a
+        # lifecycle transition (cancel racing the solve) touched one side.
+        orphans = check_ledger_orphans(ctx.scheduler.state,
+                                       ctx.scheduler._launched)
+        if orphans:
+            raise AuditViolation(orphans)
 
         compiled, res = ctx.compiled, ctx.solution
         if compiled is None or res is None:

@@ -1,0 +1,28 @@
+"""Long-lived asynchronous scheduler service (paper Sec. 3.3 deployment).
+
+The paper's TetriSched runs as a standing daemon beside YARN: jobs arrive
+continuously, scheduling cycles fire on a timer, and cluster events stream
+in between solves.  This package provides that deployment shape for the
+repo's scheduler core:
+
+* :class:`~repro.service.service.SchedulerService` — thread-safe job
+  lifecycle registry + cycle driver around a
+  :class:`~repro.core.scheduler.TetriSched`;
+* :mod:`repro.service.http` — stdlib-asyncio HTTP/JSON API
+  (``python -m repro serve``);
+* :class:`~repro.service.clock.Clock` / ``FakeClock`` — injectable time,
+  so timer behavior is deterministic under test.
+
+The simulator remains just one client (see
+:class:`repro.sim.adapters.ServiceAdapter`).
+"""
+
+from repro.service.clock import Clock, FakeClock
+from repro.service.http import ServiceServer, serve
+from repro.service.service import (CANCELLED, COMPLETED, CULLED, PENDING,
+                                   RUNNING, JobRecord, SchedulerService,
+                                   run_cycle_loop)
+
+__all__ = ["CANCELLED", "COMPLETED", "CULLED", "Clock", "FakeClock",
+           "JobRecord", "PENDING", "RUNNING", "SchedulerService",
+           "ServiceServer", "run_cycle_loop", "serve"]

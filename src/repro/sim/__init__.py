@@ -1,6 +1,7 @@
 """Discrete-event cluster simulator (replaces the paper's physical testbed)."""
 
-from repro.sim.adapters import TetriSchedAdapter
+from repro.sim.adapters import (ServiceAdapter, TetriSchedAdapter,
+                                request_from_job)
 from repro.sim.engine import Simulation, SimulationResult
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.faults import FaultDecision, FaultModel
@@ -14,6 +15,7 @@ __all__ = [
     "ClusterScheduler", "CycleDecisions", "Event", "EventKind", "EventQueue",
     "ElasticType", "ExecutionTrace", "FaultDecision", "FaultModel",
     "GpuType", "Job", "JobOutcome", "LatencyTrace", "MetricsCollector",
-    "MetricsReport", "MpiType", "Simulation", "SimulationResult",
-    "TetriSchedAdapter", "TraceEvent", "UnconstrainedType",
+    "MetricsReport", "MpiType", "ServiceAdapter", "Simulation",
+    "SimulationResult", "TetriSchedAdapter", "TraceEvent",
+    "UnconstrainedType", "request_from_job",
 ]

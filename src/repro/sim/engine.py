@@ -284,6 +284,16 @@ class Simulation:
                              1.0 if stats.warm_start_hit else 0.0)
             profile.bump("scheduler.components", stats.components)
             profile.bump("solver.milp_nonzeros", stats.milp_nonzeros)
+            profile.bump("solver.cache.hits", stats.cache_hits)
+            profile.bump("solver.cache.warm_hits", stats.cache_warm_hits)
+            profile.bump("solver.cache.evictions", stats.cache_evictions)
+            profile.bump("scheduler.cancelled", stats.cancelled)
+            profile.bump("scheduler.delta.jobs_dirty", stats.jobs_dirty)
+            profile.bump("scheduler.delta.jobs_clean", stats.jobs_clean)
+            profile.bump("scheduler.delta.rows_patched", stats.rows_patched)
+            profile.bump("scheduler.delta.cols_patched", stats.cols_patched)
+            profile.bump("scheduler.delta.full_rebuilds",
+                         1.0 if stats.delta_full_rebuild else 0.0)
             for stage, seconds in stats.stage_timings.items():
                 profile.bump(f"scheduler.stage_s.{stage}", seconds)
         profile.bump("scheduler.launched", len(decisions.allocations))

@@ -242,7 +242,9 @@ def _gather_results(decomp: Decomposition, backend,
     workers = opts.get("workers", 0) or 0
 
     results: list[MILPResult | None] = [None] * decomp.num_components
-    cache_stats = {"cache_hits": 0, "cache_warm_hits": 0}
+    cache_stats = {"cache_hits": 0, "cache_warm_hits": 0,
+                   "cache_evictions": 0}
+    evictions_before = cache.stats.evictions if cache is not None else 0
     pending: list[tuple[int, Model, np.ndarray | None]] = []
     fingerprints: dict[int, object] = {}
     for i, comp in enumerate(decomp.components):
@@ -293,6 +295,10 @@ def _gather_results(decomp: Decomposition, backend,
             if results[i] is not None:
                 cache.store(decomp.components[i].model, results[i],
                             fingerprint=fingerprints.get(i))
+        # LRU pressure during *this* solve (the cache outlives cycles, so
+        # the cumulative counter alone cannot be attributed to a cycle).
+        cache_stats["cache_evictions"] = (cache.stats.evictions
+                                          - evictions_before)
     return results, cache_stats
 
 

@@ -149,6 +149,19 @@ class SparseMatrix:
                             indptr.astype(np.int64),
                             self.indices[mask], self.data[mask])
 
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Row activities ``A @ x`` without densifying (``O(nonzeros)``).
+
+        Empty rows (possible: constant constraints keep a row with no
+        stored coefficients) contribute an activity of exactly 0.0.
+        """
+        rows = self.shape[0]
+        if self.nnz == 0:
+            return np.zeros(rows)
+        prod = self.data * x[self.indices]
+        row_ids = np.repeat(np.arange(rows), np.diff(self.indptr))
+        return np.bincount(row_ids, weights=prod, minlength=rows)
+
 
 def _rows_to_csr(rows: list[tuple[dict, float]], n: int,
                  scale: list[float]) -> tuple[SparseMatrix, np.ndarray]:
@@ -285,6 +298,37 @@ class Model:
         self._sparse_cache = None
         return con
 
+    def adopt_variables(self, variables: list[Variable]) -> None:
+        """Append pre-built :class:`Variable` objects (delta assembly).
+
+        The variables must already carry the dense indices they will occupy
+        (``len(self.variables)``, ``+1``, ...) — the cross-cycle assembler
+        materializes whole job fragments at a column offset and hands the
+        finished objects over, skipping per-variable construction.
+        """
+        base = len(self.variables)
+        for k, var in enumerate(variables):
+            if var.index != base + k:
+                raise ModelError(
+                    f"adopted variable {var.name!r} carries index "
+                    f"{var.index}, expected {base + k}")
+            if var.name in self._names:
+                raise ModelError(f"duplicate variable name {var.name!r}")
+            self._names.add(var.name)
+        self.variables.extend(variables)
+        self._sparse_cache = None
+
+    def adopt_constraints(self, constraints: list[Constraint]) -> None:
+        """Append pre-normalized :class:`Constraint` objects (delta assembly).
+
+        Bypasses :meth:`add_constraint`'s expression normalization; callers
+        guarantee each constraint's ``expr.constant`` is 0 and its sense is
+        valid, which holds for anything that came out of a compiled fragment
+        or was built directly in normalized form.
+        """
+        self.constraints.extend(constraints)
+        self._sparse_cache = None
+
     # -- objective -----------------------------------------------------------
     def set_objective(self, expr: ExprLike, sense: str = MAXIMIZE) -> None:
         if sense not in (MAXIMIZE, MINIMIZE):
@@ -345,6 +389,27 @@ class Model:
             lb=lb, ub=ub, integrality=integrality)
         return self._sparse_cache
 
+    def install_sparse_arrays(self, arrays: SparseArrays) -> None:
+        """Install an externally assembled CSR export as the cached one.
+
+        The cross-cycle delta assembler builds the export by offsetting and
+        concatenating per-fragment CSR blocks — ``O(nonzeros)`` in numpy
+        instead of re-walking every constraint dict.  The arrays must
+        describe this model exactly (``delta_mode=verify`` recomputes the
+        canonical export and asserts bit-equality); only cheap shape checks
+        run here.
+        """
+        rows = arrays.a_ub.shape[0] + arrays.a_eq.shape[0]
+        if arrays.c.shape[0] != self.num_variables:
+            raise ModelError(
+                f"installed arrays cover {arrays.c.shape[0]} columns, "
+                f"model has {self.num_variables}")
+        if rows != self.num_constraints:
+            raise ModelError(
+                f"installed arrays cover {rows} rows, "
+                f"model has {self.num_constraints} constraints")
+        self._sparse_cache = arrays
+
     def to_standard_arrays(self) -> StandardArrays:
         """Export dense arrays in minimization orientation.
 
@@ -392,7 +457,29 @@ class Model:
 
     # -- diagnostics -------------------------------------------------------------
     def check_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
-        """True if ``x`` satisfies all constraints, bounds and integrality."""
+        """True if ``x`` satisfies all constraints, bounds and integrality.
+
+        When the sparse export is already cached (the common case inside a
+        scheduling cycle: ModelBuild forces it before the warm-start check),
+        the test is fully vectorized — two masked comparisons over the bound
+        arrays and one :meth:`SparseMatrix.matvec` per constraint block —
+        instead of a Python loop over every variable and constraint.
+        """
+        sa = self._sparse_cache
+        if sa is not None:
+            xv = np.asarray(x, dtype=float)
+            lb_ok = np.all(xv >= sa.lb - tol)
+            ub_ok = np.all(xv <= sa.ub + tol)
+            if not (lb_ok and ub_ok):
+                return False
+            xi = xv[sa.integrality]
+            if xi.size and np.max(np.abs(xi - np.round(xi))) > tol:
+                return False
+            # GE rows are negated into LE in the export, so one-sided and
+            # two-sided checks below cover all three senses.
+            if np.any(sa.a_ub.matvec(xv) > sa.b_ub + tol):
+                return False
+            return not np.any(np.abs(sa.a_eq.matvec(xv) - sa.b_eq) > tol)
         for v in self.variables:
             if v.lb is not None and x[v.index] < v.lb - tol:
                 return False

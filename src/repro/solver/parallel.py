@@ -84,7 +84,18 @@ def component_fingerprint(model: Model) -> ComponentFingerprint:
     backends consume anyway, so fingerprinting a component that is about
     to be solved costs one hash pass over arrays that already exist.
     """
-    sa = model.to_sparse_arrays()
+    return fingerprint_arrays(model.to_sparse_arrays())
+
+
+def fingerprint_arrays(sa) -> ComponentFingerprint:
+    """Fingerprint a :class:`~repro.solver.model.SparseArrays` export.
+
+    The machinery behind :func:`component_fingerprint`, exposed separately
+    so the cross-cycle delta compiler can fingerprint per-job fragments
+    (which keep their local CSR export but no scratch model) and diff them
+    against the previous cycle — the same identity notion the component
+    cache uses for replay, applied one level earlier in the pipeline.
+    """
     structural_parts = [
         repr((sa.a_ub.shape, sa.a_eq.shape)).encode(),
         sa.a_ub.indptr.tobytes(), sa.a_ub.indices.tobytes(),
@@ -393,6 +404,6 @@ atexit.register(shutdown_pools)
 __all__ = [
     "CacheHit", "CacheStats", "ComponentCache", "ComponentFingerprint",
     "MIN_COMPONENT_BUDGET_S", "WorkerPool", "best_warm_start",
-    "carve_time_budgets", "component_fingerprint", "get_pool",
-    "shutdown_pools",
+    "carve_time_budgets", "component_fingerprint", "fingerprint_arrays",
+    "get_pool", "shutdown_pools",
 ]

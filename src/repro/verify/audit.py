@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -443,4 +443,29 @@ def audit_cycle(state: "ClusterState", compiled: "CompiledBatch",
         objective_recomputed=total_value, preempted=preempted)
 
 
-__all__ = ["AuditReport", "AuditViolation", "Violation", "audit_cycle"]
+def check_ledger_orphans(state: "ClusterState",
+                         launched: Mapping[str, object]
+                         ) -> tuple[Violation, ...]:
+    """Check the allocation ledger against the scheduler's launch registry.
+
+    Every running allocation must belong to a job the scheduler launched
+    (and has not yet seen finish or cancel).  An orphan means a lifecycle
+    transition touched one side only — the classic stale-state hazard of
+    cancellation racing a scheduling cycle: the job's nodes would stay
+    held forever while the scheduler forgot the job exists.
+    """
+    violations: list[Violation] = []
+    for alloc in state.running_jobs:
+        if alloc.job_id not in launched:
+            violations.append(Violation(
+                "audit.ledger-orphan",
+                f"job {alloc.job_id!r} holds {len(alloc.nodes)} node(s) on "
+                f"the cluster ledger but is unknown to the scheduler's "
+                f"launch registry",
+                context={"job_id": alloc.job_id,
+                         "nodes": sorted(alloc.nodes)}))
+    return tuple(violations)
+
+
+__all__ = ["AuditReport", "AuditViolation", "Violation", "audit_cycle",
+           "check_ledger_orphans"]

@@ -136,6 +136,38 @@ def _configurations(compiled=None):
         yield "scipy-decomposed", scipy_decomposed
 
 
+def _check_delta_equivalence(state, exprs, quantum_s: float) -> None:
+    """Delta-compilation legs: every cached-fragment path must reproduce
+    the from-scratch model bit-for-bit (``verify=True`` raises
+    :class:`~repro.core.delta.DeltaDivergence` otherwise).
+
+    Covers the cross-cycle cache's distinct paths on this instance: the
+    first-cycle full rebuild, an all-clean replay, a removal followed by a
+    re-add (which may change the partitioning signature and must fall back
+    to a full rebuild), and a dirty recompile of a mutated expression.
+    """
+    from repro.core.delta import DeltaCompiler, DeltaDivergence
+    from repro.strl.ast import Scale
+
+    dc = DeltaCompiler(state, quantum_s)
+    try:
+        dc.compile_cycle(exprs, verify=True)
+        _, replay = dc.compile_cycle(exprs, verify=True)
+        if replay.jobs_clean != len(exprs):
+            raise DifferentialFailure(
+                f"delta replay recompiled {replay.jobs_dirty} fragment(s) "
+                f"of an unchanged batch")
+        if len(exprs) > 1:
+            dc.compile_cycle(exprs[:-1], verify=True)
+            dc.compile_cycle(exprs, verify=True)
+        mutated = [(job_id, Scale(expr, 2.0)) if i == 0 else (job_id, expr)
+                   for i, (job_id, expr) in enumerate(exprs)]
+        dc.compile_cycle(mutated, verify=True)
+    except DeltaDivergence as exc:
+        raise DifferentialFailure(f"delta compilation diverged: {exc}") \
+            from exc
+
+
 def check_instance(spec: FuzzInstance) -> dict:
     """Run one instance through every configuration and both oracles.
 
@@ -146,6 +178,7 @@ def check_instance(spec: FuzzInstance) -> dict:
     state, exprs, compiled = build_instance(spec)
     if compiled is None:
         return {"trivial": True}
+    _check_delta_equivalence(state, exprs, spec.quantum_s)
     objectives: dict[str, float] = {}
     reference: float | None = None
     for name, solve_fn in _configurations(compiled):

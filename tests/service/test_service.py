@@ -1,0 +1,237 @@
+"""Scheduler-service core: lifecycle registry, fake-clock timer, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import TetriSchedConfig
+from repro.errors import ServiceError
+from repro.service import (CANCELLED, COMPLETED, CULLED, PENDING, RUNNING,
+                           FakeClock, SchedulerService, run_cycle_loop)
+
+
+def build(clock=None, **kw):
+    cluster = Cluster.build(racks=2, nodes_per_rack=2, gpu_racks=1)
+    defaults = dict(quantum_s=10.0, cycle_s=10.0, plan_ahead_s=40.0,
+                    backend="pure", rel_gap=1e-6, delta_mode="verify")
+    defaults.update(kw)
+    return SchedulerService(cluster, TetriSchedConfig(**defaults),
+                            clock=clock or FakeClock())
+
+
+SPEC = {"options": [{"k": 1, "duration_s": 20}],
+        "value": 1000.0, "deadline": 500.0}
+
+
+class TestSubmit:
+    def test_submit_spec_lifecycle(self):
+        svc = build()
+        rec = svc.submit_spec(dict(SPEC, job_id="a"))
+        assert rec.state == PENDING
+        result = svc.run_one_cycle()
+        assert [a.job_id for a in result.allocations] == ["a"]
+        assert svc.job("a").state == RUNNING
+        assert svc.job("a").nodes
+
+    def test_generated_ids_are_unique(self):
+        svc = build()
+        ids = {svc.submit_spec(dict(SPEC)).job_id for _ in range(3)}
+        assert len(ids) == 3
+
+    def test_duplicate_id_rejected(self):
+        svc = build()
+        svc.submit_spec(dict(SPEC, job_id="a"))
+        with pytest.raises(ServiceError):
+            svc.submit_spec(dict(SPEC, job_id="a"))
+
+    @pytest.mark.parametrize("bad", [
+        {"options": []},
+        {"options": [{"duration_s": 5}], "deadline": 50},
+        {"options": [{"k": 1, "duration_s": 5}]},  # SLO without deadline
+        {"options": [{"k": 1, "duration_s": 5}], "deadline": 50,
+         "priority": "urgent"},
+        {"options": [{"k": 1, "duration_s": 5, "nodes": ["mars"]}],
+         "deadline": 50},
+        {"options": [{"k": 1, "duration_s": 5, "attr": "quantum"}],
+         "deadline": 50},
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ServiceError):
+            build().submit_spec(bad)
+
+    def test_best_effort_needs_no_deadline(self):
+        svc = build()
+        rec = svc.submit_spec({"priority": "best_effort",
+                               "options": [{"k": 1, "duration_s": 20}]})
+        assert rec.state == PENDING
+
+    def test_attr_option_restricts_nodes(self):
+        svc = build()
+        gpu = svc.cluster.nodes_with_attr("gpu")
+        rec = svc.submit_spec({"options": [{"k": 1, "duration_s": 20,
+                                            "attr": "gpu"}],
+                               "deadline": 500.0})
+        assert rec.request.options[0].nodes == gpu
+
+
+class TestLifecycle:
+    def test_auto_complete_frees_nodes(self):
+        clock = FakeClock()
+        svc = build(clock)
+        svc.submit_spec(dict(SPEC, job_id="a"))
+        svc.run_one_cycle()
+        assert svc.job("a").state == RUNNING
+        clock.advance(30.0)
+        svc.run_one_cycle()
+        assert svc.job("a").state == COMPLETED
+        assert svc.scheduler.state.utilization() == 0.0
+
+    def test_manual_complete(self):
+        clock = FakeClock()
+        cluster = Cluster.build(racks=1, nodes_per_rack=2)
+        svc = SchedulerService(
+            cluster, TetriSchedConfig(quantum_s=10.0, backend="pure",
+                                      plan_ahead_s=40.0, rel_gap=1e-6),
+            clock=clock, auto_complete=False)
+        svc.submit_spec(dict(SPEC, job_id="a"))
+        svc.run_one_cycle()
+        clock.advance(100.0)
+        svc.run_one_cycle()  # auto_complete off: still running
+        assert svc.job("a").state == RUNNING
+        svc.complete("a")
+        assert svc.job("a").state == COMPLETED
+        with pytest.raises(ServiceError):
+            svc.complete("a")
+
+    def test_cancel_pending_and_running(self):
+        clock = FakeClock()
+        svc = build(clock)
+        svc.submit_spec(dict(SPEC, job_id="a"))
+        svc.submit_spec(dict(SPEC, job_id="b"))
+        assert svc.cancel("a").state == CANCELLED  # drained inline
+        svc.run_one_cycle()
+        assert svc.job("b").state == RUNNING
+        svc.cancel("b")
+        assert svc.job("b").state == CANCELLED
+        assert not svc.scheduler.state.is_running("b")
+
+    def test_cancel_terminal_job_is_noop(self):
+        clock = FakeClock()
+        svc = build(clock)
+        svc.submit_spec(dict(SPEC, job_id="a"))
+        svc.run_one_cycle()
+        clock.advance(30.0)
+        svc.run_one_cycle()
+        assert svc.job("a").state == COMPLETED
+        assert svc.cancel("a").state == COMPLETED
+
+    def test_culled_job_marked(self):
+        clock = FakeClock()
+        svc = build(clock)
+        # Deadline already unmeetable: culled in the generation stage.
+        svc.submit_spec({"options": [{"k": 1, "duration_s": 100}],
+                         "deadline": 5.0, "job_id": "late"})
+        svc.run_one_cycle()
+        assert svc.job("late").state == CULLED
+
+    def test_cluster_events(self):
+        svc = build()
+        node = sorted(svc.cluster.node_names)[0]
+        out = svc.cluster_event("remove", node)
+        assert out["drained"] == [node]
+        assert node in svc.status()["drained_nodes"]
+        svc.cluster_event("add", node)
+        assert svc.status()["drained_nodes"] == []
+        with pytest.raises(ServiceError):
+            svc.cluster_event("explode", node)
+
+    def test_status_reports_delta(self):
+        svc = build()
+        svc.submit_spec(dict(SPEC, job_id="a"))
+        svc.run_one_cycle()
+        status = svc.status()
+        assert status["delta_mode"] == "verify"
+        assert status["delta"]["cycles"] == 1
+        assert status["cycles_run"] == 1
+
+
+class TestDrain:
+    def test_drain_rejects_new_work_and_persists(self, tmp_path):
+        clock = FakeClock()
+        cluster = Cluster.build(racks=2, nodes_per_rack=2, gpu_racks=1)
+        svc = SchedulerService(
+            cluster,
+            TetriSchedConfig(quantum_s=10.0, backend="pure",
+                             plan_ahead_s=40.0, rel_gap=1e-6,
+                             delta_mode="verify"),
+            clock=clock, stats_path=tmp_path / "final.json")
+        svc.submit_spec(dict(SPEC, job_id="a"))
+        svc.run_one_cycle()
+        final = svc.drain()
+        assert final["clean"] is True
+        assert (tmp_path / "final.json").exists()
+        with pytest.raises(ServiceError):
+            svc.submit_spec(dict(SPEC, job_id="b"))
+        # Idempotent: a second drain returns the same record.
+        assert svc.drain() is final
+
+
+class TestTimerLoop:
+    def test_cycles_fire_on_fake_clock(self):
+        async def main():
+            clock = FakeClock()
+            svc = build(clock)
+            svc.submit_spec(dict(SPEC, job_id="a"))
+            stop = asyncio.Event()
+            task = asyncio.create_task(run_cycle_loop(svc, stop))
+            for expected in (1, 2, 3):
+                # Let the loop park on clock.sleep, then release it.
+                while clock.sleepers == 0:
+                    await asyncio.sleep(0.005)
+                clock.advance(10.0)
+                while svc._cycles_run < expected:
+                    await asyncio.sleep(0.005)
+            stop.set()
+            assert await task == 3
+            assert svc.job("a").state in (RUNNING, COMPLETED)
+        asyncio.run(main())
+
+    def test_stop_wakes_immediately(self):
+        async def main():
+            clock = FakeClock()
+            svc = build(clock)
+            stop = asyncio.Event()
+            task = asyncio.create_task(run_cycle_loop(svc, stop))
+            while clock.sleepers == 0:
+                await asyncio.sleep(0.005)
+            stop.set()  # no clock.advance needed
+            assert await asyncio.wait_for(task, timeout=5.0) == 0
+        asyncio.run(main())
+
+
+class TestFakeClock:
+    def test_advance_releases_in_deadline_order(self):
+        async def main():
+            clock = FakeClock()
+            order = []
+
+            async def sleeper(tag, dt):
+                await clock.sleep(dt)
+                order.append(tag)
+
+            tasks = [asyncio.create_task(sleeper("b", 20.0)),
+                     asyncio.create_task(sleeper("a", 10.0))]
+            await asyncio.sleep(0)
+            assert clock.sleepers == 2
+            clock.advance(15.0)
+            await asyncio.sleep(0)
+            assert order == ["a"]
+            clock.advance(10.0)
+            await asyncio.gather(*tasks)
+            assert order == ["a", "b"]
+        asyncio.run(main())
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)

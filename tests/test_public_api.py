@@ -31,7 +31,7 @@ DOCTEST_MODULES = [
 PACKAGES = [
     "repro", "repro.solver", "repro.strl", "repro.cluster", "repro.core",
     "repro.pipeline", "repro.reservation", "repro.baselines", "repro.sim",
-    "repro.workloads", "repro.experiments", "repro.verify",
+    "repro.workloads", "repro.experiments", "repro.verify", "repro.service",
 ]
 
 #: The locked top-level contract: exactly what ``from repro import *``
@@ -43,6 +43,10 @@ TOP_LEVEL_API = {
     # scheduler core
     "Allocation", "JobRequest", "PriorityClass", "StrlCompiler",
     "TetriSched", "TetriSchedConfig",
+    # cross-cycle delta compilation
+    "CycleDelta", "DeltaDivergence",
+    # long-lived scheduler service
+    "SchedulerService", "ServiceAdapter", "ServiceServer",
     # cycle pipeline
     "CyclePipeline", "StageName", "global_pipeline", "greedy_pipeline",
     # solver surface
