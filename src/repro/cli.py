@@ -159,6 +159,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for the parallel mode")
     p_bench.add_argument("--out", default="results/BENCH_cycle.json",
                          help="JSON report output path")
+    p_bench.add_argument("--shard-sizes", default=None,
+                         help="comma-separated cluster sizes for the "
+                              "sharded trace-replay bench (e.g. 256 or "
+                              "256,512,1024); adds a 'shard' section with "
+                              "per-size speedup/quality verdicts and the "
+                              "shard_count=1 bit-equality check")
+    p_bench.add_argument("--shard-cycles", type=int, default=3,
+                         help="cycles per sharded trace replay")
+    p_bench.add_argument("--shard-time-limit", type=float, default=2.0,
+                         help="per-solve time limit (seconds) for the "
+                              "monolithic baseline and the domain solves")
 
     p_serve = sub.add_parser(
         "serve",
@@ -177,6 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--delta-mode", default="on",
                          choices=["off", "on", "verify"],
                          help="cross-cycle delta compilation mode")
+    p_serve.add_argument("--shard-mode", default="off",
+                         choices=["off", "racks", "auto"],
+                         help="sharded multi-domain scheduling mode")
+    p_serve.add_argument("--shard-count", type=int, default=0,
+                         help="scheduling domains (0 = one per 4 racks)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="RNG seed (domain tie-breaks, dispatch order)")
     p_serve.add_argument("--stats", default=None,
                          help="write final drain stats JSON here")
     p_serve.add_argument("--smoke", action="store_true",
@@ -313,17 +331,26 @@ def _cmd_profile(args) -> int:
 def _cmd_bench_cycle(args) -> int:
     import json
 
-    from repro.experiments.bench import bench_cycle, format_bench
+    from repro.experiments.bench import (bench_cycle, bench_shard,
+                                         format_bench, format_bench_shard)
     report = bench_cycle(
         backend=args.backend, plan_ahead_s=args.plan_ahead, racks=args.racks,
         nodes_per_rack=args.nodes_per_rack, jobs_per_rack=args.jobs_per_rack,
         cycles=args.cycles, quantum_s=args.quantum, seed=args.seed,
         workers=args.workers)
+    if args.shard_sizes:
+        sizes = tuple(int(s) for s in args.shard_sizes.split(","))
+        report["shard"] = bench_shard(
+            sizes=sizes, backend=args.backend, seed=args.seed,
+            workers=args.workers, cycles=args.shard_cycles,
+            time_limit=args.shard_time_limit)
     out = pathlib.Path(args.out)
     if out.parent != pathlib.Path():
         out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(format_bench(report))
+    if "shard" in report:
+        print(format_bench_shard(report["shard"]))
     print(f"[report -> {out}]")
     if not report["objective_match"]:
         print("FAIL: pipeline configurations disagree on the objective",
@@ -341,6 +368,21 @@ def _cmd_bench_cycle(args) -> int:
         print(f"WARN: delta compile+build speedup "
               f"{delta.get('speedup_compile_build', 0.0):.2f}x below the "
               f"3x target", file=sys.stderr)
+    shard = report.get("shard")
+    if shard is not None:
+        # Correctness verdicts hard-fail; the >=2x speedup is wall-clock
+        # and only warns (same policy as the delta speedup above).
+        if not shard["shard1_bit_equal"]:
+            print("FAIL: sharded pipeline at shard_count=1 diverged from "
+                  "the monolithic schedule", file=sys.stderr)
+            return 1
+        if not all(e["quality_ok"] for e in shard["sizes"]):
+            print("FAIL: sharded objective fell below the declared "
+                  "quality bound", file=sys.stderr)
+            return 1
+        if not all(e["speedup_ok"] for e in shard["sizes"]):
+            print("WARN: sharded cycle-time speedup below the 2x target",
+                  file=sys.stderr)
     return 0
 
 
@@ -455,7 +497,8 @@ def _cmd_serve(args) -> int:
     cfg = TetriSchedConfig(
         quantum_s=args.quantum, cycle_s=args.cycle or args.quantum,
         plan_ahead_s=args.plan_ahead, backend=args.backend,
-        delta_mode=args.delta_mode)
+        delta_mode=args.delta_mode, shard_mode=args.shard_mode,
+        shard_count=args.shard_count, seed=args.seed)
     stats = pathlib.Path(args.stats) if args.stats else None
     service = SchedulerService(cluster, cfg, stats_path=stats)
     if args.smoke:

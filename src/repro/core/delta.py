@@ -238,6 +238,78 @@ class DeltaCompiler:
         assert_installed_export(compiled.model)
 
 
+def merge_cycle_deltas(deltas: "list[CycleDelta]") -> CycleDelta:
+    """Fold per-domain :class:`CycleDelta` records into one cycle record.
+
+    Job sets are concatenated (domains are job-disjoint, so no
+    double-counting); ``full_rebuild`` is true when *any* domain rebuilt
+    (with the reasons joined) — the cycle-stats flag answers "did this
+    cycle pay a rebuild anywhere", not "everywhere".
+    """
+    if not deltas:
+        return CycleDelta()
+    reasons = sorted({d.reason for d in deltas if d.reason})
+    return CycleDelta(
+        added=tuple(j for d in deltas for j in d.added),
+        removed=tuple(j for d in deltas for j in d.removed),
+        dirty=tuple(j for d in deltas for j in d.dirty),
+        clean=tuple(j for d in deltas for j in d.clean),
+        full_rebuild=any(d.full_rebuild for d in deltas),
+        reason="; ".join(reasons),
+        rows_patched=sum(d.rows_patched for d in deltas),
+        cols_patched=sum(d.cols_patched for d in deltas))
+
+
+class DomainDeltaStores:
+    """Per-domain :class:`DeltaCompiler` stores for the sharded pipeline.
+
+    Sharding splits the cycle into per-domain batches; a single fragment
+    store would see every domain's partitioning signature interleaved and
+    full-rebuild on every compile.  One store per domain keeps each
+    domain's signature (and fragments) stable across cycles — the sticky
+    job->domain assignment is what makes the stores stay warm.  Stores
+    are created lazily on a domain's first non-empty batch (a domain
+    emptied by drain simply stops being compiled; its store keeps its
+    fragments for when jobs come back).
+    """
+
+    def __init__(self, state: ClusterState, quantum_s: float) -> None:
+        self.state = state
+        self.quantum_s = quantum_s
+        self._stores: dict[int, DeltaCompiler] = {}
+
+    def store(self, domain_id: int) -> DeltaCompiler:
+        """The (lazily created) fragment store of one domain."""
+        compiler = self._stores.get(domain_id)
+        if compiler is None:
+            compiler = DeltaCompiler(self.state, self.quantum_s)
+            self._stores[domain_id] = compiler
+        return compiler
+
+    def compile_domain(self, domain_id: int,
+                       batch: list[tuple[str, StrlNode]],
+                       now: float = 0.0, verify: bool = False
+                       ) -> tuple[CompiledBatch, CycleDelta]:
+        """Delta-compile one domain's batch through its own store."""
+        return self.store(domain_id).compile_cycle(batch, now=now,
+                                                   verify=verify)
+
+    def invalidate_all(self) -> None:
+        """Drop every domain's cached fragments (next cycles rebuild)."""
+        for compiler in self._stores.values():
+            compiler.invalidate()
+
+    def aggregate_stats(self) -> DeltaStats:
+        """Summed fragment-cache accounting across all domain stores."""
+        total = DeltaStats()
+        for compiler in self._stores.values():
+            total.cycles = max(total.cycles, compiler.stats.cycles)
+            total.full_rebuilds += compiler.stats.full_rebuilds
+            total.fragments_compiled += compiler.stats.fragments_compiled
+            total.fragments_reused += compiler.stats.fragments_reused
+        return total
+
+
 def _fresh_export(model: Model):
     """The canonical CSR export, computed from scratch (cache bypassed)."""
     installed = model._sparse_cache
@@ -332,5 +404,6 @@ def assert_installed_export(model: Model) -> None:
 
 __all__ = [
     "CycleDelta", "DELTA_MODES", "DeltaCompiler", "DeltaDivergence",
-    "DeltaStats", "assert_installed_export", "assert_models_equal",
+    "DeltaStats", "DomainDeltaStores", "assert_installed_export",
+    "assert_models_equal", "merge_cycle_deltas",
 ]

@@ -34,8 +34,10 @@ The ablation configurations of Table 2 are expressed as config flags:
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,11 +52,15 @@ from repro.errors import SchedulerError
 from repro.pipeline.context import CycleContext
 from repro.pipeline.driver import global_pipeline, greedy_pipeline
 from repro.solver.backend import make_backend
-from repro.solver.options import SolveOptions
+from repro.solver.options import UNSET, SolveOptions, is_set
 from repro.solver.parallel import ComponentCache
 from repro.strl.ast import NCk, StrlNode
 from repro.strl.generator import SpaceOption, generate_job_strl
 from repro.valuefn import ValueFunction
+
+#: Valid values of the mode-style config fields (``config.validate()``).
+SOLVE_MODES = ("exact", "repair", "auto")
+SHARD_MODES = ("off", "racks", "auto")
 
 
 @dataclass(frozen=True)
@@ -155,10 +161,145 @@ class TetriSchedConfig:
     #: ``O(nonzeros)`` pass per cycle; intended for tests, benchmarks,
     #: and fig-scale regression tripwires rather than production runs.
     audit_mode: bool = False
+    #: Sharded multi-domain scheduling (``off`` | ``racks`` | ``auto``).
+    #: With ``racks``, the cluster is partitioned into rack-aligned
+    #: scheduling domains (:mod:`repro.shard`): each cycle assigns jobs to
+    #: domains (affinity-aware, load-balanced, seeded tie-break), compiles
+    #: and solves one MILP per domain concurrently on the worker pool, and
+    #: reconciles cross-domain gangs through a small coupling model over
+    #: the boundary jobs.  ``auto`` enables sharding once the cluster is
+    #: large enough for one monolithic model to stop scaling (>= 64
+    #: nodes).  Requires ``global_scheduling`` and (for now) no
+    #: preemption — ``validate()`` rejects the incoherent combinations.
+    shard_mode: str = "off"
+    #: Number of scheduling domains (``shard_mode != off``).  ``0`` picks
+    #: a default of about four racks per domain; ``1`` degenerates to a
+    #: single whole-cluster domain whose cycle is bit-equal to the
+    #: monolithic pipeline.
+    shard_count: int = 0
+    #: The single RNG seed for everything stochastic under this config:
+    #: domain-assignment tie-breaks, the worker-pool dispatch order of the
+    #: sharded solve, and the workload generators driven by the
+    #: experiment runner and benches.  One seed, bit-reproducible runs.
+    seed: int = 0
 
     @property
     def plan_ahead_quanta(self) -> int:
         return int(round(self.plan_ahead_s / self.quantum_s))
+
+    # -- SolveOptions-style UNSET layering ---------------------------------
+    @classmethod
+    def partial(cls, **overrides) -> "TetriSchedConfig":
+        """A layer: only the named fields are set, the rest are ``UNSET``.
+
+        Mirrors :class:`~repro.solver.options.SolveOptions` layering — a
+        partial config documents exactly what it overrides and inherits
+        everything else from the layer below via :meth:`merged_into`::
+
+            >>> patch = TetriSchedConfig.partial(shard_mode="racks")
+            >>> patch.merged_into(TetriSchedConfig(quantum_s=2)).shard_mode
+            'racks'
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(overrides) - names
+        if unknown:
+            raise SchedulerError(
+                f"unknown config field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(names)}")
+        blank = {name: UNSET for name in names}
+        blank.update(overrides)
+        return cls(**blank)
+
+    def merged_into(self, base: "TetriSchedConfig") -> "TetriSchedConfig":
+        """This layer's set fields over ``base`` (UNSET fields inherit)."""
+        merged = {}
+        for f in dataclasses.fields(self):
+            mine = getattr(self, f.name)
+            merged[f.name] = mine if is_set(mine) else getattr(base, f.name)
+        return TetriSchedConfig(**merged)
+
+    def is_resolved(self) -> bool:
+        """Whether every field carries a concrete value (no UNSET left)."""
+        return all(is_set(getattr(self, f.name))
+                   for f in dataclasses.fields(self))
+
+    def validate(self) -> "TetriSchedConfig":
+        """Reject incoherent configurations up front, not mid-cycle.
+
+        Raises :class:`~repro.errors.SchedulerError` naming every field
+        involved.  Returns ``self`` so callers can chain.  Requires a
+        resolved config (merge partial layers first — see
+        :func:`resolve_config`).
+        """
+        def fail(msg: str) -> None:
+            raise SchedulerError(f"invalid TetriSchedConfig: {msg}")
+
+        if not self.is_resolved():
+            fail("unresolved (UNSET) fields remain; merge layers via "
+                 "merged_into()/resolve_config() before use")
+        if self.quantum_s <= 0:
+            fail(f"quantum_s must be positive, got {self.quantum_s!r}")
+        if self.cycle_s <= 0:
+            fail(f"cycle_s must be positive, got {self.cycle_s!r}")
+        if self.plan_ahead_s < 0:
+            fail(f"plan_ahead_s must be >= 0, got {self.plan_ahead_s!r}")
+        if self.delta_mode not in ("off", "on", "verify"):
+            fail(f"delta_mode must be 'off', 'on' or 'verify', "
+                 f"got {self.delta_mode!r}")
+        if self.solve_mode not in SOLVE_MODES:
+            fail(f"solve_mode must be one of {SOLVE_MODES}, "
+                 f"got {self.solve_mode!r}")
+        if self.shard_mode not in SHARD_MODES:
+            fail(f"shard_mode must be one of {SHARD_MODES}, "
+                 f"got {self.shard_mode!r}")
+        if self.shard_count < 0:
+            fail(f"shard_count must be >= 0, got {self.shard_count!r}")
+        if self.shard_mode == "off" and self.shard_count > 0:
+            fail("shard_count is set but shard_mode='off' — either enable "
+                 "sharding (shard_mode='racks'|'auto') or drop shard_count")
+        if self.shard_mode != "off" and not self.global_scheduling:
+            fail("shard_mode requires global_scheduling=True: the greedy "
+                 "(-NG) path schedules one job at a time and has no domain "
+                 "MILPs to shard")
+        if self.shard_mode != "off" and not self.heterogeneity_aware:
+            fail("shard_mode requires heterogeneity_aware=True: the -NH "
+                 "ablation flattens every option to one whole-cluster "
+                 "equivalence set, which no single domain can host")
+        if self.shard_mode != "off" and self.enable_preemption:
+            fail("shard_mode with enable_preemption is not supported: "
+                 "preemption candidates span domains and would break "
+                 "domain independence")
+        if self.rel_gap < 0:
+            fail(f"rel_gap must be >= 0, got {self.rel_gap!r}")
+        # repair_gap_threshold < 0 is legal: it forces auto mode to
+        # escalate to exact search every cycle (the bench uses -1.0).
+        if self.solver_workers < 0:
+            fail(f"solver_workers must be >= 0, got {self.solver_workers!r}")
+        return self
+
+
+def default_config() -> TetriSchedConfig:
+    """The base layer every resolved config sits on (documented defaults).
+
+    Constructed fresh per call: the ``backend`` default reads the
+    ``REPRO_BACKEND`` environment variable at construction time, so test
+    matrices that re-point it between schedulers keep working.
+    """
+    return TetriSchedConfig()
+
+
+def resolve_config(config: TetriSchedConfig | None) -> TetriSchedConfig:
+    """Merge a (possibly partial) config over the defaults and validate.
+
+    ``None`` resolves to :func:`default_config`.  A fully-concrete config
+    is validated and returned unchanged (identity-preserving, so callers
+    that keep a reference see the same object the scheduler uses).
+    """
+    if config is None:
+        return default_config()
+    if not config.is_resolved():
+        config = config.merged_into(default_config())
+    return config.validate()
 
 
 @dataclass
@@ -218,6 +359,23 @@ class CycleStats:
     rows_patched: int = 0
     cols_patched: int = 0
     delta_full_rebuild: bool = False
+    #: Sharded-cycle accounting (``shard_mode != off``; zeros otherwise).
+    #: ``shard_domains`` counts domains that compiled a MILP this cycle,
+    #: ``shard_boundary_jobs`` the cross-domain gangs reconciled by the
+    #: coupling model, ``shard_trimmed_jobs`` the jobs whose placement
+    #: options were restricted when pinned to a domain, and
+    #: ``shard_quality_bound`` the declared bound on objective loss vs the
+    #: monolithic optimum (the summed best-case value of the trimmed and
+    #: boundary jobs; zero when no gang crosses a domain — exact parity).
+    shard_domains: int = 0
+    shard_boundary_jobs: int = 0
+    shard_trimmed_jobs: int = 0
+    shard_quality_bound: float = 0.0
+    #: Domains whose MILP timed out and fell back to greedy this cycle.
+    shard_greedy_fallbacks: int = 0
+    #: Per-domain records (``{"domain", "jobs", "objective", "solve_s"}``),
+    #: JSON-serializable for the service's cycle-stats API.
+    domain_stats: list = field(default_factory=list)
     #: Wall-clock seconds per pipeline stage.  Keys are the
     #: :class:`repro.pipeline.stages.StageName` values (plain strings after
     #: JSON round-trips; the str-mixin enum indexes both).
@@ -286,22 +444,38 @@ class CycleResult:
 class TetriSched:
     """The scheduler: queue management + per-cycle global rescheduling.
 
-    Example
-    -------
+    Construct through the :mod:`repro.api` facade — direct construction
+    still works for one release but warns:
+
+    >>> from repro.api import Scheduler
     >>> from repro.cluster import Cluster
     >>> cluster = Cluster.build(racks=1, nodes_per_rack=4)
-    >>> sched = TetriSched(cluster, TetriSchedConfig(quantum_s=10,
-    ...                                              plan_ahead_s=30))
+    >>> api = Scheduler.open(cluster, TetriSchedConfig(quantum_s=10,
+    ...                                                plan_ahead_s=30))
+    >>> sched = api.core   # the underlying TetriSched
     """
 
     def __init__(self, cluster: Cluster,
                  config: TetriSchedConfig | None = None) -> None:
+        warnings.warn(
+            "direct TetriSched(...) construction is deprecated; build "
+            "schedulers through repro.api.Scheduler.open(cluster, config) "
+            "(this shim is kept for one release)",
+            DeprecationWarning, stacklevel=2)
+        self._init(cluster, config)
+
+    @classmethod
+    def _from_api(cls, cluster: Cluster,
+                  config: TetriSchedConfig | None = None) -> "TetriSched":
+        """The facade's constructor (no deprecation shim)."""
+        self = cls.__new__(cls)
+        self._init(cluster, config)
+        return self
+
+    def _init(self, cluster: Cluster,
+              config: TetriSchedConfig | None) -> None:
         self.cluster = cluster
-        self.config = config or TetriSchedConfig()
-        if self.config.delta_mode not in ("off", "on", "verify"):
-            raise SchedulerError(
-                f"delta_mode must be 'off', 'on' or 'verify', "
-                f"got {self.config.delta_mode!r}")
+        self.config = resolve_config(config)
         self.state = ClusterState(cluster.node_names)
         self.queues: PriorityQueues = PriorityQueues()
         self.cycle_history: list[CycleStats] = []
@@ -332,6 +506,23 @@ class TetriSched:
         # (a cancelled job is never ``state.start``-ed), and cycle end — so
         # a cancel can never strand an allocation-ledger entry.
         self._cancelled: set[str] = set()
+        # Sharded multi-domain scheduling (shard_mode racks/auto).  The
+        # coordinator persists across cycles: sticky job->domain
+        # assignments and per-domain delta fragment stores live on it.
+        self._coordinator = None
+        self._sharded_pipeline = None
+        if self.config.shard_mode != "off":
+            from repro.shard import (DomainCoordinator, sharded_pipeline,
+                                     sharding_active)
+            if sharding_active(self.config, cluster):
+                self._coordinator = DomainCoordinator(
+                    cluster, self.state, self.config)
+                self._sharded_pipeline = sharded_pipeline(
+                    audit=self.config.audit_mode)
+                # Delta compilation composes with sharding through the
+                # coordinator's per-domain fragment stores; the monolithic
+                # store would full-rebuild on every interleaved signature.
+                self._delta = None
 
     # -- queue management ----------------------------------------------------
     def submit(self, request: JobRequest) -> None:
@@ -394,8 +585,12 @@ class TetriSched:
         tel = SolveTelemetry()
         ctx = CycleContext(scheduler=self, now=now, result=result,
                            telemetry=tel)
-        pipeline = (self._global_pipeline if self.config.global_scheduling
-                    else self._greedy_pipeline)
+        if self._sharded_pipeline is not None:
+            pipeline = self._sharded_pipeline
+        elif self.config.global_scheduling:
+            pipeline = self._global_pipeline
+        else:
+            pipeline = self._greedy_pipeline
 
         with obs.span("cycle"):
             pipeline.run(ctx)
@@ -444,6 +639,14 @@ class TetriSched:
             cols_patched=delta.cols_patched if delta else 0,
             delta_full_rebuild=bool(delta and delta.full_rebuild),
             stage_timings=dict(ctx.stage_timings))
+        if ctx.shard is not None:
+            sh = ctx.shard
+            stats.shard_domains = len(sh.active_domains())
+            stats.shard_boundary_jobs = len(sh.boundary)
+            stats.shard_trimmed_jobs = len(sh.trimmed)
+            stats.shard_quality_bound = sh.quality_bound
+            stats.shard_greedy_fallbacks = len(sh.fallback_domains)
+            stats.domain_stats = sh.domain_records()
         self.cycle_history.append(stats)
         result.stats = stats
         return result

@@ -45,9 +45,10 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
+from repro.api import Scheduler
 from repro.cluster.cluster import Cluster
 from repro.core.queues import PriorityClass
-from repro.core.scheduler import JobRequest, TetriSched, TetriSchedConfig
+from repro.core.scheduler import JobRequest, TetriSchedConfig
 from repro.solver.backend import make_backend
 from repro.solver.branch_bound import BranchBoundOptions, BranchBoundSolver
 from repro.solver.options import SolveOptions
@@ -195,7 +196,7 @@ def _run_pass(mode: BenchMode, backend: str, plan_ahead_s: float, racks: int,
         # independent engine — so a configuration that drifts from the
         # space-time invariants fails loudly instead of just slower.
         audit_mode=True)
-    sched = TetriSched(cluster, cfg)
+    sched = Scheduler.open(cluster, cfg).core
     sched._backend = _build_backend(backend, mode.sparse, cfg.rel_gap,
                                     mode.lp_engine, mode.solve_mode,
                                     mode.gap_threshold)
@@ -333,7 +334,7 @@ def _delta_stream_pass(delta_mode: str, backend: str, racks: int,
         quantum_s=quantum_s, cycle_s=quantum_s, plan_ahead_s=plan_ahead_s,
         backend=backend, rel_gap=0.25, decomposition=True,
         delta_mode=delta_mode)
-    sched = TetriSched(cluster, cfg)
+    sched = Scheduler.open(cluster, cfg).core
     for job in _streaming_jobs(cluster, jobs_per_rack, quantum_s, seed):
         sched.submit(job)
 
@@ -542,6 +543,274 @@ def bench_cycle(backend: str = "pure", plan_ahead_s: float = 96.0,
             report["modes"]["monolithic-auto-exact"]["repair"]["escalations"],
     }
     return report
+
+
+class StreamingStats:
+    """Constant-memory accumulator for a metric stream (Welford mean).
+
+    The sharded bench replays hundreds of cycles at up to 1024 nodes;
+    keeping every per-cycle record would make peak memory grow with
+    trace length.  This keeps five floats per metric and still reports
+    count / mean / min / max / total.
+    """
+
+    __slots__ = ("n", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+        self.min = min(self.min, x)
+        self.max = max(self.max, x)
+
+    @property
+    def total(self) -> float:
+        return self.mean * self.n
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.n if self.n else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        if self.n == 0:
+            return {"n": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "total": 0.0}
+        return {"n": self.n, "mean": self.mean, "min": self.min,
+                "max": self.max, "total": self.total}
+
+
+def _shard_jobs(cluster: Cluster, per_rack: int, quantum_s: float,
+                seed: int, tag: str = "") -> list[JobRequest]:
+    """Rack-affine gangs with a pod-pair-spanning fallback option.
+
+    Each job prefers its home rack but also carries a wider, longer
+    option spanning the next rack over (wrap-around).  The fallbacks
+    chain every rack to its neighbour, so the monolithic MILP is one
+    giant connected component — the regime where global scheduling at
+    1k nodes blows the cycle budget.  Rack-aligned domains cut exactly
+    those chains: jobs interior to a domain keep both options
+    (untrimmed, exact), jobs at a domain seam lose the spanning
+    fallback (trimmed, charged to the declared quality bound).
+    """
+    rng = random.Random(seed)
+    rack_list = sorted(cluster.rack_names)
+    jobs: list[JobRequest] = []
+    for r, rack in enumerate(rack_list):
+        home = frozenset(cluster.rack_nodes(rack))
+        pair = home | frozenset(
+            cluster.rack_nodes(rack_list[(r + 1) % len(rack_list)]))
+        for j in range(per_rack):
+            k = rng.randint(2, max(2, len(home) // 2))
+            dur_q = rng.randint(2, 4)
+            jobs.append(JobRequest(
+                job_id=f"{tag}{rack}-g{j}",
+                options=(
+                    SpaceOption(home, k=k, duration_s=dur_q * quantum_s,
+                                label="rack"),
+                    SpaceOption(pair, k=k, duration_s=(dur_q + 1) * quantum_s,
+                                label="pod-pair"),
+                ),
+                value_fn=StepValue(value=10.0 + rng.random() * 5.0,
+                                   deadline=1e9),
+                priority=PriorityClass.SLO_ACCEPTED,
+                submit_time=0.0))
+    return jobs
+
+
+def _shard_pass(racks: int, nodes_per_rack: int, shard_mode: str,
+                shard_count: int, backend: str, jobs_per_rack: int,
+                cycles: int, quantum_s: float, plan_ahead_s: float,
+                seed: int, workers: int, time_limit: float,
+                audit: bool = False,
+                keep_allocs: bool = False) -> dict[str, Any]:
+    """One trace replay (monolithic or sharded) with streaming metrics.
+
+    ``cycle_history`` is cleared after each cycle is folded into the
+    streaming accumulators, so memory stays constant in trace length —
+    the property that makes the 1024-node replay feasible in CI.
+    """
+    cluster = Cluster.build(racks=racks, nodes_per_rack=nodes_per_rack)
+    cfg = TetriSchedConfig(
+        quantum_s=quantum_s, cycle_s=quantum_s, plan_ahead_s=plan_ahead_s,
+        backend=backend, rel_gap=0.1, decomposition=True,
+        solver_workers=workers, solver_time_limit=time_limit,
+        shard_mode=shard_mode, shard_count=shard_count, seed=seed,
+        audit_mode=audit)
+    api = Scheduler.open(cluster, cfg)
+    sched = api.core
+
+    cycle_ms = StreamingStats()
+    solve_ms = StreamingStats()
+    objective = StreamingStats()
+    launched = StreamingStats()
+    bound = StreamingStats()
+    objectives: list[float] = []
+    allocs: list[tuple] = []
+    boundary_jobs = trimmed_jobs = fallbacks = 0
+    t0 = time.monotonic()
+    for c in range(cycles):
+        now = c * quantum_s
+        # Workload stream is derived from the config's single seed so a
+        # sharded replay is bit-reproducible end to end.
+        for job in _shard_jobs(cluster, jobs_per_rack, quantum_s,
+                               seed=cfg.seed + 1000 * c, tag=f"c{c}-"):
+            api.submit(job)
+        t_cycle = time.monotonic()
+        res = api.run_cycle(now)
+        cycle_ms.add(1000.0 * (time.monotonic() - t_cycle))
+        stats = res.stats
+        solve_ms.add(1000.0 * stats.solver_latency_s)
+        objective.add(stats.objective)
+        launched.add(stats.launched)
+        bound.add(stats.shard_quality_bound)
+        boundary_jobs += stats.shard_boundary_jobs
+        trimmed_jobs += stats.shard_trimmed_jobs
+        fallbacks += stats.shard_greedy_fallbacks
+        objectives.append(stats.objective)
+        if keep_allocs:
+            allocs.extend(
+                sorted((a.job_id, tuple(sorted(a.nodes)), a.start_time,
+                        a.expected_end) for a in res.allocations))
+        # Constant memory: fold, then drop the per-cycle record.
+        sched.cycle_history.clear()
+    entry: dict[str, Any] = {
+        "nodes": len(cluster),
+        "shard_mode": shard_mode,
+        "domains": (len(sched._coordinator.domains)
+                    if sched._coordinator is not None else 1),
+        "wall_s": time.monotonic() - t0,
+        "cycle_ms": cycle_ms.to_dict(),
+        "solve_ms": solve_ms.to_dict(),
+        "objective": objective.to_dict(),
+        "launched": launched.to_dict(),
+        "quality_bound": bound.to_dict(),
+        "boundary_jobs": boundary_jobs,
+        "trimmed_jobs": trimmed_jobs,
+        "greedy_fallbacks": fallbacks,
+        "objectives": objectives,
+    }
+    if keep_allocs:
+        entry["allocations"] = allocs
+    api.close()
+    return entry
+
+
+def bench_shard(sizes: tuple[int, ...] = (256, 512, 1024),
+                backend: str = "pure", nodes_per_rack: int = 32,
+                jobs_per_rack: int = 2, cycles: int = 3,
+                quantum_s: float = 8.0, plan_ahead_s: float = 64.0,
+                seed: int = 0, workers: int = 2,
+                time_limit: float = 2.0) -> dict[str, Any]:
+    """The sharding benchmark: monolithic-parallel vs sharded trace replay.
+
+    For each cluster size, the identical seeded workload stream replays
+    through (a) the monolithic pipeline with parallel decomposed solves
+    under ``time_limit`` per solve — the best non-sharded configuration —
+    and (b) the sharded pipeline (rack-aligned domains).  Per-size
+    verdicts:
+
+    * ``speedup_ok`` — sharded mean cycle time at least 2x better;
+    * ``quality_ok`` — sharded objective within the *declared* bound of
+      the monolithic objective on every cycle (the bound each cycle
+      published, audited via ``shard_quality_bound``);
+
+    and once, at the smallest size, ``shard1_bit_equal``: the sharded
+    pipeline at ``shard_count=1`` must reproduce the monolithic run's
+    allocations and objectives bit for bit.
+    """
+    report: dict[str, Any] = {
+        "meta": {"sizes": list(sizes), "backend": backend,
+                 "nodes_per_rack": nodes_per_rack,
+                 "jobs_per_rack": jobs_per_rack, "cycles": cycles,
+                 "quantum_s": quantum_s, "plan_ahead_s": plan_ahead_s,
+                 "seed": seed, "workers": workers,
+                 "time_limit": time_limit},
+        "sizes": [],
+    }
+    common = dict(nodes_per_rack=nodes_per_rack, backend=backend,
+                  jobs_per_rack=jobs_per_rack, cycles=cycles,
+                  quantum_s=quantum_s, plan_ahead_s=plan_ahead_s,
+                  seed=seed, workers=workers, time_limit=time_limit)
+    all_ok = True
+    for size in sizes:
+        racks = max(1, size // nodes_per_rack)
+        mono = _shard_pass(racks=racks, shard_mode="off", shard_count=0,
+                           **common)
+        shard = _shard_pass(racks=racks, shard_mode="racks", shard_count=0,
+                            audit=True, **common)
+        speedup = mono["cycle_ms"]["mean"] / max(1e-9,
+                                                 shard["cycle_ms"]["mean"])
+        # Per-cycle quality audit: the sharded objective may trail the
+        # monolithic one by at most the bound that cycle declared.
+        tol = 1e-6
+        quality_ok = all(
+            s >= m - b - tol * max(1.0, abs(m))
+            for m, s, b in zip(
+                mono["objectives"], shard["objectives"],
+                [shard["quality_bound"]["max"]] * len(mono["objectives"])))
+        exact_parity = (shard["trimmed_jobs"] == 0
+                        and shard["boundary_jobs"] == 0)
+        if exact_parity:
+            quality_ok = mono["objectives"] == shard["objectives"]
+        entry = {
+            "nodes": size, "racks": racks,
+            "monolithic": mono, "sharded": shard,
+            "speedup_cycle": speedup,
+            "speedup_ok": speedup >= 2.0,
+            "quality_ok": quality_ok,
+            "exact_parity": exact_parity,
+        }
+        all_ok = all_ok and entry["speedup_ok"] and quality_ok
+        report["sizes"].append(entry)
+
+    # shard_count=1 bit-equality at the smallest size: one whole-cluster
+    # domain must reproduce the monolithic pipeline exactly.
+    racks0 = max(1, min(sizes) // nodes_per_rack)
+    small = dict(common, cycles=min(cycles, 2))
+    mono1 = _shard_pass(racks=racks0, shard_mode="off", shard_count=0,
+                        keep_allocs=True, **small)
+    shard1 = _shard_pass(racks=racks0, shard_mode="racks", shard_count=1,
+                         keep_allocs=True, **small)
+    report["shard1_bit_equal"] = (
+        mono1["objectives"] == shard1["objectives"]
+        and mono1["allocations"] == shard1["allocations"])
+    report["ok"] = all_ok and report["shard1_bit_equal"]
+    return report
+
+
+def format_bench_shard(report: dict[str, Any]) -> str:
+    """Human-readable summary of a :func:`bench_shard` report."""
+    meta = report["meta"]
+    lines = [f"bench-shard: backend={meta['backend']} "
+             f"sizes={meta['sizes']} cycles={meta['cycles']} "
+             f"seed={meta['seed']} time-limit={meta['time_limit']:g}s"]
+    for entry in report["sizes"]:
+        mono, shard = entry["monolithic"], entry["sharded"]
+        lines.append(
+            f"  {entry['nodes']:>5} nodes: monolithic "
+            f"{mono['cycle_ms']['mean']:.0f}ms/cycle vs sharded "
+            f"{shard['cycle_ms']['mean']:.0f}ms/cycle "
+            f"({shard['domains']} domains) -> "
+            f"{entry['speedup_cycle']:.2f}x "
+            f"(>=2x ok={entry['speedup_ok']})")
+        lines.append(
+            f"    quality: ok={entry['quality_ok']} "
+            f"exact-parity={entry['exact_parity']} "
+            f"bound(max)={shard['quality_bound']['max']:.2f} "
+            f"trimmed={shard['trimmed_jobs']} "
+            f"boundary={shard['boundary_jobs']} "
+            f"fallbacks={shard['greedy_fallbacks']}")
+    lines.append(f"  shard_count=1 bit-equal: {report['shard1_bit_equal']}")
+    lines.append(f"  ok: {report['ok']}")
+    return "\n".join(lines)
 
 
 def format_bench(report: dict[str, Any]) -> str:

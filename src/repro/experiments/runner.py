@@ -91,7 +91,10 @@ def _tetrisched_config(spec: RunSpec, variant: str) -> TetriSchedConfig:
                    rel_gap=spec.rel_gap,
                    solver_time_limit=spec.solver_time_limit,
                    enable_preemption=spec.enable_preemption,
-                   delta_mode=spec.delta_mode)
+                   delta_mode=spec.delta_mode,
+                   # One seed drives everything derived from the config:
+                   # domain tie-breaks, pool dispatch order, workloads.
+                   seed=spec.seed)
 
 
 def build_scheduler(spec: RunSpec, cluster: Cluster,

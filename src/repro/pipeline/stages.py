@@ -45,6 +45,11 @@ class StageName(str, enum.Enum):
     EXTRACT = "extract"
     AUDIT = "audit"
     GREEDY = "greedy"
+    #: Sharded-cycle stages (:mod:`repro.shard.stages`): domain
+    #: partitioning + job assignment, and the cross-domain gang
+    #: reconciliation pass over the boundary jobs.
+    SHARD_ASSIGN = "shard_assign"
+    RECONCILE = "reconcile"
 
     def __str__(self) -> str:  # uniform across py3.10..3.12 str-enum quirks
         return self.value

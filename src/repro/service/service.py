@@ -30,10 +30,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.api import Scheduler
 from repro.cluster.cluster import Cluster
 from repro.core.queues import PriorityClass
-from repro.core.scheduler import (CycleResult, JobRequest, TetriSched,
-                                  TetriSchedConfig)
+from repro.core.scheduler import (CycleResult, JobRequest, TetriSchedConfig)
 from repro.errors import ServiceError
 from repro.service.clock import Clock
 from repro.strl.generator import SpaceOption
@@ -95,7 +95,8 @@ class SchedulerService:
                  auto_complete: bool = True,
                  stats_path: str | Path | None = None) -> None:
         self.cluster = cluster
-        self.scheduler = TetriSched(cluster, config)
+        self.api = Scheduler.open(cluster, config)
+        self.scheduler = self.api.core
         self.clock = clock if clock is not None else Clock()
         self.auto_complete = auto_complete
         self.stats_path = Path(stats_path) if stats_path else None
@@ -264,6 +265,34 @@ class SchedulerService:
             return {"node": node, "action": action,
                     "drained": sorted(self.scheduler.state.drained_nodes)}
 
+    def drain_domain(self, domain: str) -> dict[str, Any]:
+        """Drain (or restore) every node of one scheduling domain.
+
+        Only meaningful when sharding is active; the domain keeps its
+        running jobs but the coordinator stops assigning new work to it
+        while any feasible alternative domain exists.  Prefix the name
+        with ``~`` to restore instead (``"~dom2"``).
+        """
+        with self._lock:
+            coord = self.scheduler._coordinator
+            if coord is None:
+                raise ServiceError(
+                    "drain_domain requires sharding (shard_mode != 'off')")
+            restore = domain.startswith("~")
+            name = domain.lstrip("~")
+            matches = [d for d in coord.domains if d.name == name]
+            if not matches:
+                known = ", ".join(d.name for d in coord.domains)
+                raise ServiceError(
+                    f"unknown domain {name!r}; known domains: {known}")
+            state = self.scheduler.state
+            for node in sorted(matches[0].nodes):
+                (state.restore if restore else state.drain)(node)
+            return {"domain": name,
+                    "action": "restore" if restore else "drain",
+                    "nodes": len(matches[0].nodes),
+                    "drained": sorted(state.drained_nodes)}
+
     # -- cycles --------------------------------------------------------------
     def run_one_cycle(self) -> CycleResult:
         """Run one scheduling cycle at the current service time."""
@@ -332,6 +361,28 @@ class SchedulerService:
                 "fragments_compiled": ds.fragments_compiled,
                 "fragments_reused": ds.fragments_reused,
             }
+        coord = sched._coordinator
+        if coord is not None:
+            latest = sched.cycle_history[-1] if sched.cycle_history else None
+            out["shard"] = {
+                "mode": sched.config.shard_mode,
+                "domains": [{"domain": d.name, "nodes": len(d.nodes)}
+                            for d in coord.domains],
+                "last_cycle": {
+                    "boundary_jobs": latest.shard_boundary_jobs,
+                    "trimmed_jobs": latest.shard_trimmed_jobs,
+                    "quality_bound": latest.shard_quality_bound,
+                    "greedy_fallbacks": latest.shard_greedy_fallbacks,
+                    "domain_stats": latest.domain_stats,
+                } if latest is not None else None,
+            }
+            if coord.delta_stores is not None:
+                ds = coord.delta_stores.aggregate_stats()
+                out["delta"] = {
+                    "cycles": ds.cycles, "full_rebuilds": ds.full_rebuilds,
+                    "fragments_compiled": ds.fragments_compiled,
+                    "fragments_reused": ds.fragments_reused,
+                }
         return out
 
     def cycles(self, limit: int = 20) -> list[dict[str, Any]]:
@@ -369,6 +420,7 @@ class SchedulerService:
                 self.stats_path.write_text(json.dumps(final, indent=2,
                                                       default=str))
             self._drained_stats = final
+            self.api.close()
             return final
 
 

@@ -1,0 +1,54 @@
+"""Sharded multi-domain scheduling (``TetriSchedConfig.shard_mode``).
+
+Partitions the cluster into rack-aligned scheduling domains
+(:mod:`repro.shard.domains`), assigns jobs to domains with a sticky,
+affinity-aware, seeded-deterministic coordinator
+(:mod:`repro.shard.coordinator`), compiles and solves one MILP per domain
+concurrently on the worker pool, and reconciles cross-domain gangs
+through a small coupling model over the boundary jobs only
+(:mod:`repro.shard.stages`).
+
+Entry points: configure ``shard_mode="racks"|"auto"`` (plus
+``shard_count``) on :class:`~repro.core.scheduler.TetriSchedConfig` and
+schedule through :class:`repro.api.Scheduler` as usual — the scheduler
+swaps its cycle pipeline for :func:`sharded_pipeline` when
+:func:`sharding_active` says the (config, cluster) pair shards.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.driver import CyclePipeline
+from repro.pipeline.stages import StrlGeneration
+from repro.shard.coordinator import DomainCoordinator, ShardCycle
+from repro.shard.domains import (AUTO_NODE_THRESHOLD, DomainPartitioner,
+                                 SchedulingDomain, partition_policies,
+                                 racks_policy, register_policy,
+                                 resolve_shard_count, sharding_active)
+from repro.shard.stages import (DomainAssign, DomainCompile, DomainExtract,
+                                DomainModelBuild, DomainReconcile,
+                                DomainSolve, ShardAudit)
+
+
+def sharded_pipeline(audit: bool = False) -> CyclePipeline:
+    """The sharded scheduling cycle (domain level above decomposition).
+
+    With ``audit=True`` (``TetriSchedConfig.audit_mode``) a final stage
+    checks per-domain MILP certificates and the reconciled global
+    schedule through :func:`repro.verify.audit_sharded`.
+    """
+    stages = [StrlGeneration(), DomainAssign(), DomainCompile(),
+              DomainModelBuild(), DomainSolve(), DomainExtract(),
+              DomainReconcile()]
+    if audit:
+        stages.append(ShardAudit())
+    return CyclePipeline(stages)
+
+
+__all__ = [
+    "AUTO_NODE_THRESHOLD", "DomainAssign", "DomainCompile",
+    "DomainCoordinator", "DomainExtract", "DomainModelBuild",
+    "DomainPartitioner", "DomainReconcile", "DomainSolve",
+    "SchedulingDomain", "ShardAudit", "ShardCycle", "partition_policies",
+    "racks_policy", "register_policy", "resolve_shard_count",
+    "sharded_pipeline", "sharding_active",
+]

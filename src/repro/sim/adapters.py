@@ -16,9 +16,10 @@ bookkeeping honest against the full simulation test matrix.
 
 from __future__ import annotations
 
+from repro.api import Scheduler
 from repro.cluster.cluster import Cluster
 from repro.core.queues import PriorityClass
-from repro.core.scheduler import JobRequest, TetriSched, TetriSchedConfig
+from repro.core.scheduler import JobRequest, TetriSchedConfig
 from repro.sim.interface import ClusterScheduler, CycleDecisions
 from repro.sim.jobs import Job
 from repro.valuefn import (SLO_ACCEPTED_MULTIPLIER,
@@ -61,7 +62,8 @@ class TetriSchedAdapter:
                  name: str = "TetriSched") -> None:
         self.name = name
         self.cluster = cluster
-        self.scheduler = TetriSched(cluster, config)
+        self.api = Scheduler.open(cluster, config)
+        self.scheduler = self.api.core
         self.cycle_s = self.scheduler.config.cycle_s
         self._running: set[str] = set()
 

@@ -211,61 +211,77 @@ def decompose(model: Model) -> Decomposition:
                          constant=model.objective.constant)
 
 
-def _gather_results(decomp: Decomposition, backend,
-                    opts: SolveOptions) -> tuple[list[MILPResult | None],
-                                                 dict[str, int]]:
-    """One :class:`MILPResult` per component, in component order.
+def _gather_results(decomps: list[Decomposition], backend,
+                    opts_list: list[SolveOptions],
+                    dispatch_seed: int | None = None
+                    ) -> tuple[list[list[MILPResult | None]],
+                               list[dict[str, int]]]:
+    """One :class:`MILPResult` per component, per decomposition.
 
     The three supply paths, applied per component in this order:
 
     1. **cache exact hit** — an identical numeric model was solved before;
        replay its stored result (bit-equal, zero solver cost);
-    2. **worker pool** — remaining components ship to the persistent
-       process pool when ``opts.workers >= 2`` (falling back to in-process
-       solving on any pool failure);
-    3. **in-process solve** — the sequential path; stops early once a
-       component comes back infeasible/unbounded (later entries stay
-       ``None``; the recombination loop never reads past the failure).
+    2. **worker pool** — remaining components (across *every*
+       decomposition — the sharded cycle's domain models all land in one
+       dispatch) ship to the persistent process pool when
+       ``opts.workers >= 2`` (falling back to in-process solving on any
+       pool failure);
+    3. **in-process solve** — the sequential path; once a component comes
+       back infeasible/unbounded, the remaining components of *that*
+       decomposition are skipped (their entries stay ``None``; the
+       recombination loop never reads past the failure) while other
+       decompositions keep solving.
 
     Each solved component gets a wall-clock budget carved from the cycle
     budget (``opts.time_limit``, else the backend's configured limit) in
     proportion to its size, and a warm start chosen as the better feasible
     seed of the sliced cycle warm start (the scheduler's time-shifted
     previous plan, Sec. 3.2.2) and a cache near-miss solution.
+
+    ``dispatch_seed`` (the scheduler's single RNG seed) deterministically
+    shuffles the dispatch order so big and small components interleave
+    across pool workers; results scatter back by index, so the solution is
+    bit-identical for every seed — only the wall-clock balance moves.
     """
     from repro.solver.backend import backend_time_limit
     from repro.solver.parallel import (best_warm_start, carve_time_budgets,
                                        get_pool)
 
-    cache = opts.get("component_cache")
-    warm_full = opts.get("warm_start")
-    workers = opts.get("workers", 0) or 0
+    shared = opts_list[0]
+    cache = shared.get("component_cache")
+    workers = shared.get("workers", 0) or 0
 
-    results: list[MILPResult | None] = [None] * decomp.num_components
-    cache_stats = {"cache_hits": 0, "cache_warm_hits": 0,
-                   "cache_evictions": 0}
+    results: list[list[MILPResult | None]] = [
+        [None] * d.num_components for d in decomps]
+    cache_stats: list[dict[str, int]] = [
+        {"cache_hits": 0, "cache_warm_hits": 0, "cache_evictions": 0}
+        for _ in decomps]
     evictions_before = cache.stats.evictions if cache is not None else 0
-    pending: list[tuple[int, Model, np.ndarray | None]] = []
-    fingerprints: dict[int, object] = {}
-    for i, comp in enumerate(decomp.components):
-        ws = decomp.slice_warm_start(warm_full, comp)
-        if cache is not None:
-            hit = cache.lookup(comp.model)
-            fingerprints[i] = hit.fingerprint
-            if hit.result is not None:
-                results[i] = hit.result
-                cache_stats["cache_hits"] += 1
-                continue
-            if hit.warm_start is not None:
-                cache_stats["cache_warm_hits"] += 1
-                ws = best_warm_start(comp.model, ws, hit.warm_start)
-        pending.append((i, comp.model, ws))
+    #: (decomp idx, component idx, model, warm start), in natural order.
+    pending: list[tuple[int, int, Model, np.ndarray | None]] = []
+    fingerprints: dict[tuple[int, int], object] = {}
+    for di, (decomp, opts) in enumerate(zip(decomps, opts_list)):
+        warm_full = opts.get("warm_start")
+        for i, comp in enumerate(decomp.components):
+            ws = decomp.slice_warm_start(warm_full, comp)
+            if cache is not None:
+                hit = cache.lookup(comp.model)
+                fingerprints[(di, i)] = hit.fingerprint
+                if hit.result is not None:
+                    results[di][i] = hit.result
+                    cache_stats[di]["cache_hits"] += 1
+                    continue
+                if hit.warm_start is not None:
+                    cache_stats[di]["cache_warm_hits"] += 1
+                    ws = best_warm_start(comp.model, ws, hit.warm_start)
+            pending.append((di, i, comp.model, ws))
 
-    total_budget = opts.get("time_limit", UNSET)
+    total_budget = shared.get("time_limit", UNSET)
     if total_budget is UNSET:
         total_budget = backend_time_limit(backend)
     budgets = carve_time_budgets(
-        total_budget, [model.num_variables for _, model, _ in pending])
+        total_budget, [model.num_variables for _, _, model, _ in pending])
 
     def call_options(ws: np.ndarray | None,
                      budget: float | None) -> SolveOptions:
@@ -273,56 +289,65 @@ def _gather_results(decomp: Decomposition, backend,
             return SolveOptions(warm_start=ws)
         return SolveOptions(warm_start=ws, time_limit=budget)
 
+    order = list(range(len(pending)))
+    if dispatch_seed is not None and len(order) > 1:
+        import random
+        random.Random(dispatch_seed).shuffle(order)
+
     solved: dict[int, MILPResult] | None = None
     if workers >= 2 and len(pending) > 1:
         with obs.span("parallel_dispatch"):
             solved = get_pool(workers).solve_many(
-                backend, [(i, model, call_options(ws, budget))
-                          for (i, model, ws), budget in zip(pending, budgets)])
+                backend,
+                [(pos, pending[pos][2], call_options(pending[pos][3],
+                                                     budgets[pos]))
+                 for pos in order])
     if solved is not None:
-        for i, res in solved.items():
-            results[i] = res
-    else:  # sequential (or pool fallback): early exit on a doomed block
-        for (i, model, ws), budget in zip(pending, budgets):
-            res = backend.solve(model, options=call_options(ws, budget))
-            results[i] = res
+        for pos, res in solved.items():
+            di, i, _, _ = pending[pos]
+            results[di][i] = res
+    else:  # sequential (or pool fallback): skip a doomed decomposition
+        doomed: set[int] = set()
+        for pos in order:
+            di, i, model, ws = pending[pos]
+            if di in doomed:
+                continue
+            res = backend.solve(model, options=call_options(ws,
+                                                            budgets[pos]))
+            results[di][i] = res
             if not res.status.has_solution:
-                break
+                doomed.add(di)
 
     if cache is not None:
         # Memoize only freshly-solved components (never re-store replays).
-        for i, _, _ in pending:
-            if results[i] is not None:
-                cache.store(decomp.components[i].model, results[i],
-                            fingerprint=fingerprints.get(i))
+        for di, i, _, _ in pending:
+            if results[di][i] is not None:
+                cache.store(decomps[di].components[i].model, results[di][i],
+                            fingerprint=fingerprints.get((di, i)))
         # LRU pressure during *this* solve (the cache outlives cycles, so
         # the cumulative counter alone cannot be attributed to a cycle).
-        cache_stats["cache_evictions"] = (cache.stats.evictions
-                                          - evictions_before)
+        # Attributed to the first decomposition's stats; cycle telemetry
+        # sums across decompositions, so the total stays right.
+        cache_stats[0]["cache_evictions"] = (cache.stats.evictions
+                                             - evictions_before)
     return results, cache_stats
 
 
-def solve_decomposed(decomp: Decomposition, backend,
-                     options: SolveOptions | None = None) -> MILPResult:
-    """Solve every component through ``backend`` and recombine.
+def _recombine(decomp: Decomposition,
+               results: list[MILPResult | None],
+               cache_stats: dict[str, int]) -> MILPResult:
+    """Fold per-component results back into one :class:`MILPResult`.
 
-    ``options`` governs the whole decomposed solve: ``warm_start`` is the
-    full-model seed (sliced per component), ``workers`` enables the
-    persistent process pool, ``component_cache`` the cross-cycle
-    memoization, and ``time_limit`` the cycle budget carved across
-    components (see :mod:`repro.solver.parallel`).  Regardless of how a
-    component's result was produced — fresh solve, pool worker, or cache
-    replay — recombination walks components in their deterministic
-    (column-order) sequence, so the assembled ``x`` and objective are
-    identical to a sequential in-process solve.
+    Regardless of how a component's result was produced — fresh solve,
+    pool worker, or cache replay — recombination walks components in their
+    deterministic (column-order) sequence, so the assembled ``x`` and
+    objective are identical to a sequential in-process solve.
 
     The recombined :class:`MILPResult` carries the summed objective/bound,
     the max component gap, summed node/iteration counts, and
     ``stats["components"]``; its ``x`` lives in source-model column order,
     so callers decode it exactly as they would a monolithic solution.
     """
-    opts = options if options is not None else SolveOptions()
-
     objective = decomp.constant + decomp.free_objective
     bound = objective
     gap = 0.0
@@ -339,7 +364,6 @@ def solve_decomposed(decomp: Decomposition, backend,
     solve_time = 0.0
     proven = True
     solutions: list[np.ndarray] = []
-    results, cache_stats = _gather_results(decomp, backend, opts)
     for res in results:
         if res is None:  # sequential early exit hit a doomed block earlier
             continue
@@ -384,3 +408,58 @@ def solve_decomposed(decomp: Decomposition, backend,
         status=SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE,
         x=x, objective=objective, bound=bound, gap=gap, nodes=nodes,
         solve_time=solve_time, stats=stats)
+
+
+def solve_many_decomposed(decomps: list[Decomposition], backend,
+                          options: SolveOptions | list[SolveOptions] | None
+                          = None,
+                          dispatch_seed: int | None = None
+                          ) -> list[MILPResult]:
+    """Solve several decompositions as one pooled batch, recombining each.
+
+    This is the sharded cycle's solve primitive: every domain MILP is
+    decomposed independently, but all their pending components flatten
+    into a *single* worker-pool dispatch, so a cluster of small domains
+    saturates the pool instead of paying one dispatch round-trip per
+    domain.  ``options`` is either one :class:`SolveOptions` shared by all
+    decompositions or a per-decomposition list (warm starts differ per
+    domain; ``workers`` / ``component_cache`` / ``time_limit`` are read
+    from the first entry and govern the whole batch).
+
+    Returns one recombined :class:`MILPResult` per decomposition, in input
+    order.  With a single decomposition this is exactly
+    :func:`solve_decomposed` — same cache traffic, same budgets, same
+    assembled ``x``.
+    """
+    if not decomps:
+        return []
+    if options is None:
+        opts_list = [SolveOptions() for _ in decomps]
+    elif isinstance(options, SolveOptions):
+        opts_list = [options] * len(decomps)
+    else:
+        if len(options) != len(decomps):
+            raise SolverError(
+                f"solve_many_decomposed: {len(decomps)} decompositions but "
+                f"{len(options)} option sets")
+        opts_list = list(options)
+    all_results, all_cache_stats = _gather_results(
+        decomps, backend, opts_list, dispatch_seed=dispatch_seed)
+    return [_recombine(decomp, results, cache_stats)
+            for decomp, results, cache_stats
+            in zip(decomps, all_results, all_cache_stats)]
+
+
+def solve_decomposed(decomp: Decomposition, backend,
+                     options: SolveOptions | None = None) -> MILPResult:
+    """Solve every component through ``backend`` and recombine.
+
+    ``options`` governs the whole decomposed solve: ``warm_start`` is the
+    full-model seed (sliced per component), ``workers`` enables the
+    persistent process pool, ``component_cache`` the cross-cycle
+    memoization, and ``time_limit`` the cycle budget carved across
+    components (see :mod:`repro.solver.parallel`).  A thin wrapper over
+    :func:`solve_many_decomposed` with a one-element batch — the two are
+    bit-equal by construction.
+    """
+    return solve_many_decomposed([decomp], backend, options)[0]

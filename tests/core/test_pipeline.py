@@ -56,8 +56,10 @@ class TestStageName:
 
     def test_members_cover_both_pipelines(self):
         values = {s.value for s in StageName}
-        # "audit" is the opt-in verification stage (audit_mode=True).
-        assert set(GLOBAL_STAGES) | {"greedy", "audit"} == values
+        # "audit" is the opt-in verification stage (audit_mode=True);
+        # "shard_assign"/"reconcile" belong to the sharded pipeline.
+        assert set(GLOBAL_STAGES) | {"greedy", "audit", "shard_assign",
+                                     "reconcile"} == values
 
     def test_members_interchangeable_with_plain_strings(self):
         # str mixin: hashing, equality and dict indexing all match the

@@ -1,0 +1,127 @@
+"""Domain partitioning: policies, shard-count resolution, activation."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.scheduler import TetriSchedConfig
+from repro.errors import SchedulerError
+from repro.shard.domains import (AUTO_NODE_THRESHOLD, DomainPartitioner,
+                                 SchedulingDomain, partition_policies,
+                                 racks_policy, register_policy,
+                                 resolve_shard_count, sharding_active)
+
+
+class TestSchedulingDomain:
+    def test_rejects_empty(self):
+        with pytest.raises(SchedulerError):
+            SchedulingDomain(0, "dom0", frozenset())
+
+    def test_len_is_node_count(self):
+        d = SchedulingDomain(0, "dom0", frozenset({"a", "b"}))
+        assert len(d) == 2
+
+
+class TestRacksPolicy:
+    def test_partition_is_disjoint_and_covering(self):
+        cluster = Cluster.build(racks=7, nodes_per_rack=3)
+        domains = DomainPartitioner(cluster).partition(3)
+        seen = set()
+        for d in domains:
+            assert not (d.nodes & seen)
+            seen |= d.nodes
+        assert seen == set(cluster.node_names)
+
+    def test_domains_are_rack_aligned(self):
+        cluster = Cluster.build(racks=6, nodes_per_rack=4)
+        for d in DomainPartitioner(cluster).partition(3):
+            racks = {n.rsplit("n", 1)[0] for n in d.nodes}
+            for rack in racks:
+                assert frozenset(cluster.rack_nodes(rack)) <= d.nodes
+
+    def test_count_clamped_to_rack_count(self):
+        cluster = Cluster.build(racks=2, nodes_per_rack=4)
+        assert len(DomainPartitioner(cluster).partition(10)) == 2
+        assert len(DomainPartitioner(cluster).partition(0)) == 1
+
+    def test_single_domain_is_whole_cluster(self):
+        cluster = Cluster.build(racks=4, nodes_per_rack=2)
+        (d,) = DomainPartitioner(cluster).partition(1)
+        assert d.nodes == cluster.node_names
+
+    def test_deterministic(self):
+        cluster = Cluster.build(racks=8, nodes_per_rack=4)
+        a = DomainPartitioner(cluster).partition(4)
+        b = DomainPartitioner(cluster).partition(4)
+        assert [(d.name, sorted(d.nodes)) for d in a] \
+            == [(d.name, sorted(d.nodes)) for d in b]
+
+
+class TestPolicyRegistry:
+    def test_racks_registered(self):
+        assert "racks" in partition_policies()
+
+    def test_unknown_policy_rejected(self):
+        cluster = Cluster.build(racks=2, nodes_per_rack=2)
+        with pytest.raises(SchedulerError):
+            DomainPartitioner(cluster, policy="nope")
+
+    def test_custom_policy_pluggable(self):
+        from repro.shard.domains import _POLICIES
+        name = "halves-test"
+
+        @register_policy(name)
+        def halves(cluster, count):
+            nodes = sorted(cluster.node_names)
+            mid = len(nodes) // 2
+            return [frozenset(nodes[:mid]), frozenset(nodes[mid:])]
+
+        try:
+            cluster = Cluster.build(racks=2, nodes_per_rack=2)
+            domains = DomainPartitioner(cluster, policy=name).partition(2)
+            assert len(domains) == 2
+        finally:
+            _POLICIES.pop(name, None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SchedulerError):
+            register_policy("racks")(racks_policy)
+
+    def test_broken_policy_caught(self):
+        from repro.shard.domains import _POLICIES
+        name = "broken-test"
+
+        @register_policy(name)
+        def broken(cluster, count):
+            nodes = sorted(cluster.node_names)
+            return [frozenset(nodes), frozenset(nodes[:1])]  # overlap
+
+        try:
+            cluster = Cluster.build(racks=2, nodes_per_rack=2)
+            with pytest.raises(SchedulerError):
+                DomainPartitioner(cluster, policy=name).partition(2)
+        finally:
+            _POLICIES.pop(name, None)
+
+
+class TestResolveAndActivation:
+    def test_explicit_count_passthrough(self):
+        cluster = Cluster.build(racks=8, nodes_per_rack=4)
+        assert resolve_shard_count(3, cluster) == 3
+
+    def test_default_one_domain_per_four_racks(self):
+        assert resolve_shard_count(
+            0, Cluster.build(racks=8, nodes_per_rack=4)) == 2
+        assert resolve_shard_count(
+            0, Cluster.build(racks=2, nodes_per_rack=4)) == 1
+
+    def test_sharding_active_modes(self):
+        small = Cluster.build(racks=2, nodes_per_rack=4)
+        big = Cluster.build(
+            racks=4, nodes_per_rack=AUTO_NODE_THRESHOLD // 4)
+        off = TetriSchedConfig(shard_mode="off")
+        racks = TetriSchedConfig(shard_mode="racks")
+        auto = TetriSchedConfig(shard_mode="auto")
+        assert not sharding_active(off, big)
+        assert sharding_active(racks, small)
+        assert not sharding_active(auto, small)
+        assert sharding_active(auto, big)

@@ -25,6 +25,7 @@ DOCTEST_MODULES = [
     "repro.cluster.state",
     "repro.reservation.rayon",
     "repro.core.scheduler",
+    "repro.shard.domains",
     "repro.verify.certificate",
 ]
 
@@ -32,17 +33,22 @@ PACKAGES = [
     "repro", "repro.solver", "repro.strl", "repro.cluster", "repro.core",
     "repro.pipeline", "repro.reservation", "repro.baselines", "repro.sim",
     "repro.workloads", "repro.experiments", "repro.verify", "repro.service",
+    "repro.shard",
 ]
 
 #: The locked top-level contract: exactly what ``from repro import *``
 #: gives you.  A failing diff here means the public API changed — that
 #: must be an intentional, reviewed decision.
 TOP_LEVEL_API = {
+    # the scheduler facade (the supported construction path)
+    "Scheduler",
     # cluster substrate
     "Cluster", "ClusterState", "Node",
     # scheduler core
     "Allocation", "JobRequest", "PriorityClass", "StrlCompiler",
     "TetriSched", "TetriSchedConfig",
+    # sharded multi-domain scheduling
+    "DomainCoordinator", "DomainPartitioner", "SchedulingDomain",
     # cross-cycle delta compilation
     "CycleDelta", "DeltaDivergence",
     # long-lived scheduler service
@@ -61,7 +67,7 @@ TOP_LEVEL_API = {
     "best_effort_value", "slo_value",
     # verification oracles
     "AuditReport", "AuditViolation", "CertificateReport", "audit_cycle",
-    "check_certificate",
+    "audit_sharded", "check_certificate",
 }
 
 
