@@ -1,0 +1,84 @@
+"""Extension benchmark: malleable elastic gangs under bursts and faults.
+
+Sec. 4.1 notes that "general space-time elasticity of jobs can be expressed
+using MAX to select among possible 2D space-time shapes"; this extension
+takes that further with *running* malleability: per-cycle width re-planning
+of elastic gangs (shrink to admit SLO work, grow back when capacity frees).
+
+The sweep reuses the companion-TR burstiness axis with fault injection on,
+so elastic re-planning is exercised exactly where it must be robust: bursts
+pile rigid SLO jobs into one cycle (forcing shrinks) and faults kill
+resized attempts mid-run (exercising current-width re-entry).  The rigid
+baseline runs the *same* sampled gangs as fixed max-width jobs — the
+all-or-nothing shape malleability replaces.
+
+Asserts that malleability never costs SLO attainment beyond single-job
+noise, improves it on average across the sweep, keeps every best-effort
+gang completing despite faults, and that width re-plans actually fire.
+"""
+
+from conftest import nanmean, save_and_print
+
+from repro.experiments import RC80_SCALED, RunSpec, format_table, run_experiment
+from repro.workloads import GS_HET
+
+BURSTINESS = [1.0, 3.0]
+SEEDS = [0, 1]
+
+
+def run_all():
+    out = {}
+    for elastic_mode in (False, True):
+        for seed in SEEDS:
+            for cv in BURSTINESS:
+                out[(elastic_mode, seed, cv)] = run_experiment(RunSpec(
+                    scheduler="TetriSched", composition=GS_HET,
+                    cluster=RC80_SCALED, num_jobs=48, seed=seed,
+                    target_utilization=1.3, burstiness=cv,
+                    elastic_fraction=0.75 if elastic_mode else 0.0,
+                    elastic_mode=elastic_mode, reconfig_penalty=0.1,
+                    failure_prob=0.15))
+    return out
+
+
+def test_elastic_sweep(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for elastic_mode in (False, True):
+        label = "elastic" if elastic_mode else "rigid"
+        for seed in SEEDS:
+            slo = [results[(elastic_mode, seed, cv)].metrics.slo_total_pct
+                   for cv in BURSTINESS]
+            resizes = sum(
+                o.resizes
+                for cv in BURSTINESS
+                for o in results[(elastic_mode, seed, cv)].outcomes.values())
+            rows.append([f"{label} s{seed}"]
+                        + [f"{v:.1f}" for v in slo] + [resizes])
+    text = ("Extension: elastic width re-planning under bursts + faults "
+            "(GS HET, scaled RC80, 15% failures)\n"
+            + format_table(["arm"] + [f"SLO% CV={c}" for c in BURSTINESS]
+                           + ["resizes"], rows))
+    save_and_print("ext_elastic", text)
+
+    rigid_pts, elastic_pts, total_resizes = [], [], 0
+    for seed in SEEDS:
+        for cv in BURSTINESS:
+            rigid = results[(False, seed, cv)].metrics
+            elastic = results[(True, seed, cv)].metrics
+            rigid_pts.append(rigid.slo_total_pct)
+            elastic_pts.append(elastic.slo_total_pct)
+            # Malleability never costs SLO attainment beyond one
+            # borderline job's worth of noise at any sweep point...
+            assert elastic.slo_total_pct >= rigid.slo_total_pct - 3.0
+            # ...and faults never strand a malleable gang: current-width
+            # re-entry keeps every best-effort job completing.
+            assert elastic.be_completed >= rigid.be_completed
+            total_resizes += sum(
+                o.resizes
+                for o in results[(True, seed, cv)].outcomes.values())
+    # On average across the sweep, flexibility pays (or at worst ties).
+    assert nanmean(elastic_pts) >= nanmean(rigid_pts)
+    # The machinery under test actually engaged: gangs re-planned widths.
+    assert total_resizes > 0

@@ -332,7 +332,8 @@ def _cmd_bench_cycle(args) -> int:
     import json
 
     from repro.experiments.bench import (bench_cycle, bench_shard,
-                                         format_bench, format_bench_shard)
+                                         format_bench, format_bench_elastic,
+                                         format_bench_shard)
     report = bench_cycle(
         backend=args.backend, plan_ahead_s=args.plan_ahead, racks=args.racks,
         nodes_per_rack=args.nodes_per_rack, jobs_per_rack=args.jobs_per_rack,
@@ -349,6 +350,7 @@ def _cmd_bench_cycle(args) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(format_bench(report))
+    print(format_bench_elastic(report["elastic"]))
     if "shard" in report:
         print(format_bench_shard(report["shard"]))
     print(f"[report -> {out}]")
@@ -368,6 +370,11 @@ def _cmd_bench_cycle(args) -> int:
         print(f"WARN: delta compile+build speedup "
               f"{delta.get('speedup_compile_build', 0.0):.2f}x below the "
               f"3x target", file=sys.stderr)
+    elastic = report.get("elastic", {})
+    if not elastic.get("ok"):
+        print("FAIL: elastic width re-planning did not beat rigid "
+              "max-width gangs on utilization and value", file=sys.stderr)
+        return 1
     shard = report.get("shard")
     if shard is not None:
         # Correctness verdicts hard-fail; the >=2x speedup is wall-clock

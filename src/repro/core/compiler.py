@@ -43,7 +43,8 @@ from repro.errors import SchedulerError
 from repro.solver.expr import LinExpr, Variable, linear_sum
 from repro.solver.model import (LE, Constraint, Model, SparseArrays,
                                 SparseMatrix, _rows_to_csr)
-from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+from repro.strl.ast import (Barrier, ElasticNCk, LnCk, Max, Min, NCk, Scale,
+                            StrlNode, Sum)
 
 
 @dataclass
@@ -106,6 +107,32 @@ class PlannedPlacement:
 
 
 @dataclass(frozen=True)
+class ResizeCandidate:
+    """A running malleable job the solver may grow or shrink this cycle.
+
+    The job re-enters the cycle MILP with a fresh fragment (an
+    :class:`~repro.strl.ast.ElasticNCk` over its admissible widths, plus a
+    supply-neutral "keep" option at the current width).  Choosing *any* of
+    those options — the fragment's root indicator going to 1 — returns the
+    job's currently-held nodes to the supply of every affected time slice,
+    mirroring :class:`PreemptionCandidate`'s freed-nodes mechanism but
+    without a separate decision variable: the root indicator *is* the
+    release decision.  Grow options carry the reconfiguration penalty
+    folded into their leaf values, so no extra objective terms are needed
+    either.
+    """
+
+    job_id: str
+    #: Nodes currently held by the running job.
+    nodes: frozenset[str]
+
+    @property
+    def width(self) -> int:
+        """The job's current gang width."""
+        return len(self.nodes)
+
+
+@dataclass(frozen=True)
 class PreemptionCandidate:
     """A running job the solver may choose to kill for its nodes.
 
@@ -133,6 +160,8 @@ class CompiledBatch:
     job_order: list[str]
     stats: dict[str, int] = field(default_factory=dict)
     preemption_vars: dict[str, Variable] = field(default_factory=dict)
+    #: Elastic extension: running jobs whose width the solver may re-plan.
+    resize_candidates: dict[str, ResizeCandidate] = field(default_factory=dict)
 
     @property
     def column_meta(self) -> list[ColumnMeta]:
@@ -174,6 +203,25 @@ class CompiledBatch:
         """Preemption candidates the solution chose to kill."""
         return [job_id for job_id, var in self.preemption_vars.items()
                 if x[var.index] > 0.5]
+
+    def resize_decisions(self, x: np.ndarray) -> dict[str, int]:
+        """Chosen width per resize candidate whose fragment was activated.
+
+        Maps job id to the new gang width (the total node count of the
+        job's chosen start-0 placement).  A candidate whose root indicator
+        stayed off keeps running untouched and is absent; a candidate that
+        chose its *current* width picked the supply-neutral "keep" option
+        (the extract stage treats it as a no-op, not a migration).
+        """
+        if not self.resize_candidates:
+            return {}
+        active = self.scheduled_jobs(x)
+        widths: dict[str, int] = {}
+        for p in self.decode(x):
+            if p.job_id in self.resize_candidates and p.start == 0:
+                widths[p.job_id] = widths.get(p.job_id, 0) + p.total_nodes
+        return {job_id: w for job_id, w in widths.items()
+                if job_id in active and w > 0}
 
     def decode(self, x: np.ndarray) -> list[PlannedPlacement]:
         """Decode a MILP solution into the set of active placements."""
@@ -356,7 +404,8 @@ def _assemble_sparse(fragments: list[JobFragment],
 def assemble_batch(fragments: list[JobFragment], partitioning: Partitioning,
                    horizon: int, state: ClusterState, quantum_s: float,
                    now: float,
-                   preemptible: list[PreemptionCandidate] | None = None
+                   preemptible: list[PreemptionCandidate] | None = None,
+                   resizable: list[ResizeCandidate] | None = None
                    ) -> CompiledBatch:
     """Assemble compiled job fragments into one cycle :class:`CompiledBatch`.
 
@@ -368,9 +417,13 @@ def assemble_batch(fragments: list[JobFragment], partitioning: Partitioning,
 
     Per-cycle work is the part that depends on cluster availability: the
     supply rows (``sum of P in used(x,t) <= avail(x,t)`` plus nodes freed
-    by chosen preemptions) and the preemption decision variables.
+    by chosen preemptions or width re-plans) and the preemption decision
+    variables.  ``resizable`` entries add no variables: each candidate's
+    fragment root indicator doubles as the release decision, freeing the
+    job's currently-held nodes in every supply row they appear in.
     """
     preemptible = preemptible or []
+    resizable = resizable or []
     model = Model("tetrisched-cycle")
     job_indicators: dict[str, Variable] = {}
     records: list[LeafRecord] = []
@@ -378,11 +431,13 @@ def assemble_batch(fragments: list[JobFragment], partitioning: Partitioning,
     obj_coeffs: dict[int, float] = {}
     obj_constant = 0.0
     offset = 0
+    frag_records: dict[str, list[LeafRecord]] = {}
     for frag in fragments:
         variables, constraints, recs = frag.materialize(offset)
         model.adopt_variables(variables)
         model.adopt_constraints(constraints)
         job_indicators[frag.job_id] = variables[0]
+        frag_records[frag.job_id] = recs
         records.extend(recs)
         for idx, coef in frag.objective_coeffs.items():
             obj_coeffs[idx + offset] = coef
@@ -395,7 +450,7 @@ def assemble_batch(fragments: list[JobFragment], partitioning: Partitioning,
     # Preemption extension: binary kill-decision per candidate.
     preemption_vars: dict[str, Variable] = {}
     victim_busy: dict[str, dict[str, int]] = {}
-    if preemptible:
+    if preemptible or resizable:
         busy = state.busy_quanta(now, quantum_s)
         for cand in preemptible:
             r = model.add_binary(f"R[{cand.job_id}]")
@@ -403,12 +458,41 @@ def assemble_batch(fragments: list[JobFragment], partitioning: Partitioning,
             victim_busy[cand.job_id] = {n: busy.get(n, 0) for n in cand.nodes}
             obj_coeffs[r.index] = obj_coeffs.get(r.index, 0.0) - cand.penalty
 
-    # Supply constraints: sum of P in used(x, t) <= avail(x, t)
-    # (+ nodes freed by any chosen preemptions).  Drained nodes never
-    # return to supply, even when their holder is preempted.
-    drained = getattr(state, "drained_nodes", frozenset())
+    # Elastic extension: the release decision of a width re-plan is the
+    # candidate's own fragment root indicator (no new variable, no extra
+    # objective term — grow penalties live in the fragment's leaf values).
+    resize_roots: dict[str, int] = {}
+    active_resizes: list[ResizeCandidate] = []
     supply_cons: list[Constraint] = []
     supply_rows: list[tuple[dict, float]] = []
+    for cand in resizable:
+        ind = job_indicators.get(cand.job_id)
+        if ind is None:
+            continue  # every width option was culled this cycle
+        resize_roots[cand.job_id] = ind.index
+        victim_busy[cand.job_id] = {n: busy.get(n, 0) for n in cand.nodes}
+        active_resizes.append(cand)
+        # Commit row: the root indicator both grants the freed-nodes
+        # supply credit and must therefore imply an actual width choice —
+        # ``I <= sum(leaf indicators)``.  Without it the solver could
+        # activate the root for the credit alone, a phantom release of a
+        # still-running gang.  (A single-leaf fragment already ties the
+        # root to its demand row.)
+        leaf_inds = {rec.indicator.index
+                     for rec in frag_records[cand.job_id]}
+        if leaf_inds != {ind.index}:
+            coeffs = {i: -1.0 for i in leaf_inds}
+            coeffs[ind.index] = coeffs.get(ind.index, 0.0) + 1.0
+            con = Constraint(f"resize-commit[{cand.job_id}]",
+                             LinExpr(coeffs, 0.0), LE, 0.0)
+            supply_cons.append(con)
+            supply_rows.append((con.expr.coeffs, con.rhs))
+
+    # Supply constraints: sum of P in used(x, t) <= avail(x, t)
+    # (+ nodes freed by any chosen preemptions or width re-plans).
+    # Drained nodes never return to supply, even when their holder is
+    # preempted or resized.
+    drained = getattr(state, "drained_nodes", frozenset())
     for part in partitioning.partitions:
         profile = state.availability_profile(
             part.nodes, horizon, now, quantum_s)
@@ -427,6 +511,14 @@ def assemble_batch(fragments: list[JobFragment], partitioning: Partitioning,
                 if freed:
                     ri = preemption_vars[cand.job_id].index
                     coeffs[ri] = coeffs.get(ri, 0.0) - freed
+            for cand in active_resizes:
+                freed = sum(
+                    1 for n in cand.nodes
+                    if n in part.nodes and n not in drained
+                    and victim_busy[cand.job_id][n] > t)
+                if freed:
+                    ri = resize_roots[cand.job_id]
+                    coeffs[ri] = coeffs.get(ri, 0.0) - freed
             con = Constraint(f"supply[p{part.pid},t{t}]",
                              LinExpr(coeffs, 0.0), LE, float(profile[t]))
             supply_cons.append(con)
@@ -440,7 +532,8 @@ def assemble_batch(fragments: list[JobFragment], partitioning: Partitioning,
         model=model, partitioning=partitioning, horizon=horizon,
         job_indicators=job_indicators, leaf_records=records,
         job_order=[frag.job_id for frag in fragments],
-        stats=model.stats(), preemption_vars=preemption_vars)
+        stats=model.stats(), preemption_vars=preemption_vars,
+        resize_candidates={cand.job_id: cand for cand in active_resizes})
 
 
 class StrlCompiler:
@@ -468,7 +561,8 @@ class StrlCompiler:
         self.minimal_partitioning = minimal_partitioning
 
     def compile(self, batch: list[tuple[str, StrlNode]],
-                preemptible: list[PreemptionCandidate] | None = None
+                preemptible: list[PreemptionCandidate] | None = None,
+                resizable: list[ResizeCandidate] | None = None
                 ) -> CompiledBatch:
         """Compile ``[(job_id, strl_expr), ...]`` into a :class:`CompiledBatch`.
 
@@ -480,6 +574,11 @@ class StrlCompiler:
         binary kill-decision per running victim: choosing it returns the
         victim's still-held nodes to the supply of every affected time slice
         at a value penalty in the objective.
+
+        ``resizable`` (elastic extension, see :class:`ResizeCandidate`)
+        marks running malleable jobs whose batch fragment doubles as a
+        width re-plan: activating the fragment frees the job's current
+        nodes in the supply rows.
         """
         if not batch:
             raise SchedulerError("cannot compile an empty batch")
@@ -495,7 +594,7 @@ class StrlCompiler:
         horizon = max(frag.horizon for frag in fragments)
         return assemble_batch(fragments, partitioning, horizon, self.state,
                               self.quantum_s, self.now,
-                              preemptible=preemptible)
+                              preemptible=preemptible, resizable=resizable)
 
     def build_partitioning(self, exprs: list[StrlNode]) -> Partitioning:
         """Dynamic minimal partitioning over a batch's equivalence sets."""
@@ -563,6 +662,11 @@ class StrlCompiler:
             return self._gen_lnck(expr, indicator)
         if isinstance(expr, Max):
             return self._gen_choice(expr, indicator, at_most=1)
+        if isinstance(expr, ElasticNCk):
+            # Desugars to max over per-width nCk options: exactly the
+            # paper's combinators, so the per-(width, start) indicators
+            # become ordinary column groups for the colgen/repair path.
+            return self._gen_choice(expr, indicator, at_most=1)
         if isinstance(expr, Sum):
             return self._gen_choice(expr, indicator, at_most=len(expr.subexprs))
         if isinstance(expr, Min):
@@ -616,11 +720,11 @@ class StrlCompiler:
         # Value is linear in the count: v * sum_x P_x / k.
         return linear_sum(pvars.values()) * (leaf.value / leaf.k)
 
-    def _gen_choice(self, expr: Max | Sum, indicator: Variable,
+    def _gen_choice(self, expr: Max | Sum | ElasticNCk, indicator: Variable,
                     at_most: int) -> LinExpr:
         objective = LinExpr()
         child_inds = []
-        for child in expr.subexprs:
+        for child in expr.children():
             ci = self._model.add_binary(self._fresh("I"))
             child_inds.append(ci)
             objective = objective + self._gen(child, ci)

@@ -127,7 +127,8 @@ class DeltaCompiler:
 
     def compile_cycle(self, batch: list[tuple[str, StrlNode]],
                       preemptible: list[PreemptionCandidate] | None = None,
-                      now: float = 0.0, verify: bool = False
+                      now: float = 0.0, verify: bool = False,
+                      resizable: "list | None" = None
                       ) -> tuple[CompiledBatch, CycleDelta]:
         """Compile a cycle batch, reusing cached fragments for clean jobs.
 
@@ -151,7 +152,8 @@ class DeltaCompiler:
             # Tentative-reservation-aware availability (greedy accumulator):
             # fragment bounds would go stale silently.  Never cache.
             self.invalidate()
-            compiled = compiler.compile(batch, preemptible=preemptible)
+            compiled = compiler.compile(batch, preemptible=preemptible,
+                                        resizable=resizable)
             return compiled, CycleDelta(
                 added=tuple(job_id for job_id, _ in batch),
                 full_rebuild=True, reason="interval-capped availability",
@@ -200,7 +202,8 @@ class DeltaCompiler:
         horizon = max(frag.horizon for frag in fragments)
         compiled = assemble_batch(
             fragments, self._partitioning, horizon, self.state,
-            self.quantum_s, now, preemptible=preemptible)
+            self.quantum_s, now, preemptible=preemptible,
+            resizable=resizable)
         self.stats.cycles += 1
 
         recompiled = [f for f in fragments
@@ -216,13 +219,14 @@ class DeltaCompiler:
                           + len(compiled.preemption_vars)))
         if verify:
             self.verify_cycle(batch, compiled, preemptible=preemptible,
-                              now=now)
+                              now=now, resizable=resizable)
         return compiled, delta
 
     def verify_cycle(self, batch: list[tuple[str, StrlNode]],
                      compiled: CompiledBatch,
                      preemptible: list[PreemptionCandidate] | None = None,
-                     now: float = 0.0) -> None:
+                     now: float = 0.0,
+                     resizable: "list | None" = None) -> None:
         """Assert the delta-compiled model equals a from-scratch rebuild.
 
         Also re-derives the delta model's CSR export through the canonical
@@ -233,7 +237,8 @@ class DeltaCompiler:
         reference = StrlCompiler(
             self.state, self.quantum_s, now,
             self.minimal_partitioning).compile(batch,
-                                               preemptible=preemptible)
+                                               preemptible=preemptible,
+                                               resizable=resizable)
         assert_models_equal(compiled.model, reference.model)
         assert_installed_export(compiled.model)
 

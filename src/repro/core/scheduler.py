@@ -54,8 +54,10 @@ from repro.pipeline.driver import global_pipeline, greedy_pipeline
 from repro.solver.backend import make_backend
 from repro.solver.options import UNSET, SolveOptions, is_set
 from repro.solver.parallel import ComponentCache
-from repro.strl.ast import NCk, StrlNode
-from repro.strl.generator import SpaceOption, generate_job_strl
+from repro.strl.ast import Max, NCk, StrlNode
+from repro.strl.generator import (DEFAULT_EARLINESS_BIAS, SpaceOption,
+                                  generate_elastic_strl, generate_job_strl,
+                                  quantize_duration)
 from repro.valuefn import ValueFunction
 
 #: Valid values of the mode-style config fields (``config.validate()``).
@@ -78,6 +80,15 @@ class JobRequest:
     priority: PriorityClass
     submit_time: float
     deadline: float | None = None
+    #: Malleable gang: ``options`` form a width ladder (one option per
+    #: admissible gang width over one equivalence set, narrower widths
+    #: carrying longer durations).  With ``config.elastic_mode`` the job
+    #: compiles to an :class:`~repro.strl.ast.ElasticNCk` per start and,
+    #: once running, re-enters every cycle with grow/shrink/keep options
+    #: (per-cycle width re-planning).  Without it the ladder is still
+    #: schedulable — the solver picks one width at admission and the job
+    #: stays rigid.
+    elastic: bool = False
 
     def __post_init__(self) -> None:
         if not self.options:
@@ -136,6 +147,31 @@ class TetriSchedConfig:
     #: Objective penalty per preemption (in value units; keep above the
     #: best-effort base value so kills only happen for SLO-value gains).
     preemption_penalty: float = 5.0
+    #: EXTENSION: per-cycle width re-planning for malleable gangs
+    #: (``JobRequest.elastic``).  Pending elastic jobs compile to
+    #: :class:`~repro.strl.ast.ElasticNCk` width ladders; *running* elastic
+    #: jobs re-enter every global cycle with supply-neutral keep,
+    #: quanta-releasing shrink, and penalty-charged grow options, letting
+    #: the MILP trade a running gang's width against everything else it
+    #: could do with those nodes.  Requires ``global_scheduling``; under
+    #: sharding only the pending-side ladders apply (resizes need the
+    #: monolithic batch).
+    elastic_mode: bool = False
+    #: Objective penalty per grow reconfiguration (analogous to
+    #: ``preemption_penalty``): widening a running gang forces a restart /
+    #: data reshuffle, so grow options pay this much value up front.
+    #: Shrinks are free — they only release quanta back to the ledger.
+    reconfig_penalty: float = 1.0
+    #: DRESS-style congestion guard: when pending min-width demand exceeds
+    #: ``threshold * free_nodes``, elastic jobs are capped to a fair-share
+    #: max width at admission and running gangs are denied grow options
+    #: until the backlog drains.  ``1.0`` engages the guard exactly at
+    #: oversubscription; larger values tolerate deeper backlogs.  The
+    #: default tolerates transient spikes (plan-ahead can often absorb
+    #: them without narrowing anyone) yet still trips whenever free
+    #: capacity is nearly exhausted, which is when capping width — and
+    #: offering shrinks — actually pays.
+    elastic_congestion_threshold: float = 4.0
     #: Deadline slack granted to compensate for duration ceil-rounding, in
     #: quanta.  Quantization rounds estimated runtimes *up* by as much as one
     #: quantum; without this grace, borderline-feasible SLO jobs would be
@@ -269,6 +305,17 @@ class TetriSchedConfig:
             fail("shard_mode with enable_preemption is not supported: "
                  "preemption candidates span domains and would break "
                  "domain independence")
+        if self.elastic_mode and not self.global_scheduling:
+            fail("elastic_mode requires global_scheduling=True: width "
+                 "re-planning trades a running gang's nodes against the "
+                 "whole batch, which the greedy (-NG) one-job-at-a-time "
+                 "path cannot express")
+        if self.reconfig_penalty < 0:
+            fail(f"reconfig_penalty must be >= 0, "
+                 f"got {self.reconfig_penalty!r}")
+        if self.elastic_congestion_threshold <= 0:
+            fail(f"elastic_congestion_threshold must be positive, "
+                 f"got {self.elastic_congestion_threshold!r}")
         if self.rel_gap < 0:
             fail(f"rel_gap must be >= 0, got {self.rel_gap!r}")
         # repair_gap_threshold < 0 is legal: it forces auto mode to
@@ -373,6 +420,18 @@ class CycleStats:
     shard_quality_bound: float = 0.0
     #: Domains whose MILP timed out and fell back to greedy this cycle.
     shard_greedy_fallbacks: int = 0
+    #: Elastic re-planning accounting (``elastic_mode``; zeros otherwise).
+    #: ``elastic_offered`` counts running elastic jobs that re-entered the
+    #: batch with resize options this cycle; ``elastic_resized`` those the
+    #: solver actually re-sized (``grown``/``shrunk`` split it); the
+    #: congestion fields record whether the DRESS-style guard engaged and
+    #: the fair-share width cap it imposed (0 = uncapped).
+    elastic_offered: int = 0
+    elastic_resized: int = 0
+    elastic_grown: int = 0
+    elastic_shrunk: int = 0
+    elastic_congested: bool = False
+    elastic_width_cap: int = 0
     #: Per-domain records (``{"domain", "jobs", "objective", "solve_s"}``),
     #: JSON-serializable for the service's cycle-stats API.
     domain_stats: list = field(default_factory=list)
@@ -438,6 +497,12 @@ class CycleResult:
     preempted: list[str] = field(default_factory=list)
     #: Jobs whose :meth:`TetriSched.cancel` request was honored this cycle.
     cancelled: list[str] = field(default_factory=list)
+    #: Running elastic jobs whose gang width changed this cycle
+    #: (``elastic_mode``).  Each resized job also appears in
+    #: ``allocations`` with its *new* node set — callers must treat that
+    #: allocation as a reconfiguration of the running job, not a fresh
+    #: launch.  Jobs that kept their width are listed nowhere (no-op).
+    resized: list[str] = field(default_factory=list)
     stats: CycleStats | None = None
 
 
@@ -494,6 +559,10 @@ class TetriSched:
         self._prev_now: float = 0.0
         # Requests of currently running jobs (for preemption re-queuing).
         self._launched: dict[str, JobRequest] = {}
+        # Elastic re-planning: this cycle's congestion verdict
+        # (congested?, fair-share width cap) — recomputed by run_cycle so
+        # every _generate/_resize call in one cycle sees the same view.
+        self._congestion: tuple[bool, int | None] = (False, None)
         # Cross-cycle fragment cache (delta_mode on/verify, global only).
         self._delta = None
         if (self.config.delta_mode != "off"
@@ -563,6 +632,13 @@ class TetriSched:
                 self.state.finish(job_id)
                 self._launched.pop(job_id, None)
                 drained.append(job_id)
+            elif job_id in self._launched:
+                # Cancel landed mid-resize: Extract finished the old
+                # allocation and the launch loop skipped the re-entry, so
+                # only the registry half remains.  Drop it to keep the
+                # ledger-registry pairing orphan-free.
+                self._launched.pop(job_id)
+                drained.append(job_id)
             # else: already finished/culled — nothing to undo.
         self._cancelled.clear()
         return drained
@@ -582,6 +658,7 @@ class TetriSched:
         t_cycle = time.monotonic()
         result = CycleResult()
         result.cancelled.extend(self._drain_cancellations())
+        self._congestion = self._elastic_congestion()
         tel = SolveTelemetry()
         ctx = CycleContext(scheduler=self, now=now, result=result,
                            telemetry=tel)
@@ -595,11 +672,22 @@ class TetriSched:
         with obs.span("cycle"):
             pipeline.run(ctx)
             kept: list[Allocation] = []
+            resized = set(result.resized)
             for alloc in result.allocations:
                 if alloc.job_id in self._cancelled:
                     # Cancelled while the solver ran: never start it, never
-                    # touch the ledger.  The job is still queued, so the
-                    # drain below removes it cleanly.
+                    # touch the ledger.  A queued job stays queued and the
+                    # drain below removes it; a resized job's old allocation
+                    # was already finished by Extract, so the drain drops
+                    # its launch-registry half instead of re-entering it.
+                    continue
+                if alloc.job_id in resized:
+                    # Width re-plan: the old allocation was finished in
+                    # Extract; re-enter the running job at its new width.
+                    # The request stays in the launch registry untouched.
+                    self.state.start(alloc.job_id, alloc.nodes,
+                                     alloc.start_time, alloc.expected_end)
+                    kept.append(alloc)
                     continue
                 req = self.queues.remove(alloc.job_id)
                 self._launched[alloc.job_id] = req
@@ -607,6 +695,8 @@ class TetriSched:
                                  alloc.start_time, alloc.expected_end)
                 kept.append(alloc)
             result.allocations = kept
+            result.resized = [job_id for job_id in result.resized
+                              if self.state.is_running(job_id)]
         result.cancelled.extend(self._drain_cancellations())
 
         delta = ctx.delta
@@ -633,6 +723,12 @@ class TetriSched:
             repair_escalations=tel.repair_escalations,
             cache_evictions=tel.cache_evictions,
             cancelled=len(result.cancelled),
+            elastic_offered=len(ctx.resizable),
+            elastic_resized=len(result.resized),
+            elastic_grown=ctx.resize_grown,
+            elastic_shrunk=ctx.resize_shrunk,
+            elastic_congested=self._congestion[0],
+            elastic_width_cap=self._congestion[1] or 0,
             jobs_dirty=delta.jobs_dirty if delta else 0,
             jobs_clean=delta.jobs_clean if delta else 0,
             rows_patched=delta.rows_patched if delta else 0,
@@ -656,6 +752,13 @@ class TetriSched:
         options = req.options
         if not self.config.heterogeneity_aware:
             options = self._flatten_options(options)
+        if req.elastic and self.config.elastic_mode:
+            return generate_elastic_strl(
+                list(options), req.value_fn, now=now,
+                quantum_s=self.config.quantum_s,
+                plan_ahead_quanta=self.config.plan_ahead_quanta,
+                deadline=req.deadline, cull=self.config.cull,
+                width_cap=self._congestion[1])
         return generate_job_strl(
             list(options), req.value_fn, now=now,
             quantum_s=self.config.quantum_s,
@@ -683,6 +786,11 @@ class TetriSched:
         for job_id, req in self._launched.items():
             if req.priority != PriorityClass.BEST_EFFORT:
                 continue
+            if req.elastic and self.config.elastic_mode:
+                # A running elastic job re-enters the batch as a resize
+                # candidate; offering it as a preemption victim too would
+                # let one solution free its nodes twice.
+                continue
             if not self.state.is_running(job_id):
                 continue
             alloc = self.state.allocation_of(job_id)
@@ -690,6 +798,141 @@ class TetriSched:
                 job_id=job_id, nodes=alloc.nodes,
                 penalty=self.config.preemption_penalty))
         return candidates
+
+    # -- elastic width re-planning ---------------------------------------------------
+    @property
+    def _resize_enabled(self) -> bool:
+        """Whether running elastic jobs re-enter this scheduler's cycles.
+
+        Resizes need the monolithic global batch: the greedy path is
+        rejected by ``validate()`` and sharded cycles solve per-domain
+        MILPs that cannot see a cross-domain gang's full width ladder —
+        there only the pending-side :class:`~repro.strl.ast.ElasticNCk`
+        shapes apply (trimmed per domain like any other option).
+        """
+        return (self.config.elastic_mode
+                and self.config.global_scheduling
+                and self._coordinator is None)
+
+    def _elastic_congestion(self) -> tuple[bool, int | None]:
+        """DRESS-style congestion verdict for this cycle.
+
+        The ledger is congested when the pending jobs' *minimum* node
+        demand (each elastic job counted at its narrowest width) exceeds
+        ``elastic_congestion_threshold`` times the currently free supply.
+        Under congestion every pending elastic job is capped to a
+        fair-share max width and running gangs are denied grow options,
+        so malleable jobs shrink toward their minimum footprint instead
+        of racing the backlog for nodes.
+        """
+        if not self.config.elastic_mode:
+            return (False, None)
+        free = len(self.state.free_nodes())
+        elastic_pending = 0
+        demand = 0
+        for _job_id, req in self.queues.items():
+            widths = [opt.k for opt in req.options if opt.feasible]
+            if not widths:
+                continue
+            demand += min(widths)
+            if req.elastic:
+                elastic_pending += 1
+        if demand <= self.config.elastic_congestion_threshold * free:
+            return (False, None)
+        cap = max(1, free // max(1, elastic_pending))
+        return (True, cap)
+
+    def _resize_fragments(self, now: float):
+        """(job_id, expr, candidate) per running elastic job, for re-entry.
+
+        Each running elastic job contributes one STRL fragment whose root
+        indicator doubles as the release decision: activating it frees
+        the job's current quanta on the supply rows
+        (:func:`~repro.core.compiler.assemble_batch`) and the chosen leaf
+        re-consumes the new width.  A supply-neutral *keep* option at the
+        current width makes staying put weakly dominate inaction, so the
+        fragment competes fairly without ever forcing a resize.
+        """
+        from repro.core.compiler import ResizeCandidate
+        if not self._resize_enabled:
+            return []
+        congested = self._congestion[0]
+        fragments = []
+        for job_id in sorted(self._launched):
+            req = self._launched[job_id]
+            if not req.elastic or not self.state.is_running(job_id):
+                continue
+            alloc = self.state.allocation_of(job_id)
+            expr = self._resize_expr(req, alloc, now, congested)
+            if expr is None:
+                continue
+            fragments.append((job_id, expr,
+                              ResizeCandidate(job_id=job_id,
+                                              nodes=alloc.nodes)))
+        return fragments
+
+    def _resize_expr(self, req: JobRequest, alloc, now: float,
+                     congested: bool) -> StrlNode | None:
+        """Grow/shrink/keep options for one running elastic job.
+
+        Remaining work rescales with width: if the job would need
+        ``full(w)`` seconds at width ``w`` from scratch and has a fraction
+        ``frac`` of its work left, width ``w`` finishes it in
+        ``frac * full(w)`` seconds.  Shrink options draw from the job's
+        *current* nodes (no migration, duration grows); grow options draw
+        from the full equivalence set and pay ``reconfig_penalty``; the
+        keep option re-books exactly the current footprint (supply-neutral
+        by construction).  All options start now — a deferred resize is
+        just next cycle's re-plan.
+        """
+        q = self.config.quantum_s
+        family = sorted((opt for opt in req.options if opt.feasible),
+                        key=lambda o: o.k)
+        full = {opt.k: opt.duration_s for opt in family}
+        nodes_by_width = {opt.k: opt.nodes for opt in family}
+        cur = len(alloc.nodes)
+        if cur not in full:
+            return None  # footprint no longer matches the ladder
+        remaining_s = alloc.expected_end - now
+        if remaining_s <= q * 1e-6:
+            return None  # completing this quantum; let it finish
+        frac = min(1.0, remaining_s / full[cur])
+        leaves: list[NCk] = []
+        for width in sorted(full):
+            if congested and width > cur:
+                continue  # grow denied while the backlog outstrips supply
+            if not congested and width < cur:
+                # Squeezing a gang costs real work (narrow widths run at
+                # reduced efficiency), so shrink options exist only while
+                # pending demand outstrips free supply.  Otherwise the
+                # solver would trade true gang slowdown for the cosmetic
+                # earliness of jobs that fit in free capacity anyway.
+                continue
+            dur_q = quantize_duration(frac * full[width], q)
+            completion = now + dur_q * q
+            value = req.value_fn(completion)
+            if width > cur:
+                value -= self.config.reconfig_penalty
+            if value > 0.0:
+                value *= max(0.1, 1.0 - DEFAULT_EARLINESS_BIAS * dur_q)
+            if value <= 0.0:
+                if width > cur:
+                    continue  # growth must pay for itself
+                # Keep/shrink stay offered even when the job's own value
+                # has decayed to nothing: a running gang must always be
+                # squeezable, or a zero-value wide gang (excluded from
+                # preemption candidates) would block SLO bursts forever.
+                value = 1e-6 * (1 + width)
+            eq_set = alloc.nodes if width <= cur else nodes_by_width[width]
+            if width > len(eq_set):
+                continue
+            leaves.append(NCk(nodes=eq_set, k=width, start=0,
+                              duration=dur_q, value=value))
+        if not leaves:
+            return None
+        if len(leaves) == 1:
+            return leaves[0]
+        return Max(*leaves)
 
     # -- greedy (-NG) scheduling -------------------------------------------------------
     def _cycle_greedy(self, exprs, requests, now,

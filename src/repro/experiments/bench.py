@@ -542,7 +542,215 @@ def bench_cycle(backend: str = "pure", plan_ahead_s: float = 96.0,
         "auto_escalations":
             report["modes"]["monolithic-auto-exact"]["repair"]["escalations"],
     }
+    # Elastic-vs-rigid gang comparison, also at its own canonical
+    # contended 256-node geometry: the claim under test (width re-planning
+    # beats max-width gangs on utilization *and* value) needs a cluster
+    # where rigid gangs genuinely strand capacity.
+    report["elastic"] = bench_elastic(backend=backend, seed=seed)
     return report
+
+
+def _elastic_gangs(cluster: Cluster, quantum_s: float, horizon_q: int,
+                   elastic: bool) -> list[JobRequest]:
+    """One malleable gang per rack: width 24 of 32 preferred, ladder to 16.
+
+    Durations are work-conserving (``24 * horizon / w``, rounded up to
+    quanta), so shrinking a gang trades width for runtime at constant
+    node-seconds.  The rigid arm submits the identical gangs as their
+    max-width option *only* — the all-or-nothing shape malleability
+    replaces.
+    """
+    jobs: list[JobRequest] = []
+    full_q = horizon_q
+    for rack in sorted(cluster.rack_names):
+        nodes = frozenset(cluster.rack_nodes(rack))
+        top = (3 * len(nodes)) // 4
+        lo = len(nodes) // 2
+        widths = range(lo, top + 1) if elastic else range(top, top + 1)
+        jobs.append(JobRequest(
+            job_id=f"{rack}-gang",
+            options=tuple(
+                SpaceOption(nodes, k=w,
+                            duration_s=-(-top * full_q // w) * quantum_s,
+                            label=f"w{w}")
+                for w in sorted(widths, reverse=True)),
+            value_fn=StepValue(value=5.0, deadline=1e9),
+            priority=PriorityClass.BEST_EFFORT, submit_time=0.0,
+            elastic=elastic))
+    return jobs
+
+
+def _elastic_burst(cluster: Cluster, quantum_s: float, now: float,
+                   per_rack: int, tag: str) -> list[JobRequest]:
+    """A burst of rack-pinned SLO gangs that only fit if gangs shrink.
+
+    Each wants half a rack for one quantum within a three-quantum
+    deadline.  With a rigid 3/4-rack gang in place only a quarter rack is
+    free, so every one of these is culled; a malleable gang shrunk to
+    half-rack leaves exactly the room to run them back to back.
+    """
+    jobs: list[JobRequest] = []
+    for rack in sorted(cluster.rack_names):
+        nodes = frozenset(cluster.rack_nodes(rack))
+        k = len(nodes) // 2
+        deadline = now + 3 * quantum_s
+        for j in range(per_rack):
+            jobs.append(JobRequest(
+                job_id=f"{tag}{rack}-slo{j}",
+                options=(SpaceOption(nodes, k=k, duration_s=quantum_s),),
+                value_fn=StepValue(value=50.0, deadline=deadline),
+                priority=PriorityClass.SLO_ACCEPTED, submit_time=now,
+                deadline=deadline))
+    return jobs
+
+
+def _elastic_pass(elastic: bool, backend: str, racks: int,
+                  nodes_per_rack: int, quantum_s: float, horizon_q: int,
+                  burst_cycles: tuple[int, ...], burst_per_rack: int,
+                  plan_ahead_s: float, seed: int,
+                  max_cycles: int) -> dict[str, Any]:
+    """One arm of the elastic-vs-rigid comparison, run to completion.
+
+    Cycles continue until the cluster drains (no running or pending
+    work), so each arm is scored over its *own* makespan — work
+    conservation means a shrunk gang runs longer, and cutting it off
+    early would flatter the elastic arm.
+    """
+    cluster = Cluster.build(racks=racks, nodes_per_rack=nodes_per_rack)
+    cfg = TetriSchedConfig(
+        quantum_s=quantum_s, cycle_s=quantum_s, plan_ahead_s=plan_ahead_s,
+        backend=backend, rel_gap=1e-6, decomposition=True,
+        elastic_mode=elastic, seed=seed,
+        # Every cycle replays the MILP certificate and the schedule
+        # auditor (including the elastic-shape conformance checks), so a
+        # re-plan that violates capacity or the width ladder fails the
+        # bench instead of inflating its utilization.
+        audit_mode=True)
+    api = Scheduler.open(cluster, cfg)
+    capacity = len(cluster)
+    for job in _elastic_gangs(cluster, quantum_s, horizon_q, elastic):
+        api.submit(job)
+
+    busy_node_s = 0.0
+    value_by_job: dict[str, float] = {}
+    done: set[str] = set()
+    resizes = launched = 0
+    cycle_ms: list[float] = []
+    end_time = 0.0
+    for c in range(max_cycles):
+        now = c * quantum_s
+        # The facade leaves completion reporting to the caller: every job
+        # runs exactly its planned duration here, so finish each one at
+        # its (resize-adjusted) expected end.
+        for job_id, end in sorted(value_by_job.items()):
+            if job_id not in done and end <= now + 1e-9:
+                api.job_finished(job_id, now)
+                done.add(job_id)
+        if c in burst_cycles:
+            for job in _elastic_burst(cluster, quantum_s, now,
+                                      burst_per_rack, tag=f"b{c}-"):
+                api.submit(job)
+        t0 = time.monotonic()
+        res = api.run_cycle(now)
+        cycle_ms.append(1000.0 * (time.monotonic() - t0))
+        resizes += len(res.resized)
+        launched += len(res.allocations) - len(res.resized)
+        for a in res.allocations:
+            value_by_job[a.job_id] = a.expected_end
+            end_time = max(end_time, a.expected_end)
+        busy = capacity - len(api.core.state.free_nodes())
+        busy_node_s += busy * quantum_s
+        if busy == 0 and api.pending_count == 0 and c >= max(
+                burst_cycles, default=0):
+            break
+    # Realized value: each launched job scored once, at its final
+    # expected completion (resizes updated it); culled jobs score zero.
+    reqs = {j.job_id: j for j in
+            _elastic_gangs(cluster, quantum_s, horizon_q, elastic)}
+    for bc in burst_cycles:
+        for j in _elastic_burst(cluster, quantum_s, bc * quantum_s,
+                                burst_per_rack, tag=f"b{bc}-"):
+            reqs[j.job_id] = j
+    total_value = sum(reqs[job_id].value_fn(end)
+                      for job_id, end in value_by_job.items())
+    entry = {
+        "elastic_mode": elastic,
+        "makespan_s": end_time,
+        "utilization": (busy_node_s / (capacity * end_time)
+                        if end_time else 0.0),
+        "total_value": total_value,
+        "launched": launched,
+        "resizes": resizes,
+        "slo_completed": sum(1 for j in value_by_job if "-slo" in j),
+        "slo_offered": len(burst_cycles) * burst_per_rack * racks,
+        "cycle_mean_ms": (sum(cycle_ms) / len(cycle_ms)
+                          if cycle_ms else 0.0),
+        "cycles": len(cycle_ms),
+    }
+    api.close()
+    return entry
+
+
+def bench_elastic(backend: str = "pure", racks: int = 8,
+                  nodes_per_rack: int = 32, quantum_s: float = 8.0,
+                  horizon_q: int = 8,
+                  burst_cycles: tuple[int, ...] = (2, 5),
+                  burst_per_rack: int = 3, plan_ahead_s: float = 64.0,
+                  seed: int = 0, max_cycles: int = 24) -> dict[str, Any]:
+    """Elastic width re-planning vs rigid max-width gangs at 256 nodes.
+
+    The identical contended workload — one 3/4-rack gang per rack plus
+    bursts of half-rack SLO jobs — runs through both arms.  The rigid arm
+    submits each gang as its max-width option only; the elastic arm
+    submits the full width ladder with ``elastic_mode`` on.  Because gang
+    durations are work-conserving, the gangs contribute the same
+    node-seconds in both arms; any utilization difference comes from the
+    SLO work the cluster could or could not also admit.  Verdict ``ok``
+    requires the elastic arm to win on *both* cluster utilization and
+    total realized value, with at least one width re-plan actually
+    performed (every cycle of both arms ran under the audit oracle).
+    """
+    params = dict(backend=backend, racks=racks,
+                  nodes_per_rack=nodes_per_rack, quantum_s=quantum_s,
+                  horizon_q=horizon_q, burst_cycles=burst_cycles,
+                  burst_per_rack=burst_per_rack, plan_ahead_s=plan_ahead_s,
+                  seed=seed, max_cycles=max_cycles)
+    report: dict[str, Any] = {
+        "meta": {**params, "burst_cycles": list(burst_cycles),
+                 "nodes": racks * nodes_per_rack},
+    }
+    report["rigid"] = _elastic_pass(elastic=False, **params)
+    report["elastic"] = _elastic_pass(elastic=True, **params)
+    report["utilization_win"] = (report["elastic"]["utilization"]
+                                 > report["rigid"]["utilization"])
+    report["value_win"] = (report["elastic"]["total_value"]
+                           > report["rigid"]["total_value"])
+    report["resizes"] = report["elastic"]["resizes"]
+    report["ok"] = (report["utilization_win"] and report["value_win"]
+                    and report["resizes"] > 0)
+    return report
+
+
+def format_bench_elastic(report: dict[str, Any]) -> str:
+    """Human-readable summary of a :func:`bench_elastic` report."""
+    meta = report["meta"]
+    lines = [f"bench-elastic: backend={meta['backend']} "
+             f"{meta['nodes']} nodes "
+             f"({meta['racks']}x{meta['nodes_per_rack']}) "
+             f"bursts at cycles {meta['burst_cycles']} seed={meta['seed']}"]
+    for arm in ("rigid", "elastic"):
+        e = report[arm]
+        lines.append(
+            f"  {arm:<7}: utilization={e['utilization']:.3f} "
+            f"value={e['total_value']:.0f} "
+            f"slo={e['slo_completed']}/{e['slo_offered']} "
+            f"resizes={e['resizes']} makespan={e['makespan_s']:.0f}s "
+            f"({e['cycle_mean_ms']:.0f}ms/cycle x {e['cycles']})")
+    lines.append(
+        f"  elastic wins utilization: {report['utilization_win']}, "
+        f"value: {report['value_win']}, resizes>0: "
+        f"{report['resizes'] > 0} -> ok={report['ok']}")
+    return "\n".join(lines)
 
 
 class StreamingStats:

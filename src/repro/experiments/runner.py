@@ -24,6 +24,7 @@ from repro.errors import ReproError
 from repro.reservation.rayon import RayonReservationSystem
 from repro.sim.adapters import TetriSchedAdapter
 from repro.sim.engine import Simulation, SimulationResult
+from repro.sim.faults import FaultModel
 from repro.workloads.compositions import WorkloadComposition
 from repro.workloads.gridmix import GridmixConfig, generate_workload
 
@@ -79,6 +80,17 @@ class RunSpec:
     burstiness: float = 1.0
     #: Heterogeneity intensity: sub-optimal-placement slowdown factor.
     slowdown: float = 1.5
+    #: Fraction of best-effort jobs generated as malleable elastic gangs.
+    elastic_fraction: float = 0.0
+    #: Scaling efficiency of generated elastic gangs (1.0 = the paper's
+    #: constant-area space-time shapes; <1 = narrow widths inflate work).
+    elastic_efficiency: float = 1.0
+    #: Extension: per-cycle width re-planning of running elastic gangs.
+    elastic_mode: bool = False
+    #: Value charged when a running elastic gang grows (reconfiguration).
+    reconfig_penalty: float = 1.0
+    #: Per-launch mid-run failure probability (0 = no fault injection).
+    failure_prob: float = 0.0
 
     def with_(self, **overrides) -> "RunSpec":
         return replace(self, **overrides)
@@ -92,6 +104,8 @@ def _tetrisched_config(spec: RunSpec, variant: str) -> TetriSchedConfig:
                    solver_time_limit=spec.solver_time_limit,
                    enable_preemption=spec.enable_preemption,
                    delta_mode=spec.delta_mode,
+                   elastic_mode=spec.elastic_mode,
+                   reconfig_penalty=spec.reconfig_penalty,
                    # One seed drives everything derived from the config:
                    # domain tie-breaks, pool dispatch order, workloads.
                    seed=spec.seed)
@@ -127,10 +141,14 @@ def run_experiment(spec: RunSpec) -> SimulationResult:
                       target_utilization=spec.target_utilization,
                       estimate_error=spec.estimate_error,
                       burstiness=spec.burstiness, slowdown=spec.slowdown,
+                      elastic_fraction=spec.elastic_fraction,
+                      elastic_efficiency=spec.elastic_efficiency,
                       seed=spec.seed))
     rayon = RayonReservationSystem(capacity=len(cluster), step_s=spec.cycle_s)
     scheduler = build_scheduler(spec, cluster, rayon)
+    faults = (FaultModel(spec.failure_prob, seed=spec.seed + 1)
+              if spec.failure_prob > 0.0 else None)
     sim = Simulation(cluster, scheduler, workload, rayon=rayon,
-                     max_time_s=spec.max_time_s)
+                     max_time_s=spec.max_time_s, faults=faults)
     result = sim.run()
     return result

@@ -8,7 +8,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only, avoids import cycle
-    from repro.core.compiler import CompiledBatch
+    from repro.core.compiler import CompiledBatch, ResizeCandidate
     from repro.core.delta import CycleDelta
     from repro.core.scheduler import (CycleResult, JobRequest, SolveTelemetry,
                                       TetriSched, TetriSchedConfig)
@@ -31,9 +31,16 @@ class CycleContext:
     result: "CycleResult"
     telemetry: "SolveTelemetry"
 
-    #: (job_id, STRL root) per schedulable pending job.
+    #: (job_id, STRL root) per schedulable pending job — plus, with
+    #: ``elastic_mode``, one resize fragment per running elastic job.
     exprs: list[tuple[str, "StrlNode"]] = field(default_factory=list)
     requests: dict[str, "JobRequest"] = field(default_factory=dict)
+    #: Running elastic jobs re-entered as width re-planning candidates
+    #: (``elastic_mode``); their fragments sit at the tail of ``exprs``.
+    resizable: list["ResizeCandidate"] = field(default_factory=list)
+    #: Extract's grow/shrink split of this cycle's applied resizes.
+    resize_grown: int = 0
+    resize_shrunk: int = 0
     compiled: "CompiledBatch | None" = None
     #: What the delta compiler recompiled vs replayed (``delta_mode != off``).
     delta: "CycleDelta | None" = None

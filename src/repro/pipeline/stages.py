@@ -81,6 +81,13 @@ class StrlGeneration:
                 continue
             ctx.exprs.append((job_id, expr))
             ctx.requests[job_id] = req
+        # Running elastic jobs re-enter the batch with grow/shrink/keep
+        # options (elastic_mode): even with an empty queue these fragments
+        # keep the cycle alive so a gang can widen as the cluster drains.
+        for job_id, expr, cand in sched._resize_fragments(ctx.now):
+            ctx.exprs.append((job_id, expr))
+            ctx.requests[job_id] = sched._launched[job_id]
+            ctx.resizable.append(cand)
         if not ctx.exprs:
             ctx.halt()
 
@@ -105,12 +112,14 @@ class Compilation:
         if sched._delta is not None:
             ctx.compiled, ctx.delta = sched._delta.compile_cycle(
                 ctx.exprs, preemptible=preemptible, now=ctx.now,
-                verify=ctx.config.delta_mode == "verify")
+                verify=ctx.config.delta_mode == "verify",
+                resizable=ctx.resizable)
         else:
             compiler = StrlCompiler(sched.state, ctx.config.quantum_s,
                                     ctx.now)
             ctx.compiled = compiler.compile(ctx.exprs,
-                                            preemptible=preemptible)
+                                            preemptible=preemptible,
+                                            resizable=ctx.resizable)
         ctx.telemetry.milp_variables = ctx.compiled.stats["variables"]
         ctx.telemetry.milp_constraints = ctx.compiled.stats["constraints"]
 
@@ -230,11 +239,30 @@ class Extract:
             sched.queues.push(victim_id, req.priority, req)
             ctx.result.preempted.append(victim_id)
 
+        # Apply width re-plans the same way: an actual resize releases the
+        # old allocation here (its quanta are supply the solution spent);
+        # choosing the current width is the supply-neutral keep option — a
+        # no-op whose placement must not be re-booked on the ledger.
+        keeps: set[str] = set()
+        for job_id, width in sorted(compiled.resize_decisions(res.x).items()):
+            cand = compiled.resize_candidates[job_id]
+            if width == cand.width:
+                keeps.add(job_id)
+                continue
+            sched.state.finish(job_id)
+            ctx.result.resized.append(job_id)
+            if width > cand.width:
+                ctx.resize_grown += 1
+            else:
+                ctx.resize_shrunk += 1
+
         with obs.span("decode"):
-            placements = compiled.decode(res.x)
+            placements = [pl for pl in compiled.decode(res.x)
+                          if pl.job_id not in keeps]
             sched._prev_plan = [(rec.job_id, rec.leaf)
                                 for rec in compiled.leaf_records
-                                if rec.chosen_counts(res.x)]
+                                if rec.chosen_counts(res.x)
+                                and rec.job_id not in compiled.resize_candidates]
             sched._prev_now = ctx.now
 
         with obs.span("materialize"):

@@ -21,7 +21,7 @@ from repro.cluster.cluster import Cluster
 from repro.core.queues import PriorityClass
 from repro.core.scheduler import JobRequest, TetriSchedConfig
 from repro.sim.interface import ClusterScheduler, CycleDecisions
-from repro.sim.jobs import Job
+from repro.sim.jobs import ElasticType, Job
 from repro.valuefn import (SLO_ACCEPTED_MULTIPLIER,
                            SLO_NO_RESERVATION_MULTIPLIER, GraceStepValue,
                            best_effort_value)
@@ -51,7 +51,8 @@ def request_from_job(job: Job, accepted: bool, cluster: Cluster,
     return JobRequest(
         job_id=job.job_id, options=tuple(job.estimated_options(cluster)),
         value_fn=value_fn, priority=priority,
-        submit_time=job.submit_time, deadline=deadline)
+        submit_time=job.submit_time, deadline=deadline,
+        elastic=isinstance(job.job_type, ElasticType))
 
 
 class TetriSchedAdapter:
@@ -78,7 +79,8 @@ class TetriSchedAdapter:
         self._running.difference_update(result.preempted)
         return CycleDecisions(allocations=result.allocations,
                               culled=result.culled,
-                              preempted=result.preempted, stats=result.stats)
+                              preempted=result.preempted,
+                              resized=result.resized, stats=result.stats)
 
     def job_finished(self, job_id: str, now: float) -> None:
         self.scheduler.on_job_finished(job_id, now)
@@ -149,7 +151,8 @@ class ServiceAdapter:
         self._running.difference_update(result.cancelled)
         return CycleDecisions(allocations=result.allocations,
                               culled=result.culled,
-                              preempted=result.preempted, stats=result.stats)
+                              preempted=result.preempted,
+                              resized=result.resized, stats=result.stats)
 
     def job_finished(self, job_id: str, now: float) -> None:
         self._clock._now = now

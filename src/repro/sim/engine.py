@@ -21,7 +21,7 @@ Flow per job:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro import obs
 from repro.cluster.cluster import Cluster
@@ -31,11 +31,11 @@ from repro.reservation.rayon import RayonReservationSystem
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.faults import FaultModel
 from repro.sim.interface import ClusterScheduler
-from repro.sim.jobs import Job
+from repro.sim.jobs import ElasticType, Job
 from repro.sim.metrics import (JobOutcome, LatencyTrace, MetricsCollector,
                                MetricsReport)
 from repro.sim.trace import (ARRIVAL, COMPLETION, CULL, FAILURE, LAUNCH,
-                             PREEMPTION, ExecutionTrace)
+                             PREEMPTION, RESIZE, ExecutionTrace)
 
 
 @dataclass
@@ -113,6 +113,13 @@ class Simulation:
         self.profile = RunProfile()
         self._events = EventQueue()
         self._completion_events: dict[str, Event] = {}
+        #: Work-conservation model for running elastic jobs: fraction of
+        #: total work finished before the current width segment, and the
+        #: segment's (start_time, full_runtime_at_this_width).  A resize
+        #: closes the segment, accrues its work, and reschedules the
+        #: remaining fraction at the new width's speed.
+        self._work_done: dict[str, float] = {}
+        self._segments: dict[str, tuple[float, float]] = {}
         self._unfinalized = 0
         self._future_arrivals = 0
         self._cycles = 0
@@ -177,6 +184,8 @@ class Simulation:
 
     def _on_completion(self, job_id: str) -> None:
         self._completion_events.pop(job_id, None)
+        self._work_done.pop(job_id, None)
+        self._segments.pop(job_id, None)
         self.scheduler.job_finished(job_id, self._now)
         self.rayon.on_job_complete(job_id, self._now)
         self.metrics.of(job_id).finish_time = self._now
@@ -187,9 +196,12 @@ class Simulation:
     def _on_failure(self, job_id: str) -> None:
         """A running attempt died; free nodes, retry or abandon."""
         self._completion_events.pop(job_id, None)
+        self._work_done.pop(job_id, None)
+        self._segments.pop(job_id, None)
         self.scheduler.job_finished(job_id, self._now)
         self._attempts[job_id] = self._attempts.get(job_id, 0) + 1
         outcome = self.metrics.of(job_id)
+        failed_nodes = outcome.nodes
         outcome.failures += 1
         outcome.start_time = None
         outcome.nodes = frozenset()
@@ -202,6 +214,20 @@ class Simulation:
             self._unfinalized -= 1
             return
         job = self.jobs[job_id]
+        width = len(failed_nodes)
+        if (isinstance(job.job_type, ElasticType)
+                and 0 < width != job.k):
+            # An elastic job that resized before dying re-enters at its
+            # *current* width, not its submitted one: the width re-plan is
+            # a durable reconfiguration, so the retry's ladder tops out at
+            # the width the attempt was actually running.  Rebasing keeps
+            # total work honest — the runtime at the failed width under
+            # the old reference becomes the new base.
+            job = replace(
+                job, k=width,
+                base_runtime_s=job.true_runtime_on(self.cluster,
+                                                   failed_nodes))
+            self.jobs[job_id] = job
         self.scheduler.submit(job, self.rayon.is_accepted(job_id), self._now)
 
     def _on_cycle(self) -> None:
@@ -219,31 +245,61 @@ class Simulation:
             outcome.start_time = None
             outcome.nodes = frozenset()
             self.rayon.on_job_complete(job_id, self._now)
+            self._work_done.pop(job_id, None)
+            self._segments.pop(job_id, None)
             if self.trace is not None:
                 self.trace.record(self._now, PREEMPTION, job_id)
+
+        # A resize closes the running width segment: cancel the in-flight
+        # completion/failure event and bank the work done so far.  The new
+        # node set arrives in ``allocations`` below and reschedules the
+        # remaining fraction at the new width's speed.
+        resized = set(decisions.resized)
+        for job_id in decisions.resized:
+            ev = self._completion_events.pop(job_id, None)
+            if ev is None:
+                raise SimulationError(
+                    f"resized job {job_id!r} has no completion event")
+            self._events.cancel(ev)
+            seg_start, seg_full = self._segments.pop(job_id)
+            self._work_done[job_id] = min(
+                1.0, self._work_done.get(job_id, 0.0)
+                + (self._now - seg_start) / seg_full)
 
         for alloc in decisions.allocations:
             job = self.jobs[alloc.job_id]
             actual = job.true_runtime_on(self.cluster, alloc.nodes)
+            is_resize = alloc.job_id in resized
+            if not is_resize:
+                self._work_done[alloc.job_id] = 0.0
+            done = self._work_done[alloc.job_id]
             attempt = self._attempts.get(alloc.job_id, 0)
             decision = (self.faults.draw(alloc.job_id, attempt)
                         if self.faults is not None else None)
-            if decision is not None and decision.fails:
+            if (decision is not None and decision.fails
+                    and decision.at_fraction > done):
+                # Faults strike at a fixed *work* fraction of the attempt,
+                # so the same draw stays consistent across resizes.
                 ev = self._events.push(
-                    self._now + actual * decision.at_fraction,
+                    self._now + actual * (decision.at_fraction - done),
                     EventKind.JOB_FAILURE, alloc.job_id)
             else:
-                ev = self._events.push(self._now + actual,
+                ev = self._events.push(self._now + actual * (1.0 - done),
                                        EventKind.JOB_COMPLETION,
                                        alloc.job_id)
             self._completion_events[alloc.job_id] = ev
+            self._segments[alloc.job_id] = (self._now, actual)
             outcome = self.metrics.of(alloc.job_id)
-            outcome.start_time = self._now
+            if is_resize:
+                outcome.resizes += 1
+            else:
+                outcome.start_time = self._now
             outcome.nodes = alloc.nodes
             outcome.preferred_placement = (
                 actual <= job.base_runtime_s + 1e-9)
             if self.trace is not None:
-                self.trace.record(self._now, LAUNCH, alloc.job_id,
+                self.trace.record(self._now, RESIZE if is_resize else LAUNCH,
+                                  alloc.job_id,
                                   nodes=tuple(sorted(alloc.nodes)),
                                   detail=f"true_runtime={actual:.1f}")
 
@@ -294,13 +350,19 @@ class Simulation:
             profile.bump("scheduler.delta.cols_patched", stats.cols_patched)
             profile.bump("scheduler.delta.full_rebuilds",
                          1.0 if stats.delta_full_rebuild else 0.0)
+            profile.bump("scheduler.elastic.offered", stats.elastic_offered)
+            profile.bump("scheduler.elastic.resized", stats.elastic_resized)
+            profile.bump("scheduler.elastic.grown", stats.elastic_grown)
+            profile.bump("scheduler.elastic.shrunk", stats.elastic_shrunk)
             for stage, seconds in stats.stage_timings.items():
                 profile.bump(f"scheduler.stage_s.{stage}", seconds)
-        profile.bump("scheduler.launched", len(decisions.allocations))
+        launched = len(decisions.allocations) - len(decisions.resized)
+        profile.bump("scheduler.launched", launched)
+        profile.bump("scheduler.resized", len(decisions.resized))
         profile.bump("scheduler.culled", len(decisions.culled))
         profile.bump("scheduler.preempted", len(decisions.preempted))
         obs.emit("sim.cycle", now=self._now, cycle=self._cycles,
-                 launched=len(decisions.allocations),
+                 launched=launched, resized=len(decisions.resized),
                  culled=len(decisions.culled),
                  queue_depth=len(self._events),
                  pending=getattr(self.scheduler, "active_jobs", None),

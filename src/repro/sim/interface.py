@@ -26,6 +26,9 @@ class CycleDecisions:
     culled: list[str] = field(default_factory=list)
     #: Running jobs killed to honor reservations (CapacityScheduler only).
     preempted: list[str] = field(default_factory=list)
+    #: Running elastic jobs whose width changed this cycle
+    #: (``elastic_mode``); their new node sets appear in ``allocations``.
+    resized: list[str] = field(default_factory=list)
     stats: CycleStats | None = None
 
 

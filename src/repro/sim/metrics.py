@@ -38,6 +38,8 @@ class JobOutcome:
     preferred_placement: bool | None = None
     preemptions: int = 0
     failures: int = 0
+    #: Width re-plans applied while running (elastic jobs only).
+    resizes: int = 0
 
     @property
     def completed(self) -> bool:

@@ -24,8 +24,9 @@ COMPLETION = "completion"
 PREEMPTION = "preemption"
 CULL = "cull"
 FAILURE = "failure"
+RESIZE = "resize"
 
-_KINDS = (ARRIVAL, LAUNCH, COMPLETION, PREEMPTION, CULL, FAILURE)
+_KINDS = (ARRIVAL, LAUNCH, COMPLETION, PREEMPTION, CULL, FAILURE, RESIZE)
 
 
 @dataclass(frozen=True)
@@ -82,12 +83,22 @@ class ExecutionTrace:
         """Completed occupancy intervals: (job, node, start, end).
 
         A launch opens an interval on each node; the matching completion or
-        preemption closes it.  Unclosed intervals are dropped.
+        preemption closes it.  A resize closes the running segment and
+        opens a new one on the re-planned node set, so an elastic gang
+        occupies exactly its current width at every instant.  Unclosed
+        intervals are dropped.
         """
         open_runs: dict[str, tuple[float, tuple[str, ...]]] = {}
         out: list[tuple[str, str, float, float]] = []
         for e in self.events:
             if e.kind == LAUNCH:
+                open_runs[e.job_id] = (e.time, e.nodes)
+            elif e.kind == RESIZE:
+                started = open_runs.pop(e.job_id, None)
+                if started is not None:
+                    start, nodes = started
+                    for node in nodes:
+                        out.append((e.job_id, node, start, e.time))
                 open_runs[e.job_id] = (e.time, e.nodes)
             elif e.kind in (COMPLETION, PREEMPTION, FAILURE):
                 started = open_runs.pop(e.job_id, None)

@@ -1,17 +1,20 @@
 """Space-Time Request Language (STRL): AST, parser, generator, analyses."""
 
 from repro.strl.analysis import cull_by_horizon, simplify, stats
-from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+from repro.strl.ast import (Barrier, ElasticNCk, LnCk, Max, Min, NCk, Scale,
+                            StrlNode, Sum)
 from repro.strl.generator import (SpaceOption, generate_batch_strl,
-                                  generate_job_strl, quantize_duration)
+                                  generate_elastic_strl, generate_job_strl,
+                                  quantize_duration)
 from repro.strl.parser import parse
 from repro.strl.printer import to_text
 from repro.strl.rdl import Atom, Window, rdl_to_strl
 from repro.strl.visualize import ascii_tree, spacetime_grid
 
 __all__ = [
-    "Atom", "Barrier", "LnCk", "ascii_tree", "Max", "Min", "NCk", "Scale", "SpaceOption",
+    "Atom", "Barrier", "ElasticNCk", "LnCk", "ascii_tree", "Max", "Min", "NCk", "Scale", "SpaceOption",
     "StrlNode", "Sum", "Window", "cull_by_horizon", "generate_batch_strl",
-    "generate_job_strl", "parse", "quantize_duration", "rdl_to_strl",
+    "generate_elastic_strl", "generate_job_strl", "parse",
+    "quantize_duration", "rdl_to_strl",
     "simplify", "spacetime_grid", "stats", "to_text",
 ]

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+from repro.strl.ast import (Barrier, ElasticNCk, LnCk, Max, Min, NCk, Scale,
+                            StrlNode, Sum)
 
 
 def stats(expr: StrlNode) -> dict[str, int]:
@@ -27,6 +28,7 @@ def stats(expr: StrlNode) -> dict[str, int]:
         "leaves": kinds["NCk"] + kinds["LnCk"],
         "nck": kinds["NCk"],
         "lnck": kinds["LnCk"],
+        "elastic_ops": kinds["ElasticNCk"],
         "max_ops": kinds["Max"],
         "min_ops": kinds["Min"],
         "sum_ops": kinds["Sum"],
@@ -52,7 +54,7 @@ def simplify(expr: StrlNode) -> StrlNode:
     * ``scale`` of ``scale`` -> single ``scale`` with multiplied factor;
     * ``scale`` of an ``nCk``/``LnCk`` leaf -> leaf with scaled value.
     """
-    if isinstance(expr, (NCk, LnCk)):
+    if isinstance(expr, (NCk, LnCk, ElasticNCk)):
         return expr
     if isinstance(expr, Scale):
         child = simplify(expr.subexpr)
@@ -99,6 +101,21 @@ def cull_by_horizon(expr: StrlNode, horizon: int) -> StrlNode | None:
         if expr.start + expr.duration > horizon:
             return None
         return expr
+    if isinstance(expr, ElasticNCk):
+        # Narrow widths run longest, so culling trims the range from the
+        # bottom: the survivors stay a contiguous [w, max_width] band.
+        kept = [w for w in expr.widths
+                if expr.start + expr.durations[w - expr.min_width] <= horizon]
+        if not kept:
+            return None
+        if kept == list(expr.widths):
+            return expr
+        new_min = min(kept)
+        lo = new_min - expr.min_width
+        if len(kept) == 1:
+            return expr.option_for_width(new_min)
+        return ElasticNCk(expr.nodes, new_min, expr.max_width, expr.start,
+                          expr.durations[lo:], expr.value_per_width[lo:])
     if isinstance(expr, Scale):
         child = cull_by_horizon(expr.subexpr, horizon)
         if child is None:

@@ -10,6 +10,11 @@ exactly the paper's primitives and operators:
 * :class:`LnCk` — "Linear n Choose k": like :class:`NCk` but accepts any
   count up to ``k`` and yields value proportionally (suppresses enumeration
   over ``k``);
+* :class:`ElasticNCk` — malleable gang: choose *one* width ``w`` in
+  ``[min_width, max_width]`` with a per-width duration and a monotone
+  per-width value (the elastic/malleable extension; desugars to
+  ``max`` over per-width ``nCk`` options, so the existing compiler
+  combinators and column-group tagging apply unchanged);
 * :class:`Max` — choose at most one child (soft constraints / OR, [R2]);
 * :class:`Min` — all children must be satisfied (gang / anti-affinity /
   AND, [R3], [R4]);
@@ -133,6 +138,82 @@ class LnCk(StrlNode):
 
     def max_value(self) -> float:
         return self.value
+
+
+@dataclass(frozen=True)
+class ElasticNCk(StrlNode):
+    """Malleable gang: exactly one width from ``[min_width, max_width]``.
+
+    A malleable job runs at any gang width in a contiguous range; narrower
+    widths take longer (work conservation) and are worth no more than wider
+    ones.  ``durations`` and ``value_per_width`` are aligned to widths in
+    ascending order (``min_width`` first).  The node behaves exactly like
+    ``Max(nCk(w) for w in widths)`` — its :meth:`children` are the
+    desugared per-width :class:`NCk` options, widest first, so the
+    compiler, the audit oracle, and every tree query (``leaves``,
+    ``horizon``, ``max_value``) see ordinary combinators — but it keeps
+    the width-range semantics first-class so the auditor can check elastic
+    conformance (chosen width within range, value reconciled at the
+    *chosen* width) and the delta compiler can detect width-set changes
+    through ordinary structural equality.
+    """
+
+    nodes: frozenset[str]
+    min_width: int
+    max_width: int
+    start: int
+    durations: tuple[int, ...]
+    value_per_width: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.min_width <= 0:
+            raise StrlError(
+                f"elastic: min_width must be positive, got {self.min_width}")
+        if self.max_width < self.min_width:
+            raise StrlError(
+                f"elastic: max_width {self.max_width} < min_width "
+                f"{self.min_width}")
+        n_widths = self.max_width - self.min_width + 1
+        if len(self.durations) != n_widths:
+            raise StrlError(
+                f"elastic: expected {n_widths} durations "
+                f"(one per width), got {len(self.durations)}")
+        if len(self.value_per_width) != n_widths:
+            raise StrlError(
+                f"elastic: expected {n_widths} values "
+                f"(one per width), got {len(self.value_per_width)}")
+        for lo, hi in zip(self.value_per_width, self.value_per_width[1:]):
+            if hi < lo - 1e-12:
+                raise StrlError(
+                    "elastic: value_per_width must be monotone "
+                    f"non-decreasing in width, got {self.value_per_width}")
+        # Each desugared width option is a full NCk and inherits its
+        # validation (nonempty frozenset, k <= |nodes|, duration > 0, ...).
+        options = tuple(
+            NCk(self.nodes, self.min_width + i, self.start,
+                self.durations[i], self.value_per_width[i])
+            for i in reversed(range(n_widths)))
+        object.__setattr__(self, "_options", options)
+
+    @property
+    def widths(self) -> tuple[int, ...]:
+        """Admissible gang widths, ascending."""
+        return tuple(range(self.min_width, self.max_width + 1))
+
+    def children(self) -> tuple[StrlNode, ...]:
+        """Desugared per-width NCk options, widest (fastest) first."""
+        return self._options
+
+    def option_for_width(self, width: int) -> NCk:
+        """The desugared NCk option at one admissible width."""
+        if not self.min_width <= width <= self.max_width:
+            raise StrlError(
+                f"elastic: width {width} outside "
+                f"[{self.min_width}, {self.max_width}]")
+        return self._options[self.max_width - width]
+
+    def max_value(self) -> float:
+        return max(self.value_per_width)
 
 
 def _check_operator(children: tuple[StrlNode, ...], kind: str) -> None:

@@ -21,7 +21,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import StrlError
-from repro.strl.ast import Max, NCk, StrlNode, Sum
+from repro.strl.ast import ElasticNCk, Max, NCk, StrlNode, Sum
 from repro.valuefn import ValueFunction
 
 
@@ -143,6 +143,90 @@ def generate_job_strl(options: list[SpaceOption], value_fn: ValueFunction,
     if len(leaves) == 1:
         return leaves[0]
     return Max(*leaves)
+
+
+def generate_elastic_strl(options: list[SpaceOption],
+                          value_fn: ValueFunction,
+                          now: float, quantum_s: float,
+                          plan_ahead_quanta: int,
+                          deadline: float | None = None,
+                          cull: bool = True,
+                          earliness_bias: float = DEFAULT_EARLINESS_BIAS,
+                          width_cap: int | None = None) -> StrlNode | None:
+    """Build a malleable job's STRL expression from its width family.
+
+    ``options`` is one option per admissible gang width (``opt.k`` is the
+    width; narrower widths carry longer durations — work conservation).
+    Each start quantum becomes one :class:`ElasticNCk` covering every
+    width that still meets the deadline with positive value at that start;
+    the per-start nodes are combined under ``max`` exactly like rigid
+    placement options.  ``width_cap`` implements the DRESS-style
+    congestion guard: widths above the cap are dropped before generation,
+    shrinking the job's claim when the ledger is oversubscribed.
+
+    Falls back to :func:`generate_job_strl` when the option family is not
+    a clean width ladder (mixed node sets or non-contiguous widths), so
+    callers may pass any option list.
+    """
+    if plan_ahead_quanta < 0:
+        raise StrlError("plan_ahead_quanta must be >= 0")
+    family = sorted((opt for opt in options if opt.feasible),
+                    key=lambda o: o.k)
+    if width_cap is not None:
+        capped = [opt for opt in family if opt.k <= width_cap]
+        # Never cap below the narrowest admissible width: the guard
+        # shrinks a job's claim, it must not evict the job entirely.
+        family = capped or family[:1]
+    if not family:
+        return None
+    widths = [opt.k for opt in family]
+    is_ladder = (len(set(widths)) == len(widths)
+                 and widths == list(range(widths[0], widths[-1] + 1))
+                 and all(opt.nodes == family[0].nodes for opt in family)
+                 and all(a.duration_s >= b.duration_s
+                         for a, b in zip(family, family[1:])))
+    if not is_ladder:
+        return generate_job_strl(family, value_fn, now, quantum_s,
+                                 plan_ahead_quanta, deadline, cull,
+                                 earliness_bias)
+    nodes = family[0].nodes
+    per_start: list[StrlNode] = []
+    for start_q in range(plan_ahead_quanta + 1):
+        durs: list[int] = []
+        vals: list[float] = []
+        kept: list[int] = []
+        for opt in family:
+            dur_q = quantize_duration(opt.duration_s, quantum_s)
+            completion = now + (start_q + dur_q) * quantum_s
+            if cull and deadline is not None and completion > deadline + 1e-9:
+                # Narrower widths finish even later — the surviving band
+                # stays contiguous at the top of the width range.
+                durs.clear(); vals.clear(); kept.clear()
+                continue
+            value = value_fn(completion)
+            if cull and value <= 0.0:
+                durs.clear(); vals.clear(); kept.clear()
+                continue
+            if earliness_bias and value > 0.0:
+                value *= max(0.1, 1.0 - earliness_bias * (start_q + dur_q))
+            durs.append(dur_q)
+            vals.append(value)
+            kept.append(opt.k)
+        if not kept:
+            continue
+        if len(kept) == 1:
+            per_start.append(NCk(nodes=nodes, k=kept[0], start=start_q,
+                                 duration=durs[0], value=vals[0]))
+        else:
+            per_start.append(ElasticNCk(
+                nodes=nodes, min_width=kept[0], max_width=kept[-1],
+                start=start_q, durations=tuple(durs),
+                value_per_width=tuple(vals)))
+    if not per_start:
+        return None
+    if len(per_start) == 1:
+        return per_start[0]
+    return Max(*per_start)
 
 
 def generate_batch_strl(job_exprs: list[StrlNode]) -> StrlNode | None:

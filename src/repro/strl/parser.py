@@ -4,8 +4,11 @@ Grammar (s-expressions)::
 
     expr    := leaf | op
     leaf    := "(" ("nCk" | "LnCk") set kw* ")"
+            | "(" "elastic" set ekw* ")"
     set     := "(" "set" NAME+ ")"
     kw      := ":k" INT | ":start" INT | ":dur" INT | ":v" NUMBER
+    ekw     := ":min" INT | ":max" INT | ":start" INT
+             | ":durs" "(" INT+ ")" | ":vs" "(" NUMBER+ ")"
     op      := "(" ("max" | "min" | "sum") expr+ ")"
              | "(" "scale" NUMBER expr ")"
              | "(" "barrier" NUMBER expr ")"
@@ -20,7 +23,8 @@ from __future__ import annotations
 import re
 
 from repro.errors import StrlParseError
-from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+from repro.strl.ast import (Barrier, ElasticNCk, LnCk, Max, Min, NCk, Scale,
+                            StrlNode, Sum)
 
 _TOKEN_RE = re.compile(r"""\(|\)|[^\s()]+""")
 _NUMBER_RE = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?$")
@@ -112,11 +116,50 @@ def _parse_leaf(stream: _TokenStream, tag: str) -> StrlNode:
                value=_parse_number(kwargs[":v"], ":v"))
 
 
+def _parse_value_list(stream: _TokenStream, what: str) -> list[str]:
+    stream.expect("(")
+    toks: list[str] = []
+    while stream.peek() not in (")", None):
+        toks.append(stream.next())
+    stream.expect(")")
+    if not toks:
+        raise StrlParseError(f"empty list for {what}")
+    return toks
+
+
+def _parse_elastic(stream: _TokenStream) -> StrlNode:
+    nodes = _parse_set(stream)
+    kwargs: dict[str, object] = {}
+    while stream.peek() != ")":
+        key = stream.next()
+        if not key.startswith(":"):
+            raise StrlParseError(f"expected keyword like :min, got {key!r}")
+        if key in (":durs", ":vs"):
+            kwargs[key] = _parse_value_list(stream, key)
+        else:
+            kwargs[key] = stream.next()
+    stream.expect(")")
+    missing = {":min", ":max", ":start", ":durs", ":vs"} - set(kwargs)
+    if missing:
+        raise StrlParseError(
+            f"elastic leaf missing keywords: {sorted(missing)}")
+    return ElasticNCk(
+        nodes=nodes,
+        min_width=_parse_int(kwargs[":min"], ":min"),
+        max_width=_parse_int(kwargs[":max"], ":max"),
+        start=_parse_int(kwargs[":start"], ":start"),
+        durations=tuple(_parse_int(t, ":durs") for t in kwargs[":durs"]),
+        value_per_width=tuple(_parse_number(t, ":vs")
+                              for t in kwargs[":vs"]))
+
+
 def _parse_expr(stream: _TokenStream) -> StrlNode:
     stream.expect("(")
     tag = stream.next()
     if tag in ("nCk", "LnCk"):
         return _parse_leaf(stream, tag)
+    if tag == "elastic":
+        return _parse_elastic(stream)
     if tag in ("max", "min", "sum"):
         children: list[StrlNode] = []
         while stream.peek() == "(":

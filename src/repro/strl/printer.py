@@ -11,7 +11,8 @@ The textual form round-trips through :mod:`repro.strl.parser`:
 from __future__ import annotations
 
 from repro.errors import StrlError
-from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+from repro.strl.ast import (Barrier, ElasticNCk, LnCk, Max, Min, NCk, Scale,
+                            StrlNode, Sum)
 
 
 def _fmt_num(x: float) -> str:
@@ -34,11 +35,22 @@ def _leaf_text(tag: str, leaf) -> str:
             f":dur {leaf.duration} :v {_fmt_num(leaf.value)})")
 
 
+def _elastic_text(leaf: ElasticNCk) -> str:
+    names = " ".join(sorted(leaf.nodes))
+    durs = " ".join(str(d) for d in leaf.durations)
+    vals = " ".join(_fmt_num(v) for v in leaf.value_per_width)
+    return (f"(elastic (set {names}) :min {leaf.min_width} "
+            f":max {leaf.max_width} :start {leaf.start} "
+            f":durs ({durs}) :vs ({vals}))")
+
+
 def _to_text_flat(expr: StrlNode) -> str:
     if isinstance(expr, NCk):
         return _leaf_text("nCk", expr)
     if isinstance(expr, LnCk):
         return _leaf_text("LnCk", expr)
+    if isinstance(expr, ElasticNCk):
+        return _elastic_text(expr)
     if isinstance(expr, Max):
         return "(max " + " ".join(_to_text_flat(c) for c in expr.subexprs) + ")"
     if isinstance(expr, Min):
@@ -55,7 +67,7 @@ def _to_text_flat(expr: StrlNode) -> str:
 
 def _to_text_pretty(expr: StrlNode, depth: int, indent: int) -> str:
     pad = " " * (depth * indent)
-    if isinstance(expr, (NCk, LnCk)):
+    if isinstance(expr, (NCk, LnCk, ElasticNCk)):
         return pad + _to_text_flat(expr)
     child_pad = "\n"
     if isinstance(expr, (Max, Min, Sum)):

@@ -15,7 +15,8 @@ handy in a REPL when debugging generated expressions.
 from __future__ import annotations
 
 from repro.errors import StrlError
-from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+from repro.strl.ast import (Barrier, ElasticNCk, LnCk, Max, Min, NCk, Scale,
+                            StrlNode, Sum)
 
 
 def _leaf_label(leaf: NCk | LnCk) -> str:
@@ -29,6 +30,9 @@ def _leaf_label(leaf: NCk | LnCk) -> str:
 def _node_label(node: StrlNode) -> str:
     if isinstance(node, (NCk, LnCk)):
         return _leaf_label(node)
+    if isinstance(node, ElasticNCk):
+        return (f"elastic w∈[{node.min_width},{node.max_width}] "
+                f"@t{node.start} v≤{node.max_value():g}")
     if isinstance(node, Max):
         return f"max (choose ≤1 of {len(node.subexprs)})"
     if isinstance(node, Min):

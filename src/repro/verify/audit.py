@@ -13,8 +13,14 @@ state, the compiled batch, and a solve result, it independently rechecks:
   ``min`` gangs are all-or-nothing, and a ``barrier`` only yields value
   when its child actually reaches the threshold;
 * **double placement** — no already-running job receives new resources
-  (unless the solve explicitly preempted it), and this cycle's launch
-  decisions use disjoint, currently-free nodes matching the solved counts;
+  (unless the solve explicitly preempted it or re-planned its width), and
+  this cycle's launch decisions use disjoint, currently-free nodes
+  matching the solved counts;
+* **elastic lifecycle** — an ``ElasticNCk`` activates at most one width,
+  inside its declared ``[min, max]`` band, with value reconciled at the
+  *chosen* width; a resize decision must have released the old
+  allocation's quanta back to the ledger (no leak) while a keep decision
+  must have left it untouched;
 * **objective reconciliation** — the claimed MILP objective is recomputed
   bottom-up from the STRL trees (i.e. from the value functions the
   generator baked into the leaves) minus any preemption penalties; a
@@ -38,7 +44,8 @@ import numpy as np
 
 from repro.errors import ReproError
 from repro.solver.result import SolveStatus
-from repro.strl.ast import Barrier, LnCk, Max, Min, NCk, Scale, StrlNode, Sum
+from repro.strl.ast import (Barrier, ElasticNCk, LnCk, Max, Min, NCk, Scale,
+                            StrlNode, Sum)
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.cluster.state import ClusterState
@@ -150,6 +157,8 @@ class _StrlEvaluator:
             return self._eval_leaf(job_id, expr)
         if isinstance(expr, Max):
             return self._eval_max(job_id, expr)
+        if isinstance(expr, ElasticNCk):
+            return self._eval_elastic(job_id, expr)
         if isinstance(expr, Min):
             return self._eval_min(job_id, expr)
         if isinstance(expr, Sum):
@@ -232,6 +241,37 @@ class _StrlEvaluator:
         # Inactive children contribute 0, so the sum is the chosen child.
         return sum(values), any(actives)
 
+    def _eval_elastic(self, job_id: str,
+                      expr: ElasticNCk) -> tuple[float, bool]:
+        """Elastic-shape conformance: one width, inside ``[min, max]``.
+
+        The per-width options are ordinary ``nCk`` leaves, so the exact-k
+        and value-at-chosen-width checks fall out of :meth:`_eval_leaf`;
+        what is elastic-specific is that at most one width may be active
+        and that any active width lies within the declared band.
+        """
+        children = expr.children()
+        values, actives = zip(*(self._eval(job_id, c) for c in children))
+        n_active = int(sum(actives))
+        if n_active > 1:
+            self._violations.append(Violation(
+                "audit.elastic-width-choice",
+                f"job {job_id!r}: elastic leaf (start={expr.start}) "
+                f"activated {n_active} widths (at most one allowed)",
+                {"job": job_id, "active": n_active}))
+        for child, active in zip(children, actives):
+            if active and not (expr.min_width <= child.k <= expr.max_width):
+                self._violations.append(Violation(
+                    "audit.elastic-width",
+                    f"job {job_id!r}: elastic leaf allocated width "
+                    f"{child.k} outside [{expr.min_width}, "
+                    f"{expr.max_width}]",
+                    {"job": job_id, "width": child.k,
+                     "min": expr.min_width, "max": expr.max_width}))
+        # Inactive widths contribute 0, so the sum is the chosen width's
+        # value — reconciled at that width by the leaf check above.
+        return sum(values), any(actives)
+
     def _eval_min(self, job_id: str, expr: Min) -> tuple[float, bool]:
         values, actives = zip(*(self._eval(job_id, c)
                                 for c in expr.subexprs))
@@ -261,15 +301,22 @@ class _StrlEvaluator:
 
 
 def _independent_busy_quanta(state: "ClusterState", now: float,
-                             quantum_s: float) -> dict[str, int]:
+                             quantum_s: float,
+                             exclude: frozenset = frozenset()
+                             ) -> dict[str, int]:
     """Per-node held-quanta, recomputed from the raw allocation ledger.
 
     Deliberately re-derives what :meth:`ClusterState.busy_quanta` computes
     (same documented semantics: overdue jobs hold at least one quantum) so
     the audit does not depend on the method the compiler itself used.
+    ``exclude`` drops the named jobs' holdings — used for running elastic
+    jobs whose *keep* decision re-books their own quanta through a leaf
+    placement, mirroring the freed-supply coefficients the MILP carried.
     """
     busy: dict[str, int] = {}
     for alloc in state.running_jobs:
+        if alloc.job_id in exclude:
+            continue
         remaining = alloc.expected_end - now
         quanta = max(1, math.ceil(remaining / quantum_s - 1e-9))
         for n in alloc.nodes:
@@ -337,6 +384,47 @@ def audit_cycle(state: "ClusterState", compiled: "CompiledBatch",
         # preemption binary; read it back rather than trusting a config.
         total_value -= -compiled.model.objective.coeffs.get(var.index, 0.0)
 
+    # -- elastic width re-planning lifecycle -------------------------------
+    # Keep decisions re-book the job's own quanta through a leaf placement
+    # (the MILP freed them on the fragment's root indicator), so their
+    # holdings leave the busy ledger below; actual resizes must already be
+    # *off* the ledger — a still-running old allocation means the freed
+    # quanta were spent twice (a ledger leak).
+    resize_decisions = compiled.resize_decisions(x)
+    keeps: set[str] = set()
+    for job_id, width in sorted(resize_decisions.items()):
+        cand = compiled.resize_candidates[job_id]
+        offered = {rec.leaf.k for rec in by_job.get(job_id, [])}
+        if offered and width not in offered:
+            violations.append(Violation(
+                "audit.elastic-width",
+                f"job {job_id!r}: resize chose width {width}, offered "
+                f"widths are {sorted(offered)}",
+                {"job": job_id, "width": width,
+                 "offered": sorted(offered)}))
+        if width == cand.width:
+            keeps.add(job_id)
+            if (not state.is_running(job_id)
+                    or state.allocation_of(job_id).nodes != cand.nodes):
+                violations.append(Violation(
+                    "audit.elastic-keep",
+                    f"job {job_id!r}: keep decision (width {width}) but "
+                    f"the running allocation changed or vanished",
+                    {"job": job_id, "width": width}))
+        elif state.is_running(job_id):
+            violations.append(Violation(
+                "audit.elastic-release",
+                f"job {job_id!r}: resized {cand.width} -> {width} but its "
+                f"old allocation still holds the ledger (quanta leak)",
+                {"job": job_id, "old": cand.width, "new": width}))
+    for job_id, cand in sorted(compiled.resize_candidates.items()):
+        if job_id not in resize_decisions and not state.is_running(job_id):
+            violations.append(Violation(
+                "audit.elastic-release",
+                f"job {job_id!r}: resize fragment stayed inactive but the "
+                f"running allocation vanished from the ledger",
+                {"job": job_id, "old": cand.width}))
+
     scale = max(1.0, abs(total_value))
     if result.objective - total_value > tol * scale:
         violations.append(Violation(
@@ -355,7 +443,8 @@ def audit_cycle(state: "ClusterState", compiled: "CompiledBatch",
             {"claimed": result.objective, "recomputed": total_value}))
 
     # -- space-time capacity ----------------------------------------------
-    busy = _independent_busy_quanta(state, now, quantum_s)
+    busy = _independent_busy_quanta(state, now, quantum_s,
+                                    exclude=frozenset(keeps))
     usage: dict[tuple[int, int], int] = {}
     for use in uses:
         for pid, count in use.counts.items():
@@ -382,6 +471,10 @@ def audit_cycle(state: "ClusterState", compiled: "CompiledBatch",
     # -- double placement --------------------------------------------------
     placed_jobs = {use.job_id for use in uses}
     for job_id in sorted(placed_jobs):
+        if job_id in compiled.resize_candidates:
+            # Width re-planning places running jobs by design: the keep /
+            # resize lifecycle was checked above instead.
+            continue
         if state.is_running(job_id):
             violations.append(Violation(
                 "audit.double-placement",

@@ -168,6 +168,35 @@ def _check_delta_equivalence(state, exprs, quantum_s: float) -> None:
             from exc
 
 
+def _check_width_mutation_delta(spec: FuzzInstance, state, exprs,
+                                quantum_s: float) -> None:
+    """Width-mutation delta leg: narrow every elastic job by one width and
+    recompile through the same cross-cycle cache.  ``verify=True`` asserts
+    each cycle's incremental model is bit-equal to a from-scratch build —
+    the elastic analogue of a running gang's per-cycle re-plan, where the
+    fragment's option ladder changes between cycles.
+    """
+    from dataclasses import replace
+
+    from repro.core.delta import DeltaCompiler, DeltaDivergence
+
+    narrowed_spec = replace(spec, jobs=tuple(
+        replace(j, k=j.k - 1) if j.elastic and j.k > 1 else j
+        for j in spec.jobs))
+    if narrowed_spec == spec:
+        return
+    _, narrowed, _ = build_instance(narrowed_spec)
+    dc = DeltaCompiler(state, quantum_s)
+    try:
+        dc.compile_cycle(exprs, verify=True)
+        dc.compile_cycle(narrowed, verify=True)
+        dc.compile_cycle(exprs, verify=True)
+    except DeltaDivergence as exc:
+        raise DifferentialFailure(
+            f"delta compilation diverged across a width change: {exc}") \
+            from exc
+
+
 def check_instance(spec: FuzzInstance) -> dict:
     """Run one instance through every configuration and both oracles.
 
@@ -179,6 +208,8 @@ def check_instance(spec: FuzzInstance) -> dict:
     if compiled is None:
         return {"trivial": True}
     _check_delta_equivalence(state, exprs, spec.quantum_s)
+    if any(j.elastic for j in spec.jobs):
+        _check_width_mutation_delta(spec, state, exprs, spec.quantum_s)
     objectives: dict[str, float] = {}
     reference: float | None = None
     for name, solve_fn in _configurations(compiled):

@@ -20,7 +20,8 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.state import ClusterState
 from repro.core.compiler import CompiledBatch, StrlCompiler
 from repro.strl.ast import StrlNode
-from repro.strl.generator import SpaceOption, generate_job_strl
+from repro.strl.generator import (SpaceOption, generate_elastic_strl,
+                                  generate_job_strl)
 from repro.valuefn import StepValue
 
 
@@ -31,7 +32,10 @@ class FuzzJob:
     ``rack`` picks the preferred equivalence set: an index into the
     cluster's racks, or ``None`` for the whole cluster.  ``fallback``
     additionally offers a slower whole-cluster option (one extra quantum),
-    giving the compiler a Max-of-nCk choice to get wrong.
+    giving the compiler a Max-of-nCk choice to get wrong.  ``elastic``
+    instead generates a malleable width ladder (1..k, work-conserving
+    durations) compiled through :class:`~repro.strl.ast.ElasticNCk` —
+    the fuzz matrix's coverage of the elastic shape family.
     """
 
     job_id: str
@@ -41,6 +45,7 @@ class FuzzJob:
     rack: int | None = None
     deadline_q: int | None = None
     fallback: bool = False
+    elastic: bool = False
 
 
 @dataclass(frozen=True)
@@ -97,18 +102,33 @@ def build_instance(
             nodes = frozenset(cluster.rack_nodes(racks[job.rack % len(racks)]))
         else:
             nodes = all_nodes
-        options = [SpaceOption(nodes=nodes, k=job.k,
-                               duration_s=job.duration_q * q, label="pref")]
-        if job.fallback and nodes != all_nodes:
-            options.append(SpaceOption(nodes=all_nodes, k=job.k,
-                                       duration_s=(job.duration_q + 1) * q,
-                                       label="any"))
         deadline = (job.deadline_q * q if job.deadline_q is not None
                     else spec.plan_ahead_quanta * q)
-        expr = generate_job_strl(options, StepValue(job.value, deadline),
-                                 now=0.0, quantum_s=q,
-                                 plan_ahead_quanta=spec.plan_ahead_quanta,
-                                 deadline=deadline)
+        if job.elastic:
+            # Width ladder 1..k with work-conserving (rounded-up) quanta;
+            # one option per width on the same node set so the generator
+            # takes the ElasticNCk path rather than its rigid fallback.
+            options = [
+                SpaceOption(nodes=nodes, k=w,
+                            duration_s=-(-job.duration_q * job.k // w) * q,
+                            label=f"w{w}")
+                for w in range(1, job.k + 1)]
+            expr = generate_elastic_strl(
+                options, StepValue(job.value, deadline), now=0.0,
+                quantum_s=q, plan_ahead_quanta=spec.plan_ahead_quanta,
+                deadline=deadline)
+        else:
+            options = [SpaceOption(nodes=nodes, k=job.k,
+                                   duration_s=job.duration_q * q,
+                                   label="pref")]
+            if job.fallback and nodes != all_nodes:
+                options.append(SpaceOption(nodes=all_nodes, k=job.k,
+                                           duration_s=(job.duration_q + 1) * q,
+                                           label="any"))
+            expr = generate_job_strl(options, StepValue(job.value, deadline),
+                                     now=0.0, quantum_s=q,
+                                     plan_ahead_quanta=spec.plan_ahead_quanta,
+                                     deadline=deadline)
         if expr is not None:
             exprs.append((job.job_id, expr))
 

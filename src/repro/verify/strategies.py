@@ -153,9 +153,12 @@ def fuzz_instances(draw) -> FuzzInstance:
         rack = draw(st.one_of(st.none(), st.integers(0, racks - 1)))
         deadline_q = draw(st.one_of(st.none(), st.integers(1, plan_ahead)))
         fallback = draw(st.booleans())
+        # Roughly a third of jobs take the malleable ElasticNCk path so
+        # every run of the matrix mixes rigid and elastic shapes.
+        elastic = draw(st.sampled_from([False, False, True]))
         jobs.append(FuzzJob(f"j{j}", k=k, duration_q=duration_q, value=value,
                             rack=rack, deadline_q=deadline_q,
-                            fallback=fallback))
+                            fallback=fallback, elastic=elastic))
     busy = draw(st.lists(
         st.tuples(st.integers(1, 2), st.integers(1, 2)),
         min_size=0, max_size=2))

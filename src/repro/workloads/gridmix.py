@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.errors import WorkloadError
-from repro.sim.jobs import GpuType, Job, MpiType, UnconstrainedType
+from repro.sim.jobs import (ElasticType, GpuType, Job, MpiType,
+                            UnconstrainedType)
 from repro.workloads.compositions import WorkloadComposition
 from repro.workloads.distributions import Rng
 
@@ -47,6 +48,12 @@ class GridmixConfig:
     #: Sub-optimal-placement slowdown for GPU/MPI jobs (the companion TR
     #: sweeps this heterogeneity intensity; 1.0 = homogeneous cluster).
     slowdown: float = 1.5
+    #: Fraction of best-effort jobs generated as malleable elastic gangs
+    #: (Sec. 4.1 space-time elasticity); they run rigidly unless the
+    #: scheduler enables ``elastic_mode``.
+    elastic_fraction: float = 0.0
+    #: Scaling efficiency of generated elastic gangs (<1 = imperfect).
+    elastic_efficiency: float = 0.9
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -60,6 +67,10 @@ class GridmixConfig:
             raise WorkloadError("burstiness must be positive")
         if self.slowdown < 1.0:
             raise WorkloadError("slowdown must be >= 1")
+        if not 0.0 <= self.elastic_fraction <= 1.0:
+            raise WorkloadError("elastic_fraction must be in [0, 1]")
+        if not 0.0 < self.elastic_efficiency <= 1.0:
+            raise WorkloadError("elastic_efficiency must be in (0, 1]")
 
 
 def generate_workload(composition: WorkloadComposition, cluster: Cluster,
@@ -92,15 +103,24 @@ def generate_workload(composition: WorkloadComposition, cluster: Cluster,
         is_slo = (already_slo < slo_target * (i + 1) - 1e-9) or (
             slo_target >= 1.0)
         spec = composition.slo_class if is_slo else composition.be_class
+        elastic = False
         if is_slo:
             type_name = rng.choice(type_names, type_probs)
         else:
             type_name = "unconstrained"  # BE jobs are always unconstrained
+            # Same deterministic interleave as the SLO mix: the realized
+            # elastic share of BE jobs tracks the target even when few
+            # BE jobs are drawn.
+            n_be = sum(1 for d in drafts if not d["is_slo"]) + 1
+            already = sum(1 for d in drafts if d["elastic"])
+            elastic = (already
+                       < config.elastic_fraction * n_be - 1e-9) or (
+                config.elastic_fraction >= 1.0)
         k = spec.gang_size.sample(rng)
         k = min(k, capacity if type_name != "mpi" else max_rack)
         runtime = spec.runtime_s.sample(rng)
         drafts.append(dict(is_slo=is_slo, type_name=type_name, k=k,
-                           runtime=runtime,
+                           runtime=runtime, elastic=elastic,
                            slack=spec.deadline_slack.sample(rng)))
 
     # -- pace arrivals to hit the utilization target --------------------------
@@ -121,8 +141,16 @@ def generate_workload(composition: WorkloadComposition, cluster: Cluster,
             job_id = f"be{be_counter}"
             be_counter += 1
             deadline = None
+        if d["elastic"]:
+            # A malleable gang: any width from roughly a third of the
+            # preferred parallelism up to the full gang size.
+            job_type: UnconstrainedType | ElasticType = ElasticType(
+                min_k=max(1, d["k"] // 3),
+                efficiency=config.elastic_efficiency)
+        else:
+            job_type = job_types[d["type_name"]]
         jobs.append(Job(
-            job_id=job_id, job_type=job_types[d["type_name"]], k=d["k"],
+            job_id=job_id, job_type=job_type, k=d["k"],
             base_runtime_s=d["runtime"], submit_time=t, deadline=deadline,
             estimate_error=config.estimate_error))
     return jobs

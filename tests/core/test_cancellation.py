@@ -123,6 +123,52 @@ class TestCancelDuringSolve:
         assert "b" in [a.job_id for a in r2.allocations]
 
 
+class TestCancelMidResize:
+    def elastic_request(self, cluster, job_id, value=50.0):
+        return JobRequest(
+            job_id=job_id,
+            options=tuple(
+                SpaceOption(cluster.node_names, k=w, duration_s=d)
+                for w, d in ((4, 20.0), (3, 30.0), (2, 40.0))),
+            value_fn=StepValue(value, 1e9),
+            priority=PriorityClass.SLO_ACCEPTED, submit_time=0.0,
+            elastic=True)
+
+    def test_cancel_running_elastic_mid_cycle_never_resizes(self):
+        """A cancel landing after Solve, in a cycle where the running
+        elastic job re-entered the batch as a resize candidate: the job
+        must disappear cleanly — neither resized nor left in the ledger —
+        even if the solver chose a new width for it."""
+        cluster, sched = build(elastic_mode=True, reconfig_penalty=0.1)
+        sched.submit(self.elastic_request(cluster, "e"))
+        r1 = sched.run_cycle(0.0)
+        assert [a.job_id for a in r1.allocations] == ["e"]
+        # SLO pressure guarantees the next cycle offers (and wants) a
+        # shrink of "e"; the cancel lands between Solve and Extract.
+        sched.submit(request(cluster, "squeeze", k=2, dur=20.0,
+                             deadline=35.0))
+        stages = []
+        for stage in sched._global_pipeline.stages:
+            stages.append(stage)
+            if stage.name == "solve":
+                stages.append(_CancelDuringSolve("e"))
+        sched._global_pipeline = CyclePipeline(stages)
+
+        r2 = sched.run_cycle(10.0)
+        assert "e" in r2.cancelled
+        assert r2.resized == []
+        assert not sched.state.is_running("e")
+        assert "e" not in sched._launched
+        assert not check_ledger_orphans(sched.state, sched._launched)
+        # The freed capacity is genuinely free: the squeezer launched this
+        # cycle and a later job can take the remaining nodes.
+        assert "squeeze" in {a.job_id for a in r2.allocations}
+        sched.submit(request(cluster, "after", k=2, dur=20.0,
+                             deadline=1000.0))
+        r3 = sched.run_cycle(20.0)
+        assert "after" in {a.job_id for a in r3.allocations}
+
+
 class TestLedgerOrphanOracle:
     def test_orphan_detected(self):
         cluster, sched = build()

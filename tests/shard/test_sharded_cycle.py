@@ -64,7 +64,49 @@ class TestShardCount1BitEquality:
         assert runs[0] == runs[1]
 
 
-class TestCrossDomainGang:
+def submit_elastic(api, n=3, tag=""):
+    nodes = api.cluster.node_names
+    for i in range(n):
+        api.submit(JobRequest(
+            job_id=f"{tag}e{i}",
+            options=tuple(
+                SpaceOption(nodes, k=w, duration_s=d, label=f"w{w}")
+                for w, d in ((4, 20.0), (3, 30.0), (2, 40.0))),
+            value_fn=StepValue(8.0 + 0.53 * i, 1e9),
+            priority=PriorityClass.BEST_EFFORT, submit_time=0.0,
+            elastic=True))
+
+
+class TestElasticSharding:
+    def test_shard1_pending_elastic_bit_equal(self):
+        """Pending-side ElasticNCk ladders compile identically whether the
+        cycle runs through the coordinator (shard_count=1) or the
+        monolithic path."""
+        runs = []
+        for shard in (False, True):
+            api = open_api(shard=shard, shard_count=1, elastic_mode=True)
+            submit_mixed(api, n=4)
+            submit_elastic(api, n=3)
+            res = api.run_cycle(0.0)
+            runs.append((alloc_key(res), api.stats().objective))
+        assert runs[0] == runs[1]
+
+    def test_resizes_disabled_when_sharded(self):
+        """Sharded cycles solve per-domain MILPs that cannot see a gang's
+        full width ladder, so running elastic jobs never re-enter there —
+        while the monolithic control with the same workload offers them."""
+        offered = {}
+        for shard in (False, True):
+            api = open_api(shard=shard, elastic_mode=True)
+            submit_elastic(api, n=1)
+            api.run_cycle(0.0)
+            # Pressure next cycle so the monolithic path has a reason to
+            # keep offering resize options.
+            submit_mixed(api, n=4, tag="later-")
+            api.run_cycle(10.0)
+            offered[shard] = api.stats().elastic_offered
+        assert offered[False] >= 1
+        assert offered[True] == 0
     def test_gang_spanning_every_domain_reconciles(self):
         # shard_count = racks: every rack its own domain, so a gang that
         # needs more than one rack spans *all* domains.

@@ -10,7 +10,7 @@ fuzzer draw from the same distributions.
 
 from hypothesis import strategies as st
 
-from repro.sim import GpuType, Job, MpiType, UnconstrainedType
+from repro.sim import ElasticType, GpuType, Job, MpiType, UnconstrainedType
 # Re-exported for property tests; the `python -m repro fuzz` harness uses
 # the same generators, so a distribution tweak changes both at once.
 from repro.verify.strategies import (fuzz_instances, lp_problems,  # noqa: F401
@@ -46,6 +46,37 @@ def sim_workloads(draw):
     return jobs
 
 
-__all__ = ["JOB_TYPES", "fuzz_instances", "lp_problems", "milp_models",
-           "mixed_bound_lps", "multi_component_models", "seeds",
-           "sim_workloads"]
+@st.composite
+def elastic_sim_workloads(draw):
+    """Random workloads guaranteed to mix malleable and rigid gangs.
+
+    Drives the elastic re-planning property tests: at least one job is an
+    :class:`~repro.sim.ElasticType` gang (the first), the rest coin-flip
+    between elastic and rigid, and rigid jobs may carry deadlines so the
+    solver has SLO pressure to shrink the malleable ones against.
+    """
+    n = draw(st.integers(2, 6))
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(0.0, 25.0))
+        runtime = draw(st.floats(10.0, 50.0))
+        k = draw(st.integers(2, 6))
+        if i == 0 or draw(st.booleans()):
+            job_type = ElasticType(
+                min_k=draw(st.integers(1, max(1, k // 2))),
+                efficiency=draw(st.sampled_from([1.0, 0.9])))
+            deadline = None
+        else:
+            job_type = UnconstrainedType()
+            deadline = (t + runtime * draw(st.floats(1.0, 4.0))
+                        if draw(st.booleans()) else None)
+        jobs.append(Job(job_id=f"j{i}", job_type=job_type, k=k,
+                        base_runtime_s=runtime, submit_time=t,
+                        deadline=deadline))
+    return jobs
+
+
+__all__ = ["JOB_TYPES", "elastic_sim_workloads", "fuzz_instances",
+           "lp_problems", "milp_models", "mixed_bound_lps",
+           "multi_component_models", "seeds", "sim_workloads"]
