@@ -373,6 +373,14 @@ class CycleStats:
     lp_refactorizations: int = 0
     lp_warm_restarts: int = 0
     lp_warm_hits: int = 0
+    #: Basis-factorization work: total factorizations (cold + refactor),
+    #: Forrest–Tomlin basis updates applied in place, columns examined by
+    #: partial pricing, and the worst factor fill ratio
+    #: (``nnz(L+U+etas) / nnz(B)``) seen across this cycle's solves.
+    lp_factorizations: int = 0
+    lp_ft_updates: int = 0
+    lp_pricing_candidates: int = 0
+    lp_fill_ratio: float = 0.0
     #: Whether a warm start was attempted / produced a feasible seed.
     warm_start_attempted: bool = False
     warm_start_hit: bool = False
@@ -456,6 +464,10 @@ class SolveTelemetry:
     lp_refactorizations: int = 0
     lp_warm_restarts: int = 0
     lp_warm_hits: int = 0
+    lp_factorizations: int = 0
+    lp_ft_updates: int = 0
+    lp_pricing_candidates: int = 0
+    lp_fill_ratio: float = 0.0
     warm_start_attempted: bool = False
     warm_start_hit: bool = False
     cache_hits: int = 0
@@ -475,6 +487,13 @@ class SolveTelemetry:
         self.lp_refactorizations += int(res.stats.get("lp_refactorizations", 0))
         self.lp_warm_restarts += int(res.stats.get("lp_warm_restarts", 0))
         self.lp_warm_hits += int(res.stats.get("lp_warm_hits", 0))
+        self.lp_factorizations += int(res.stats.get("lp_factorizations", 0))
+        self.lp_ft_updates += int(res.stats.get("lp_ft_updates", 0))
+        self.lp_pricing_candidates += int(
+            res.stats.get("lp_pricing_candidates", 0))
+        # Worst factor fill across this cycle's solves (a max, not a sum).
+        self.lp_fill_ratio = max(self.lp_fill_ratio,
+                                 float(res.stats.get("lp_fill_ratio", 0.0)))
         self.cache_hits += int(res.stats.get("cache_hits", 0))
         self.cache_warm_hits += int(res.stats.get("cache_warm_hits", 0))
         self.cache_evictions += int(res.stats.get("cache_evictions", 0))
@@ -713,6 +732,10 @@ class TetriSched:
             lp_refactorizations=tel.lp_refactorizations,
             lp_warm_restarts=tel.lp_warm_restarts,
             lp_warm_hits=tel.lp_warm_hits,
+            lp_factorizations=tel.lp_factorizations,
+            lp_ft_updates=tel.lp_ft_updates,
+            lp_pricing_candidates=tel.lp_pricing_candidates,
+            lp_fill_ratio=tel.lp_fill_ratio,
             warm_start_attempted=tel.warm_start_attempted,
             warm_start_hit=tel.warm_start_hit,
             components=ctx.components, milp_nonzeros=ctx.nnz,

@@ -10,6 +10,9 @@ through six configurations of the staged pipeline:
 * ``monolithic-dense`` — decomposition off, solver consumes the dense
   ``to_standard_arrays`` export over the revised simplex;
 * ``monolithic-sparse`` — decomposition off, CSR export + sparse presolve;
+* ``monolithic-sparse-lu`` — the sparse pipeline with the Markowitz
+  sparse-LU basis factorization forced on in the revised simplex (the
+  auto heuristic would keep the LAPACK dense factor at smoke scale);
 * ``decomposed-sparse`` — sparse core plus independent-component
   decomposition, solved sequentially in-process;
 * ``decomposed-parallel`` — the same components dispatched to the
@@ -89,6 +92,8 @@ MODES = (
               lp_engine="tableau"),
     BenchMode("monolithic-dense", decomposition=False, sparse=False),
     BenchMode("monolithic-sparse", decomposition=False, sparse=True),
+    BenchMode("monolithic-sparse-lu", decomposition=False, sparse=True,
+              lp_engine="sparse-lu"),
     BenchMode("decomposed-sparse", decomposition=True, sparse=True),
     BenchMode("decomposed-parallel", decomposition=True, sparse=True,
               workers=2),
@@ -208,6 +213,8 @@ def _run_pass(mode: BenchMode, backend: str, plan_ahead_s: float, racks: int,
     launched = 0
     nodes = lp_iters = 0
     dual_pivots = refactorizations = warm_restarts = warm_hits = 0
+    factorizations = ft_updates = pricing_candidates = 0
+    fill_ratio = 0.0
     nnz = variables = constraints = 0
     cache_hits = cache_warm_hits = 0
     colgen_rounds = colgen_priced = repair_escalations = 0
@@ -234,6 +241,10 @@ def _run_pass(mode: BenchMode, backend: str, plan_ahead_s: float, racks: int,
         refactorizations += stats.lp_refactorizations
         warm_restarts += stats.lp_warm_restarts
         warm_hits += stats.lp_warm_hits
+        factorizations += stats.lp_factorizations
+        ft_updates += stats.lp_ft_updates
+        pricing_candidates += stats.lp_pricing_candidates
+        fill_ratio = max(fill_ratio, stats.lp_fill_ratio)
         cache_hits += stats.cache_hits
         cache_warm_hits += stats.cache_warm_hits
         colgen_rounds += stats.colgen_rounds
@@ -258,7 +269,10 @@ def _run_pass(mode: BenchMode, backend: str, plan_ahead_s: float, racks: int,
         "lp_iterations": lp_iters,
         "lp": {"engine": mode.lp_engine, "dual_pivots": dual_pivots,
                "refactorizations": refactorizations,
-               "warm_restarts": warm_restarts, "warm_hits": warm_hits},
+               "warm_restarts": warm_restarts, "warm_hits": warm_hits,
+               "factorizations": factorizations, "ft_updates": ft_updates,
+               "pricing_candidates": pricing_candidates,
+               "fill_ratio": fill_ratio},
         "workers": workers if mode.workers else 0,
         "cache": {"hits": cache_hits, "warm_hits": cache_warm_hits},
         "milp": {"variables": variables, "constraints": constraints,
@@ -428,6 +442,160 @@ def bench_delta(backend: str = "pure", racks: int = 4,
     return section
 
 
+#: LP-engine ablation arms: label, scheduler backend, lp_engine override
+#: (``None`` leaves the backend's own LP machinery alone — the scipy arm
+#: is HiGHS branch-and-cut end to end).
+_LP_ARMS = (
+    ("dense-inverse", "pure", "revised-inverse"),
+    ("sparse-lu", "pure", "sparse-lu"),
+    ("highs", "scipy", None),
+)
+
+
+def _lp_jobs(cluster: Cluster, jobs_per_rack: int, quantum_s: float,
+             seed: int) -> list[JobRequest]:
+    """Rack-pinned jobs for the LP ablation: no 3/4-rack wide gangs.
+
+    The ``_rack_pinned_jobs`` contention profile is deliberately
+    fractional so exact search has something to do; here it would make
+    the benchmark measure branch-and-bound tree size instead of LP-engine
+    speed.  Half-rack-and-under requests keep the root relaxations
+    near-integral, so solve time is dominated by the simplex iterations
+    and basis factorizations the ablation is about.
+    """
+    rng = random.Random(seed)
+    racks: dict[str, list[str]] = {}
+    for name in sorted(cluster.node_names):
+        racks.setdefault(name.rsplit("n", 1)[0], []).append(name)
+    jobs: list[JobRequest] = []
+    for rack in sorted(racks):
+        nodes = frozenset(racks[rack])
+        for j in range(jobs_per_rack):
+            k = rng.randint(2, max(2, len(nodes) // 2))
+            dur_q = rng.randint(2, 4)
+            jobs.append(JobRequest(
+                job_id=f"{rack}-job{j}",
+                options=(SpaceOption(nodes, k=k,
+                                     duration_s=dur_q * quantum_s),),
+                value_fn=StepValue(value=10.0 + len(jobs) * 0.37,
+                                   deadline=1e9),
+                priority=PriorityClass.SLO_ACCEPTED,
+                submit_time=0.0))
+    return jobs
+
+
+def _lp_pass(backend_name: str, lp_engine: str | None, racks: int,
+             nodes_per_rack: int, jobs_per_rack: int, cycles: int,
+             quantum_s: float, plan_ahead_s: float,
+             seed: int) -> dict[str, Any]:
+    """One cycle sequence under one LP-engine arm (monolithic, no audit)."""
+    cluster = Cluster.build(racks=racks, nodes_per_rack=nodes_per_rack)
+    cfg = TetriSchedConfig(
+        quantum_s=quantum_s, cycle_s=quantum_s, plan_ahead_s=plan_ahead_s,
+        backend=backend_name, rel_gap=_REL_TOL, decomposition=False)
+    sched = Scheduler.open(cluster, cfg).core
+    if lp_engine is not None:
+        sched._backend = BranchBoundSolver(BranchBoundOptions(
+            rel_gap=_REL_TOL, lp_engine=lp_engine, arrays="sparse"))
+    objectives: list[float] = []
+    solve_s = 0.0
+    iters = factorizations = ft_updates = pricing = 0
+    fill = 0.0
+    t0 = time.monotonic()
+    for c in range(cycles):
+        now = c * quantum_s
+        for job in _lp_jobs(cluster, jobs_per_rack, quantum_s,
+                            seed=seed + c):
+            sched.submit(JobRequest(
+                job_id=f"c{c}-{job.job_id}", options=job.options,
+                value_fn=job.value_fn, priority=job.priority,
+                submit_time=now))
+        stats = sched.run_cycle(now).stats
+        objectives.append(stats.objective)
+        solve_s += stats.stage_timings.get("solve", 0.0)
+        iters += stats.lp_iterations
+        factorizations += stats.lp_factorizations
+        ft_updates += stats.lp_ft_updates
+        pricing += stats.lp_pricing_candidates
+        fill = max(fill, stats.lp_fill_ratio)
+    return {
+        "objectives": objectives,
+        "wall_s": time.monotonic() - t0,
+        "solve_s": solve_s,
+        "lp_iterations": iters,
+        "factorizations": factorizations,
+        "ft_updates": ft_updates,
+        "pricing_candidates": pricing,
+        "fill_ratio": fill,
+    }
+
+
+def bench_lp(sizes: tuple[int, ...] = (64, 128, 256),
+             jobs_per_rack: int = 2, cycles: int = 1, quantum_s: float = 8.0,
+             plan_ahead_s: float = 64.0, seed: int = 0) -> dict[str, Any]:
+    """LP-engine ablation: dense-inverse vs sparse-LU vs HiGHS by scale.
+
+    Runs the identical monolithic cycle sequence at each cluster size
+    through the legacy explicit-inverse revised simplex, the sparse-LU /
+    Forrest–Tomlin engine, and (when scipy is installed) HiGHS
+    branch-and-cut, recording solve-stage time plus the engine's
+    iteration/factorization/fill counters.  The two pure arms share one
+    pivot path, so their objectives must agree bit for bit; HiGHS is held
+    to the usual relative tolerance.  ``sparse_lu_wins_at_128`` is the
+    ROADMAP acceptance verdict: the sparse factorization must beat the
+    inverse engine on solve-stage time at every size >= 128 nodes.
+    """
+    from repro.solver.scipy_backend import scipy_available
+
+    report: dict[str, Any] = {
+        "meta": {"sizes": list(sizes), "jobs_per_rack": jobs_per_rack,
+                 "cycles": cycles, "quantum_s": quantum_s,
+                 "plan_ahead_s": plan_ahead_s, "seed": seed},
+        "sizes": [],
+    }
+    for size in sizes:
+        racks = max(1, size // 8)
+        nodes_per_rack = size // racks
+        engines: dict[str, Any] = {}
+        for label, backend_name, lp_engine in _LP_ARMS:
+            if backend_name == "scipy" and not scipy_available():
+                continue
+            engines[label] = _lp_pass(
+                backend_name, lp_engine, racks, nodes_per_rack,
+                jobs_per_rack, cycles, quantum_s, plan_ahead_s, seed)
+        base = engines["dense-inverse"]["objectives"]
+        match = engines["sparse-lu"]["objectives"] == base
+        if "highs" in engines:
+            match = match and all(
+                abs(a - b) <= _REL_TOL * 10 * max(1.0, abs(a))
+                for a, b in zip(base, engines["highs"]["objectives"]))
+        entry: dict[str, Any] = {
+            "nodes": size, "racks": racks,
+            "nodes_per_rack": nodes_per_rack,
+            "engines": engines,
+            "objective_match": match,
+            # >1 means the sparse LU spent less solve-stage time than the
+            # explicit-inverse engine on the identical cycle sequence.
+            "sparse_lu_speedup_solve":
+                engines["dense-inverse"]["solve_s"]
+                / max(1e-12, engines["sparse-lu"]["solve_s"]),
+        }
+        if "highs" in engines:
+            h = max(1e-12, engines["highs"]["solve_s"])
+            # Solve-time multiples over HiGHS (lower is closer).
+            entry["vs_highs"] = {
+                "dense_inverse": engines["dense-inverse"]["solve_s"] / h,
+                "sparse_lu": engines["sparse-lu"]["solve_s"] / h,
+            }
+        report["sizes"].append(entry)
+    report["objective_match"] = all(e["objective_match"]
+                                    for e in report["sizes"])
+    report["sparse_lu_wins_at_128"] = all(
+        e["sparse_lu_speedup_solve"] > 1.0
+        for e in report["sizes"] if e["nodes"] >= 128)
+    return report
+
+
 def bench_cycle(backend: str = "pure", plan_ahead_s: float = 96.0,
                 racks: int = 4, nodes_per_rack: int = 4,
                 jobs_per_rack: int = 2, cycles: int = 2,
@@ -547,6 +715,10 @@ def bench_cycle(backend: str = "pure", plan_ahead_s: float = 96.0,
     # beats max-width gangs on utilization *and* value) needs a cluster
     # where rigid gangs genuinely strand capacity.
     report["elastic"] = bench_elastic(backend=backend, seed=seed)
+    # LP-engine ablation at its own canonical 64/128/256-node scales —
+    # the sparse-LU-vs-inverse claim needs bases big enough for the
+    # factorization to matter, not the caller's smoke geometry.
+    report["bench_lp"] = bench_lp(seed=seed)
     return report
 
 
@@ -1092,6 +1264,28 @@ def format_bench(report: dict[str, Any]) -> str:
         lines.append(
             f"  delta: bit-equal {delta.get('bit_equal')} "
             f"verify ok {delta.get('verify_ok')} -> ok={delta.get('ok')}")
+    lp_rep = report.get("bench_lp")
+    if lp_rep:
+        for entry in lp_rep["sizes"]:
+            engines = entry["engines"]
+            parts = []
+            for label, arm in engines.items():
+                extra = ""
+                if arm["factorizations"]:
+                    extra = (f" fact={arm['factorizations']}"
+                             f" ft={arm['ft_updates']}"
+                             f" fill={arm['fill_ratio']:.1f}")
+                parts.append(f"{label}={1000 * arm['solve_s']:.0f}ms"
+                             f" it={arm['lp_iterations']}{extra}")
+            lines.append(f"  lp[{entry['nodes']}n]: " + " | ".join(parts))
+            lines.append(
+                f"    sparse-lu/inverse solve speedup "
+                f"{entry['sparse_lu_speedup_solve']:.2f}x "
+                f"match={entry['objective_match']}")
+        lines.append(
+            f"  lp ablation: sparse-lu wins at >=128n: "
+            f"{lp_rep['sparse_lu_wins_at_128']} "
+            f"(objectives match: {lp_rep['objective_match']})")
     lines.append(
         f"  objective match: {report['objective_match']} "
         f"(max relative delta {report['max_objective_delta']:.2e}, "

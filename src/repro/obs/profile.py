@@ -35,6 +35,11 @@ class RunProfile:
     def bump(self, name: str, amount: float = 1.0) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + amount
 
+    def maximize(self, name: str, value: float) -> None:
+        """Track a high-water-mark counter (e.g. worst factor fill ratio)."""
+        if value > self.counters.get(name, 0.0):
+            self.counters[name] = value
+
     def merge_delta(self, delta: dict) -> None:
         """Fold a :func:`repro.obs.registry.snapshot_delta` into this profile."""
         self.timers.update(delta.get("timers", {}))

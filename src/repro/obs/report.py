@@ -47,6 +47,10 @@ _HEADLINE_COUNTERS = (
     ("solver.lp.refactorizations", "basis refactorizations"),
     ("solver.lp.warm_restarts", "LP warm restarts"),
     ("solver.lp.warm_hits", "LP warm-restart hits"),
+    ("solver.lp.factorizations", "basis factorizations (total)"),
+    ("solver.lp.ft_updates", "Forrest-Tomlin updates"),
+    ("solver.lp.pricing_candidates", "pricing candidates examined"),
+    ("solver.lp.fill_ratio", "worst factor fill ratio"),
     ("solver.presolve.rows_dropped", "presolve rows dropped"),
     ("solver.presolve.bounds_tightened", "presolve bounds tightened"),
     ("solver.cache.hits", "component-cache exact hits"),
@@ -83,6 +87,27 @@ def render_profile(profile: RunProfile, title: str = "Run profile") -> str:
     if rows:
         blocks += ["", "Solver / scheduler work",
                    format_table(["counter", "value"], rows)]
+
+    # Basis-factorization / pricing economics of the revised simplex:
+    # how far each factorization is stretched by Forrest-Tomlin updates,
+    # how much it filled in, and how selective partial pricing was.
+    facts = profile.counter("solver.lp.factorizations")
+    if facts:
+        ft = profile.counter("solver.lp.ft_updates")
+        iters = profile.counter("solver.lp.iterations")
+        cands = profile.counter("solver.lp.pricing_candidates")
+        frows = [
+            ["basis factorizations", facts],
+            ["Forrest-Tomlin updates", ft],
+            ["FT updates per factorization", ft / facts],
+            ["worst fill ratio (nnz factor / nnz basis)",
+             profile.counter("solver.lp.fill_ratio")],
+            ["pricing candidates examined", cands],
+        ]
+        if iters:
+            frows.append(["candidates per simplex iteration", cands / iters])
+        blocks += ["", "Basis factorization / pricing",
+                   format_table(["metric", "value"], frows)]
 
     if profile.timers:
         timer_rows = []

@@ -332,6 +332,11 @@ class Simulation:
                          stats.lp_refactorizations)
             profile.bump("solver.lp.warm_restarts", stats.lp_warm_restarts)
             profile.bump("solver.lp.warm_hits", stats.lp_warm_hits)
+            profile.bump("solver.lp.factorizations", stats.lp_factorizations)
+            profile.bump("solver.lp.ft_updates", stats.lp_ft_updates)
+            profile.bump("solver.lp.pricing_candidates",
+                         stats.lp_pricing_candidates)
+            profile.maximize("solver.lp.fill_ratio", stats.lp_fill_ratio)
             profile.bump("solver.milp_variables", stats.milp_variables)
             profile.bump("solver.milp_constraints", stats.milp_constraints)
             if stats.warm_start_attempted:

@@ -28,7 +28,8 @@ class MILPBackend(Protocol):
 
 
 #: Names accepted by :func:`make_backend`.
-BACKEND_NAMES = ("pure", "pure-tableau", "pure-scipy-lp", "scipy", "auto")
+BACKEND_NAMES = ("pure", "pure-sparse-lu", "pure-tableau", "pure-scipy-lp",
+                 "scipy", "auto")
 
 
 def make_backend(name: str = "auto",
@@ -40,6 +41,9 @@ def make_backend(name: str = "auto",
     name:
         * ``"pure"`` — from-scratch branch-and-bound over the bounded-variable
           revised simplex (dual-simplex warm restarts across nodes);
+        * ``"pure-sparse-lu"`` — same search with the Markowitz sparse LU
+          basis factorization forced on (``"pure"`` picks it automatically
+          once the basis is large and sparse enough);
         * ``"pure-tableau"`` — same search over the legacy dense two-phase
           tableau, kept as the differential oracle;
         * ``"pure-scipy-lp"`` — our branch-and-bound over HiGHS LP relaxations;
@@ -81,6 +85,10 @@ def _make_exact_backend(name: str, opts: SolveOptions) -> MILPBackend:
         return BranchBoundSolver(BranchBoundOptions(
             rel_gap=opts.rel_gap, time_limit=opts.time_limit,
             node_limit=opts.node_limit))
+    if name == "pure-sparse-lu":
+        return BranchBoundSolver(BranchBoundOptions(
+            rel_gap=opts.rel_gap, time_limit=opts.time_limit,
+            node_limit=opts.node_limit, lp_engine="sparse-lu"))
     if name == "pure-tableau":
         return BranchBoundSolver(BranchBoundOptions(
             rel_gap=opts.rel_gap, time_limit=opts.time_limit,

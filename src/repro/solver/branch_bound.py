@@ -58,10 +58,14 @@ class BranchBoundOptions:
     #: (the historical `to_standard_arrays` path, kept as a test oracle).
     arrays: str = "sparse"
     #: LP relaxation engine when ``lp_solver`` is the built-in simplex:
-    #: ``"revised"`` (bounded-variable revised simplex with dual-simplex
-    #: warm restarts across nodes) or ``"tableau"`` (the legacy dense
-    #: two-phase tableau, kept as the differential oracle).  Ignored for
-    #: external ``lp_solver`` callables such as scipy/HiGHS.
+    #: ``"revised"`` (bounded-variable revised simplex, basis factorization
+    #: picked automatically by size/density), ``"sparse-lu"`` (force the
+    #: Markowitz sparse LU with Forrest–Tomlin updates),
+    #: ``"revised-dense"`` (force the LAPACK dense LU fallback),
+    #: ``"revised-inverse"`` (legacy explicit-inverse path, kept for the
+    #: bench ablation) or ``"tableau"`` (the dense two-phase tableau, kept
+    #: as the differential oracle).  Ignored for external ``lp_solver``
+    #: callables such as scipy/HiGHS.
     lp_engine: str = "revised"
 
 
@@ -170,13 +174,25 @@ class BranchBoundSolver:
 
         engine: RevisedSimplexEngine | None = None
         if opts.lp_solver is simplex_solve_lp:
-            if opts.lp_engine == "revised":
-                engine = RevisedSimplexEngine(sa.c, sa.a_ub, sa.b_ub,
-                                              sa.a_eq, sa.b_eq)
+            factor_mode = {"revised": "auto", "sparse-lu": "sparse",
+                           "revised-dense": "dense",
+                           "revised-inverse": "inverse"}.get(opts.lp_engine)
+            if factor_mode is not None:
+                if sparse:
+                    # Feed the CSR export straight into the engine's CSC
+                    # build — the `sa` densification above stays only for
+                    # the tableau oracle, rounding and warm-start checks.
+                    engine = RevisedSimplexEngine.from_sparse(
+                        arrays, factor=factor_mode)
+                else:
+                    engine = RevisedSimplexEngine(sa.c, sa.a_ub, sa.b_ub,
+                                                  sa.a_eq, sa.b_eq,
+                                                  factor=factor_mode)
             elif opts.lp_engine != "tableau":
                 raise SolverError(
-                    f"unknown lp_engine {opts.lp_engine!r}; "
-                    "expected 'revised' or 'tableau'")
+                    f"unknown lp_engine {opts.lp_engine!r}; expected "
+                    "'revised', 'sparse-lu', 'revised-dense', "
+                    "'revised-inverse' or 'tableau'")
 
         def lp_at(node: _Node) -> LPResult:
             if engine is not None:
@@ -280,6 +296,11 @@ class BranchBoundSolver:
                 "lp_warm_restarts": engine.counters["warm_restarts"],
                 "lp_warm_hits": engine.counters["warm_hits"],
                 "lp_cold_fallbacks": engine.counters["cold_fallbacks"],
+                "lp_factorizations": engine.counters["factorizations"],
+                "lp_ft_updates": engine.counters["ft_updates"],
+                "lp_pricing_candidates":
+                    engine.counters["pricing_candidates"],
+                "lp_fill_ratio": engine.fill_ratio,
             })
         obs.count("solver.bnb.pruned", nodes_pruned)
         obs.count("solver.bnb.incumbents", incumbents)

@@ -357,8 +357,12 @@ def _recombine(decomp: Decomposition,
     lp_work = {key: 0 for key in ("lp_iterations", "lp_dual_pivots",
                                   "lp_refactorizations", "lp_warm_restarts",
                                   "lp_warm_hits", "lp_cold_fallbacks",
+                                  "lp_factorizations", "lp_ft_updates",
+                                  "lp_pricing_candidates",
                                   "colgen_rounds", "colgen_columns_priced",
                                   "repair_escalations")}
+    #: Worst factor fill ratio across components (max, not sum).
+    lp_fill_ratio = 0.0
     #: Worst audited repair gap across components (max, not sum).
     repair_gap = 0.0
     solve_time = 0.0
@@ -371,6 +375,8 @@ def _recombine(decomp: Decomposition,
         solve_time += res.solve_time
         for key in lp_work:
             lp_work[key] += int(res.stats.get(key, 0))
+        lp_fill_ratio = max(lp_fill_ratio,
+                            float(res.stats.get("lp_fill_ratio", 0.0)))
         repair_gap = max(repair_gap, float(res.stats.get("repair_gap", 0.0)))
         if res.status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED):
             # An infeasible/unbounded block makes the whole model so.
@@ -402,6 +408,8 @@ def _recombine(decomp: Decomposition,
     stats = {"components": decomp.num_components,
              "component_sizes": decomp.component_sizes(),
              **lp_work, **cache_stats}
+    if lp_fill_ratio:
+        stats["lp_fill_ratio"] = lp_fill_ratio
     if repair_gap:
         stats["repair_gap"] = repair_gap
     return MILPResult(

@@ -127,8 +127,10 @@ class RepairSolver:
         stats["lp_iterations"] = root.lp_iterations + int(
             root.stats.get("dive_lp_iterations", 0))
         for key in ("pivots", "dual_pivots", "refactorizations",
-                    "warm_restarts", "warm_hits", "cold_fallbacks"):
+                    "warm_restarts", "warm_hits", "cold_fallbacks",
+                    "factorizations", "ft_updates", "pricing_candidates"):
             stats[f"lp_{key}"] = root.engine.counters[key]
+        stats["lp_fill_ratio"] = root.engine.fill_ratio
         solve_time = time.monotonic() - t0
         status = SolveStatus.OPTIMAL if gap <= rel_gap \
             else SolveStatus.FEASIBLE

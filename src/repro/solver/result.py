@@ -45,6 +45,10 @@ class LPResult:
     #: variable.  Bound duals are folded in: a nonbasic-at-lower variable
     #: has ``reduced_costs >= 0``, nonbasic-at-upper ``<= 0``.
     reduced_costs: np.ndarray | None = None
+    #: Per-solve engine statistics (factorizations, Forrest–Tomlin
+    #: updates, pricing-candidate volume, factor fill ratio).  ``None``
+    #: for the tableau/scipy LP paths.
+    stats: dict | None = None
 
 
 @dataclass

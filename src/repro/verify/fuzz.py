@@ -73,6 +73,10 @@ def _configurations(compiled=None):
     yield "pure-tableau", pure("dense", lp_engine="tableau")
     yield "pure-dense", pure("dense")
     yield "pure-sparse", pure("sparse")
+    # Force the Markowitz sparse LU even on bases the auto heuristic
+    # would hand to the dense LAPACK factor — fuzz instances are small,
+    # so without the override this engine would never be exercised.
+    yield "pure-sparse-lu", pure("sparse", lp_engine="sparse-lu")
 
     def pure_decomposed(model):
         return solve_decomposed(

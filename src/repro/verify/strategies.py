@@ -6,8 +6,9 @@ suite re-exports these from ``tests/strategies.py`` alongside the
 strategies the example-based tests share.
 
 All strategies generate *small* structures on purpose: the differential
-harness solves every instance under seven solver configurations, and
-hypothesis shrinks toward these minima anyway when something fails.
+harness solves every instance under every solver configuration in its
+matrix, and hypothesis shrinks toward these minima anyway when something
+fails.
 """
 
 from __future__ import annotations
@@ -113,6 +114,54 @@ def mixed_bound_lps(draw) -> dict:
 
 
 @st.composite
+def degenerate_lps(draw) -> dict:
+    """Always-feasible bounded LPs built to stress pivoting edge cases.
+
+    Every instance duplicates at least one column and one row and zeroes
+    some right-hand sides, so the simplex walks primal-degenerate
+    vertices with tied ratio tests among *identical* columns — the regime
+    that stalls Dantzig/Devex pricing and forces the Bland anti-cycling
+    fallback, and that hands the basis factorization nearly-singular
+    candidate bases.  Same feasibility guarantees as :func:`lp_problems`
+    (origin feasible, finite boxes), so both engines must reach OPTIMAL
+    and agree on the objective.
+    """
+    import numpy as np
+
+    n = draw(st.integers(2, 4))
+    rows = draw(st.integers(2, 4))
+    a_ub = np.array([
+        draw(st.lists(st.integers(-2, 3), min_size=n, max_size=n))
+        for _ in range(rows)], dtype=float)
+    # Duplicate a column (and its objective coefficient, below) so ratio
+    # tests tie exactly, and duplicate a row so the basis sees linearly
+    # dependent candidates.
+    src, dst = draw(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)))
+    a_ub[:, dst] = a_ub[:, src]
+    r_src, r_dst = draw(st.tuples(st.integers(0, rows - 1),
+                                  st.integers(0, rows - 1)))
+    a_ub[r_dst] = a_ub[r_src]
+    b_ub = np.array(draw(st.lists(st.integers(0, 10),
+                                  min_size=rows, max_size=rows)), dtype=float)
+    # Zero right-hand sides make the origin a degenerate vertex.
+    for r in range(rows):
+        if draw(st.booleans()):
+            b_ub[r] = 0.0
+    b_ub[r_dst] = b_ub[r_src]
+    c = np.array(draw(st.lists(st.integers(-3, 3), min_size=n, max_size=n)),
+                 dtype=float)
+    c[dst] = c[src]
+    ub_vals = draw(st.lists(st.integers(1, 6), min_size=n, max_size=n))
+    ub = np.array(ub_vals, dtype=float)
+    ub[dst] = ub[src]
+    return {
+        "c": c, "a_ub": a_ub, "b_ub": b_ub,
+        "a_eq": np.zeros((0, n)), "b_eq": np.zeros(0),
+        "lb": np.zeros(n), "ub": ub,
+    }
+
+
+@st.composite
 def multi_component_models(draw) -> tuple[Model, int]:
     """A model of ``k`` independent knapsack blocks, plus that ``k``.
 
@@ -167,5 +216,5 @@ def fuzz_instances(draw) -> FuzzInstance:
                         jobs=tuple(jobs), busy=tuple(busy))
 
 
-__all__ = ["fuzz_instances", "lp_problems", "milp_models",
+__all__ = ["degenerate_lps", "fuzz_instances", "lp_problems", "milp_models",
            "mixed_bound_lps", "multi_component_models"]

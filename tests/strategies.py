@@ -13,7 +13,8 @@ from hypothesis import strategies as st
 from repro.sim import ElasticType, GpuType, Job, MpiType, UnconstrainedType
 # Re-exported for property tests; the `python -m repro fuzz` harness uses
 # the same generators, so a distribution tweak changes both at once.
-from repro.verify.strategies import (fuzz_instances, lp_problems,  # noqa: F401
+from repro.verify.strategies import (degenerate_lps,  # noqa: F401
+                                     fuzz_instances, lp_problems,
                                      milp_models, mixed_bound_lps,
                                      multi_component_models)
 
@@ -77,6 +78,6 @@ def elastic_sim_workloads(draw):
     return jobs
 
 
-__all__ = ["JOB_TYPES", "elastic_sim_workloads", "fuzz_instances",
-           "lp_problems", "milp_models", "mixed_bound_lps",
+__all__ = ["JOB_TYPES", "degenerate_lps", "elastic_sim_workloads",
+           "fuzz_instances", "lp_problems", "milp_models", "mixed_bound_lps",
            "multi_component_models", "seeds", "sim_workloads"]
